@@ -1,0 +1,101 @@
+// Ablation (google-benchmark): the cost of writing one lineage edge through
+// each mechanism the paper compares — inline append (Smoke, P1 tight
+// integration), a virtual function call into an in-memory subsystem
+// (Phys-Mem), and a marshalled B-tree insert (Phys-Bdb). This isolates why
+// the physical baselines lose: the write path itself, independent of any
+// operator logic.
+#include <benchmark/benchmark.h>
+
+#include "baselines/bdb_sim.h"
+#include "baselines/phys_mem.h"
+#include "common/rid_vec.h"
+
+namespace smoke {
+namespace {
+
+constexpr size_t kGroups = 1000;
+
+void BM_InlineAppend(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<RidVec> lists(kGroups);
+    for (size_t i = 0; i < n; ++i) {
+      lists[i % kGroups].PushBack(static_cast<rid_t>(i));
+    }
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_InlineAppend)->Arg(100000)->Arg(1000000);
+
+void BM_VirtualEmit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    PhysMemWriter writer(/*backward=*/true, /*forward=*/false);
+    LineageWriter* iface = &writer;
+    iface->BeginCapture(n);
+    for (size_t i = 0; i < n; ++i) {
+      iface->Emit(static_cast<rid_t>(i % kGroups), static_cast<rid_t>(i));
+    }
+    iface->FinishCapture(kGroups);
+    benchmark::DoNotOptimize(writer.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_VirtualEmit)->Arg(100000)->Arg(1000000);
+
+void BM_BdbInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    BdbWriter writer(/*backward=*/true, /*forward=*/false);
+    LineageWriter* iface = &writer;
+    for (size_t i = 0; i < n; ++i) {
+      iface->Emit(static_cast<rid_t>(i % kGroups), static_cast<rid_t>(i));
+    }
+    benchmark::DoNotOptimize(writer.backward_db()->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BdbInsert)->Arg(100000)->Arg(1000000);
+
+// Read side: secondary-index trace vs B-tree cursor fetch.
+void BM_IndexTrace(benchmark::State& state) {
+  const size_t n = 1000000;
+  std::vector<RidVec> lists(kGroups);
+  for (size_t i = 0; i < n; ++i) {
+    lists[i % kGroups].PushBack(static_cast<rid_t>(i));
+  }
+  size_t g = 0;
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (rid_t r : lists[g % kGroups]) acc += r;
+    benchmark::DoNotOptimize(acc);
+    ++g;
+  }
+}
+BENCHMARK(BM_IndexTrace);
+
+void BM_BdbCursorFetch(benchmark::State& state) {
+  const size_t n = 1000000;
+  BdbWriter writer(true, false);
+  for (size_t i = 0; i < n; ++i) {
+    writer.Emit(static_cast<rid_t>(i % kGroups), static_cast<rid_t>(i));
+  }
+  size_t g = 0;
+  std::vector<rid_t> rids;
+  for (auto _ : state) {
+    rids.clear();
+    writer.FetchBackward(static_cast<rid_t>(g % kGroups), &rids);
+    benchmark::DoNotOptimize(rids.data());
+    ++g;
+  }
+}
+BENCHMARK(BM_BdbCursorFetch);
+
+}  // namespace
+}  // namespace smoke
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Ablation (google-benchmark): rid-array growth policy and pre-allocation.
+// Isolates the mechanism behind Smoke-I+TC/+EC: array resizing dominates
+// lineage capture cost (paper Section 3.1), and exact pre-allocation
+// removes it. Also compares the 1.5x growth policy against std::vector's
+// doubling.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rid_vec.h"
+
+namespace smoke {
+namespace {
+
+void BM_RidVecAppendGrow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RidVec v;
+    for (size_t i = 0; i < n; ++i) v.PushBack(static_cast<rid_t>(i));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RidVecAppendGrow)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_RidVecAppendPreallocated(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RidVec v(n);  // exact pre-allocation (TC hints)
+    for (size_t i = 0; i < n; ++i) v.PushBack(static_cast<rid_t>(i));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RidVecAppendPreallocated)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_StdVectorAppendGrow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<rid_t> v;
+    for (size_t i = 0; i < n; ++i) v.push_back(static_cast<rid_t>(i));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StdVectorAppendGrow)->Arg(100)->Arg(10000)->Arg(1000000);
+
+// Many small lists — the actual shape of a backward rid index (init
+// capacity 10 matters here).
+void BM_ManySmallLists(benchmark::State& state) {
+  const size_t lists = 10000;
+  const size_t per = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<RidVec> idx(lists);
+    for (size_t i = 0; i < lists * per; ++i) {
+      idx[i % lists].PushBack(static_cast<rid_t>(i));
+    }
+    benchmark::DoNotOptimize(idx.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lists * per));
+}
+BENCHMARK(BM_ManySmallLists)->Arg(5)->Arg(15)->Arg(100);
+
+}  // namespace
+}  // namespace smoke
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Figure 5: lineage capture cost of the group-by aggregation operator for
+// all capture techniques, varying relation cardinality (columns) and number
+// of distinct groups (rows). Expected shape: Smoke-I lowest overhead
+// (~0.7x of baseline on average in the paper), Smoke-D slightly slower,
+// Logic-* 1-2 orders worse (denormalized lineage graph), Phys-Mem ~2x+
+// (virtual call per edge), Phys-Bdb worst by far (up to 250x).
+#include "harness.h"
+
+#include "baselines/bdb_sim.h"
+#include "baselines/phys_mem.h"
+#include "engine/group_by.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+GroupBySpec MicrobenchSpec() {
+  using E = ScalarExpr;
+  GroupBySpec spec;
+  spec.keys = {zipf_table::kZ};
+  spec.aggs = {
+      AggSpec::Count("cnt"),
+      AggSpec::Sum(E::Col(zipf_table::kV), "sum_v"),
+      AggSpec::Sum(E::Mul(E::Col(zipf_table::kV), E::Col(zipf_table::kV)),
+                   "sum_v2"),
+      AggSpec::Sum(E::Sqrt(E::Col(zipf_table::kV)), "sum_sqrt_v"),
+      AggSpec::Min(E::Col(zipf_table::kV), "min_v"),
+      AggSpec::Max(E::Col(zipf_table::kV), "max_v"),
+  };
+  return spec;
+}
+
+void Run(const bench::Options& opts) {
+  std::vector<size_t> sizes = opts.full
+                                  ? std::vector<size_t>{100000, 1000000, 10000000}
+                                  : std::vector<size_t>{100000, 1000000};
+  std::vector<uint64_t> group_counts = {100, 10000};
+  const std::vector<CaptureMode> modes = {
+      CaptureMode::kNone,     CaptureMode::kInject,  CaptureMode::kDefer,
+      CaptureMode::kLogicRid, CaptureMode::kLogicTup, CaptureMode::kPhysMem,
+      CaptureMode::kPhysBdb};
+  bench::Banner("Figure 5",
+                "Group-by aggregation lineage capture latency (zipf theta=1)",
+                modes);
+  GroupBySpec spec = MicrobenchSpec();
+
+  for (size_t n : sizes) {
+    for (uint64_t g : group_counts) {
+      Table t = MakeZipfTable(n, g, 1.0);
+      double baseline_ms = 0;
+      for (CaptureMode m : modes) {
+        // Phys-Bdb at 10M+ takes minutes per run; trim its reps.
+        bench::Options local = opts;
+        if (m == CaptureMode::kPhysBdb && n >= 1000000 && !opts.full) {
+          local.runs = 1;
+          local.warmups = 0;
+        }
+        RunStats s = bench::Measure(local, [&] {
+          CaptureOptions co = CaptureOptions::Mode(m);
+          PhysMemWriter mem_writer;
+          BdbWriter bdb_writer;
+          if (m == CaptureMode::kPhysMem) co.writer = &mem_writer;
+          if (m == CaptureMode::kPhysBdb) co.writer = &bdb_writer;
+          auto res = GroupByExec(t, "zipf", spec, co);
+          if (m == CaptureMode::kDefer) {
+            FinalizeDeferredGroupBy(&res, t, co);
+          }
+        });
+        if (m == CaptureMode::kNone) baseline_ms = s.mean_ms;
+        double overhead =
+            baseline_ms > 0 ? (s.mean_ms - baseline_ms) / baseline_ms : 0;
+        bench::Row("fig05", "n=" + std::to_string(n) +
+                                ",groups=" + std::to_string(g) + ",mode=" +
+                                CaptureModeName(m) + ",ms=" +
+                                bench::F(s.mean_ms) + ",overhead_x=" +
+                                bench::F(overhead));
+      }
+    }
+  }
+
+  // Section 6.1.1 "Cardinality Statistics": Smoke-I with exact per-group
+  // counts (Smoke-I+TC) reduces capture overhead further.
+  for (size_t n : sizes) {
+    for (uint64_t g : group_counts) {
+      Table t = MakeZipfTable(n, g, 1.0);
+      CardinalityHints hints;
+      hints.per_key_counts = CountPerKey(t, zipf_table::kZ);
+      hints.have_per_key_counts = true;
+      hints.expected_groups = g;
+      CaptureOptions co = CaptureOptions::Inject();
+      co.hints = &hints;
+      RunStats s = bench::Measure(opts, [&] {
+        GroupByExec(t, "zipf", spec, co);
+      });
+      bench::Row("fig05", "n=" + std::to_string(n) + ",groups=" +
+                              std::to_string(g) +
+                              ",mode=Smoke-I+TC,ms=" + bench::F(s.mean_ms));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::bench::Options opts = smoke::bench::Options::Parse(argc, argv);
+  smoke::Run(opts);
+  return 0;
+}

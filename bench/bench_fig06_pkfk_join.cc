@@ -1,0 +1,68 @@
+// Figure 6: pk-fk join lineage capture (gids ⋈ zipf). Expected shape:
+// Logic-Idx ~1.4x relative overhead; Smoke-I ~0.4x; Smoke-I+TC (known join
+// cardinalities) ~0.2x. Smoke-D is identical to Smoke-I for pk-fk joins.
+#include "harness.h"
+
+#include "engine/hash_join.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+void Run(const bench::Options& opts) {
+  std::vector<size_t> sizes =
+      opts.full ? std::vector<size_t>{1000000, 5000000, 10000000}
+                : std::vector<size_t>{1000000, 2000000};
+  std::vector<uint64_t> group_counts = {100, 10000};
+  bench::Banner("Figure 6",
+                "Pk-fk join capture: Baseline vs Logic-Idx vs Smoke-I vs "
+                "Smoke-I+TC (Smoke-D == Smoke-I for pk-fk)");
+
+  for (uint64_t g : group_counts) {
+    Table gids = MakeGidsTable(g);
+    for (size_t n : sizes) {
+      Table zipf = MakeZipfTable(n, g, 1.0);
+      JoinSpec spec;
+      spec.left_key = 0;  // gids.id
+      spec.right_key = zipf_table::kZ;
+      spec.pk_build = true;
+
+      CardinalityHints hints;
+      hints.per_key_counts = CountPerKey(zipf, zipf_table::kZ);
+      hints.have_per_key_counts = true;
+
+      struct Variant {
+        const char* name;
+        CaptureMode mode;
+        bool tc;
+      };
+      const Variant variants[] = {{"Baseline", CaptureMode::kNone, false},
+                                  {"Logic-Idx", CaptureMode::kLogicIdx, false},
+                                  {"Smoke-I", CaptureMode::kInject, false},
+                                  {"Smoke-I+TC", CaptureMode::kInject, true}};
+      double baseline_ms = 0;
+      for (const Variant& v : variants) {
+        CaptureOptions co = CaptureOptions::Mode(v.mode);
+        if (v.tc) co.hints = &hints;
+        RunStats s = bench::Measure(opts, [&] {
+          HashJoinExec(gids, "gids", zipf, "zipf", spec, co);
+        });
+        if (v.mode == CaptureMode::kNone) baseline_ms = s.mean_ms;
+        double overhead =
+            baseline_ms > 0 ? (s.mean_ms - baseline_ms) / baseline_ms : 0;
+        bench::Row("fig06", "groups=" + std::to_string(g) + ",n=" +
+                                std::to_string(n) + ",mode=" + v.name +
+                                ",ms=" + bench::F(s.mean_ms) +
+                                ",overhead_x=" + bench::F(overhead));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::Run(smoke::bench::Options::Parse(argc, argv));
+  return 0;
+}

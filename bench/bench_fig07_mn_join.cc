@@ -1,0 +1,63 @@
+// Figure 7: M:N join capture over highly skewed inputs (left 1000 rows;
+// output not materialized, so the measurement isolates instrumentation and
+// rid-array resizing cost). Expected shape: Smoke-D (defer both of the left
+// table's indexes) < Smoke-D-DeferForw < Smoke-I, by up to ~2.65x; more
+// left groups shrinks output cardinality and all costs.
+#include "harness.h"
+
+#include "engine/hash_join.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+void Run(const bench::Options& opts) {
+  const size_t left_n = 1000;
+  std::vector<size_t> right_sizes =
+      opts.full ? std::vector<size_t>{10000, 50000, 100000}
+                : std::vector<size_t>{10000, 50000, 100000};
+  bench::Banner("Figure 7",
+                "M:N join capture latency (left 1000 rows, zipfian keys, "
+                "output not materialized)");
+
+  for (uint64_t lgroups : {10ULL, 100ULL}) {
+    Table left = MakeZipfTable(left_n, lgroups, 1.0, 101);
+    for (size_t rn : right_sizes) {
+      Table right = MakeZipfTable(rn, 100, 1.0, 202);
+
+      struct Variant {
+        const char* name;
+        JoinSpec::DeferVariant defer;
+        CaptureMode mode;
+      };
+      const Variant variants[] = {
+          {"Smoke-I", JoinSpec::DeferVariant::kBoth, CaptureMode::kInject},
+          {"Smoke-D-DeferForw", JoinSpec::DeferVariant::kForwardOnly,
+           CaptureMode::kDefer},
+          {"Smoke-D", JoinSpec::DeferVariant::kBoth, CaptureMode::kDefer},
+      };
+      for (const Variant& v : variants) {
+        JoinSpec spec;
+        spec.left_key = zipf_table::kZ;
+        spec.right_key = zipf_table::kZ;
+        spec.materialize_output = false;
+        spec.defer_variant = v.defer;
+        RunStats s = bench::Measure(opts, [&] {
+          HashJoinExec(left, "left", right, "right", spec,
+                       CaptureOptions::Mode(v.mode));
+        });
+        bench::Row("fig07", "left_groups=" + std::to_string(lgroups) +
+                                ",right_n=" + std::to_string(rn) + ",mode=" +
+                                v.name + ",ms=" + bench::F(s.mean_ms));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::Run(smoke::bench::Options::Parse(argc, argv));
+  return 0;
+}

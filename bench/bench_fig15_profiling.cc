@@ -1,0 +1,54 @@
+// Figure 15: FD-violation evaluation + bipartite graph construction latency
+// on the Physician-like dataset for Metanome-UG (string data model +
+// virtual-call capture), Smoke-UG and Smoke-CD. Expected shape: Smoke-CD
+// fastest overall; Smoke-UG 2-6x faster than Metanome-UG, with the largest
+// gap on the integer FD NPI→PAC_ID (string modeling hurts most there).
+// Note: JVM overhead is not simulated, so the absolute Metanome gap is
+// smaller than the paper's (see EXPERIMENTS.md).
+#include "harness.h"
+
+#include "apps/profiler.h"
+#include "workloads/physician.h"
+
+namespace smoke {
+namespace {
+
+void Run(const bench::Options& opts) {
+  const size_t rows = opts.full ? 2200000 : 400000;
+  bench::Banner("Figure 15",
+                "FD violation profiling latency (bipartite graph "
+                "construction included)");
+  std::printf("rows=%zu (paper: 2.2M)\n", rows);
+  Table t = physician::Generate(rows);
+
+  const FdSpec fds[] = {
+      {physician::kNpi, physician::kPacId, "NPI->PAC_ID"},
+      {physician::kZip, physician::kState, "Zip->State"},
+      {physician::kZip, physician::kCity, "Zip->City"},
+      {physician::kLbn1, physician::kCcn1, "LBN1->CCN1"},
+  };
+
+  for (const FdSpec& fd : fds) {
+    RunStats metanome = bench::Measure(opts, [&] { ProfileMetanomeUG(t, fd); });
+    RunStats ug = bench::Measure(opts, [&] { ProfileUG(t, fd); });
+    RunStats cd = bench::Measure(opts, [&] { ProfileCD(t, fd); });
+    FdReport report = ProfileCD(t, fd);
+    bench::Row("fig15", "fd=" + fd.name + ",mode=Metanome-UG,ms=" +
+                            bench::F(metanome.mean_ms));
+    bench::Row("fig15",
+               "fd=" + fd.name + ",mode=Smoke-UG,ms=" + bench::F(ug.mean_ms));
+    bench::Row("fig15",
+               "fd=" + fd.name + ",mode=Smoke-CD,ms=" + bench::F(cd.mean_ms));
+    bench::Row("fig15", "fd=" + fd.name + ",violations=" +
+                            std::to_string(report.violating_values.size()) +
+                            ",groups=" + std::to_string(report.num_groups));
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::Run(smoke::bench::Options::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 22 (Appendix G.2): lineage capture cost under input-relation
+// pruning for TPC-H Q3 and Q10. Expected shape: capturing all tables costs
+// the most; the left-most (smallest, highest-fanout) tables dominate the
+// per-table overhead (Customer for Q3, Nation for Q10); Lineitem is the
+// cheapest single table (pk-fk forward rid array).
+#include "harness.h"
+
+#include "engine/spja.h"
+#include "workloads/tpch.h"
+
+namespace smoke {
+namespace {
+
+void RunQuery(const bench::Options& opts, const char* qname,
+              const SPJAQuery& q, const std::vector<std::string>& tables) {
+  double none = bench::Measure(opts, [&] {
+    SPJAExec(q, CaptureOptions::None());
+  }).mean_ms;
+  bench::Row("fig22", std::string("query=") + qname +
+                          ",capture=NoCapture,ms=" + bench::F(none));
+  for (const std::string& t : tables) {
+    CaptureOptions co = CaptureOptions::Inject();
+    co.only_relations = {t};
+    double ms = bench::Measure(opts, [&] { SPJAExec(q, co); }).mean_ms;
+    bench::Row("fig22", std::string("query=") + qname + ",capture=" + t +
+                            ",ms=" + bench::F(ms));
+  }
+  double all = bench::Measure(opts, [&] {
+    SPJAExec(q, CaptureOptions::Inject());
+  }).mean_ms;
+  bench::Row("fig22", std::string("query=") + qname + ",capture=All,ms=" +
+                          bench::F(all));
+}
+
+void Run(const bench::Options& opts) {
+  const double sf = opts.scale > 0 ? opts.scale : (opts.full ? 1.0 : 0.1);
+  bench::Banner("Figure 22",
+                "Input-relation pruning: capture cost per captured table");
+  std::printf("scale factor %.2f\n", sf);
+  tpch::Database db = tpch::Generate(sf);
+  auto q3 = tpch::MakeQ3(db);
+  RunQuery(opts, "Q3", q3, {"customer", "orders", "lineitem"});
+  auto q10 = tpch::MakeQ10(db);
+  RunQuery(opts, "Q10", q10, {"nation", "customer", "orders", "lineitem"});
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::Run(smoke::bench::Options::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 23 (Appendix G.2): selection push-down on Q1's lineage capture
+// with predicate l_tax < ? at varying selectivity. Expected shape: capture
+// cost with push-down grows linearly with predicate selectivity, crossing
+// plain Smoke-I at high selectivity (>~75%) where evaluating the predicate
+// for every input outweighs the smaller lineage index.
+#include "harness.h"
+
+#include "engine/spja.h"
+#include "workloads/tpch.h"
+
+namespace smoke {
+namespace {
+
+void Run(const bench::Options& opts) {
+  const double sf = opts.scale > 0 ? opts.scale : (opts.full ? 1.0 : 0.1);
+  bench::Banner("Figure 23",
+                "Selection push-down capture latency vs predicate "
+                "selectivity (l_tax < ?)");
+  std::printf("scale factor %.2f\n", sf);
+  tpch::Database db = tpch::Generate(sf);
+  SPJAQuery q1 = tpch::MakeQ1(db);
+
+  double base = bench::Measure(opts, [&] {
+    SPJAExec(q1, CaptureOptions::None());
+  }).mean_ms;
+  double inject = bench::Measure(opts, [&] {
+    SPJAExec(q1, CaptureOptions::Inject());
+  }).mean_ms;
+  bench::Row("fig23", "mode=Baseline,ms=" + bench::F(base));
+  bench::Row("fig23", "mode=Smoke-I,ms=" + bench::F(inject));
+
+  // l_tax is uniform over {0.00 .. 0.08}: threshold t keeps ~t/0.09.
+  for (double cut : {0.01, 0.02, 0.04, 0.06, 0.08, 0.09}) {
+    SPJAPushdown push;
+    push.sel_fact = {Predicate::Double(tpch::kLTax, CmpOp::kLt, cut)};
+    double ms = bench::Measure(opts, [&] {
+      SPJAExec(q1, CaptureOptions::Inject(), &push);
+    }).mean_ms;
+    bench::Row("fig23", "mode=Pushdown,selectivity_pct=" +
+                            bench::F(100.0 * cut / 0.09) + ",ms=" +
+                            bench::F(ms));
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::Run(smoke::bench::Options::Parse(argc, argv));
+  return 0;
+}

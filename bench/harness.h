@@ -1,0 +1,107 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each bench binary reproduces one figure of the paper and prints the same
+// series the paper reports. Measurements follow the paper's protocol
+// (warm-up runs, then averaged timed runs); defaults are scaled down so the
+// whole suite runs in minutes on a laptop — pass --full for paper-scale
+// parameters.
+#ifndef SMOKE_BENCH_HARNESS_H_
+#define SMOKE_BENCH_HARNESS_H_
+
+#include <malloc.h>
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/capture.h"
+
+namespace smoke {
+namespace bench {
+
+/// Stabilizes the allocator for comparative timing: without this, glibc
+/// munmaps large freed blocks, so whichever technique is measured *first*
+/// pays page faults on every run while later techniques inherit a raised
+/// mmap threshold — skewing baselines. Keep big blocks on the heap instead.
+inline void StabilizeAllocator() {
+  mallopt(M_MMAP_THRESHOLD, 1 << 30);
+  mallopt(M_TRIM_THRESHOLD, 1 << 30);
+}
+
+struct Options {
+  bool full = false;    // paper-scale parameters
+  int warmups = 1;      // paper: 3
+  int runs = 3;         // paper: 15
+  double scale = -1;    // TPC-H scale-factor override
+
+  static Options Parse(int argc, char** argv) {
+    StabilizeAllocator();
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--full")) {
+        o.full = true;
+        o.warmups = 3;
+        o.runs = 15;
+      } else if (!std::strncmp(argv[i], "--runs=", 7)) {
+        o.runs = std::atoi(argv[i] + 7);
+      } else if (!std::strncmp(argv[i], "--warmups=", 10)) {
+        o.warmups = std::atoi(argv[i] + 10);
+      } else if (!std::strncmp(argv[i], "--sf=", 5)) {
+        o.scale = std::atof(argv[i] + 5);
+      } else if (!std::strcmp(argv[i], "--help")) {
+        std::printf("usage: %s [--full] [--runs=N] [--warmups=N] [--sf=F]\n",
+                    argv[0]);
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+/// Times `fn` with warmups + timed runs; returns stats over the timed runs.
+inline RunStats Measure(const Options& opts, const std::function<void()>& fn) {
+  for (int i = 0; i < opts.warmups; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(opts.runs));
+  for (int i = 0; i < opts.runs; ++i) {
+    WallTimer t;
+    fn();
+    samples.push_back(t.ElapsedMs());
+  }
+  return RunStats::From(samples);
+}
+
+/// Prints the figure banner (including the Table 1 technique legend when
+/// `modes` is non-empty).
+inline void Banner(const char* figure, const char* description,
+                   const std::vector<CaptureMode>& modes = {}) {
+  std::printf("==================================================\n");
+  std::printf("%s: %s\n", figure, description);
+  if (!modes.empty()) {
+    std::printf("Techniques (paper Table 1):\n");
+    for (CaptureMode m : modes) {
+      std::printf("  %-10s %s\n", CaptureModeName(m),
+                  CaptureModeDescription(m));
+    }
+  }
+  std::printf("==================================================\n");
+}
+
+/// One CSV-ish result row: fixed figure tag, then key=value pairs.
+inline void Row(const char* figure, const std::string& kv) {
+  std::printf("%s,%s\n", figure, kv.c_str());
+}
+
+inline std::string F(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace smoke
+
+#endif  // SMOKE_BENCH_HARNESS_H_

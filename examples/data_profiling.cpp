@@ -1,0 +1,49 @@
+// Data profiling (the paper's Section 6.5.2): check functional dependencies
+// over a Physician-Compare-like table and build the violation-to-tuple
+// bipartite graph, all expressed in lineage terms (Smoke-CD).
+//
+//   $ ./example_data_profiling
+#include <cstdio>
+
+#include "apps/profiler.h"
+#include "common/timer.h"
+#include "workloads/physician.h"
+
+using namespace smoke;
+
+int main() {
+  const size_t kRows = 100000;
+  std::printf("Generating %zu physician records...\n", kRows);
+  Table t = physician::Generate(kRows);
+
+  const FdSpec fds[] = {
+      {physician::kNpi, physician::kPacId, "NPI -> PAC_ID"},
+      {physician::kZip, physician::kState, "Zip -> State"},
+      {physician::kZip, physician::kCity, "Zip -> City"},
+      {physician::kLbn1, physician::kCcn1, "LBN1 -> CCN1"},
+  };
+
+  for (const FdSpec& fd : fds) {
+    WallTimer timer;
+    FdReport report = ProfileCD(t, fd);
+    double ms = timer.ElapsedMs();
+    std::printf("\nFD %-14s  %zu distinct LHS values, %zu violations "
+                "(%.1f ms)\n",
+                fd.name.c_str(), report.num_groups,
+                report.violating_values.size(), ms);
+    // Show the bipartite graph for the first few violations.
+    for (size_t i = 0; i < std::min<size_t>(3, report.violating_values.size());
+         ++i) {
+      std::printf("  violation '%s' -> %zu tuples: ",
+                  report.violating_values[i].c_str(),
+                  report.bipartite.list(i).size());
+      for (size_t j = 0; j < std::min<size_t>(5, report.bipartite.list(i).size());
+           ++j) {
+        std::printf("%u ", report.bipartite.list(i)[j]);
+      }
+      std::printf("%s\n",
+                  report.bipartite.list(i).size() > 5 ? "..." : "");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "apps/crossfilter.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+Crossfilter::Crossfilter(const Table& data, std::vector<int> dims)
+    : data_(data), dims_(std::move(dims)) {}
+
+void Crossfilter::Initialize(Strategy strategy) {
+  strategy_ = strategy;
+  views_.clear();
+  marginals_.clear();
+  const size_t n = data_.num_rows();
+  const bool bt = strategy == Strategy::kBT || strategy == Strategy::kBTFT;
+  const bool ft = strategy == Strategy::kBTFT;
+
+  // Initial view queries: one group-by COUNT(*) per dimension, with lineage
+  // capture per strategy (Inject-style: i_rids appended inline).
+  for (int col : dims_) {
+    View view;
+    view.col = col;
+    const auto& vals = data_.column(static_cast<size_t>(col)).ints();
+    if (ft) view.forward.assign(n, kInvalidRid);
+    std::vector<RidVec> lists;
+    for (rid_t r = 0; r < n; ++r) {
+      uint32_t fresh = static_cast<uint32_t>(view.bin_values.size());
+      uint32_t bar = view.bin_to_bar.FindOrInsert(vals[r], fresh);
+      if (bar == IntKeyMap::kNotFound) {
+        bar = fresh;
+        view.bin_values.push_back(vals[r]);
+        view.counts.push_back(0);
+        if (bt) lists.emplace_back();
+      }
+      ++view.counts[bar];
+      if (bt) lists[bar].PushBack(r);
+      if (ft) view.forward[r] = bar;
+    }
+    if (bt) view.backward = RidIndex::FromLists(std::move(lists));
+    views_.push_back(std::move(view));
+  }
+
+  if (strategy == Strategy::kCube) {
+    // Partial cube: pairwise marginals over the (already discovered) bars —
+    // the group-by push-down run for every ordered view pair, sharing one
+    // scan of the base table (cf. the paper's custom partial cube).
+    const size_t nv = views_.size();
+    marginals_.resize(nv);
+    for (size_t v = 0; v < nv; ++v) {
+      marginals_[v].resize(nv);
+      for (size_t w = 0; w < nv; ++w) {
+        if (v == w) continue;
+        marginals_[v][w].assign(NumBars(v) * NumBars(w), 0);
+      }
+    }
+    std::vector<const int64_t*> cols(nv);
+    for (size_t v = 0; v < nv; ++v) {
+      cols[v] = data_.column(static_cast<size_t>(dims_[v])).ints().data();
+    }
+    std::vector<uint32_t> bars(nv);
+    for (rid_t r = 0; r < n; ++r) {
+      for (size_t v = 0; v < nv; ++v) {
+        bars[v] = views_[v].bin_to_bar.Find(cols[v][r]);
+      }
+      for (size_t v = 0; v < nv; ++v) {
+        for (size_t w = 0; w < nv; ++w) {
+          if (v == w) continue;
+          ++marginals_[v][w][bars[v] * NumBars(w) + bars[w]];
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<int64_t>> Crossfilter::Brush(size_t v,
+                                                     size_t bar) const {
+  switch (strategy_) {
+    case Strategy::kLazy: return BrushLazy(v, bar);
+    case Strategy::kBT:   return BrushBT(v, bar);
+    case Strategy::kBTFT: return BrushBTFT(v, bar);
+    case Strategy::kCube: return BrushCube(v, bar);
+  }
+  return {};
+}
+
+std::vector<std::vector<int64_t>> Crossfilter::BrushLazy(size_t v,
+                                                         size_t bar) const {
+  // Shared selection scan: σ_{dim_v = bin}(T), re-running every other
+  // group-by (fresh hash aggregation per view).
+  const size_t nv = views_.size();
+  std::vector<std::vector<int64_t>> out(nv);
+  std::vector<std::unordered_map<int64_t, int64_t>> aggs(nv);
+  const auto& sel =
+      data_.column(static_cast<size_t>(dims_[v])).ints();
+  const int64_t bin = views_[v].bin_values[bar];
+  std::vector<const int64_t*> cols(nv);
+  for (size_t w = 0; w < nv; ++w) {
+    cols[w] = data_.column(static_cast<size_t>(dims_[w])).ints().data();
+  }
+  const size_t n = data_.num_rows();
+  for (rid_t r = 0; r < n; ++r) {
+    if (sel[r] != bin) continue;
+    for (size_t w = 0; w < nv; ++w) {
+      if (w == v) continue;
+      ++aggs[w][cols[w][r]];
+    }
+  }
+  for (size_t w = 0; w < nv; ++w) {
+    if (w == v) {
+      out[w] = views_[w].counts;
+      continue;
+    }
+    out[w].assign(NumBars(w), 0);
+    for (const auto& [bin_w, cnt] : aggs[w]) {
+      uint32_t b = views_[w].bin_to_bar.Find(bin_w);
+      out[w][b] = cnt;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> Crossfilter::BrushBT(size_t v,
+                                                       size_t bar) const {
+  // Shared indexed scan over the backward lineage of the brushed bar, still
+  // re-running the group-by aggregations (fresh hash tables).
+  const size_t nv = views_.size();
+  std::vector<std::vector<int64_t>> out(nv);
+  std::vector<std::unordered_map<int64_t, int64_t>> aggs(nv);
+  std::vector<const int64_t*> cols(nv);
+  for (size_t w = 0; w < nv; ++w) {
+    cols[w] = data_.column(static_cast<size_t>(dims_[w])).ints().data();
+  }
+  const RidVec& rids = views_[v].backward.list(bar);
+  for (rid_t r : rids) {
+    for (size_t w = 0; w < nv; ++w) {
+      if (w == v) continue;
+      ++aggs[w][cols[w][r]];
+    }
+  }
+  for (size_t w = 0; w < nv; ++w) {
+    if (w == v) {
+      out[w] = views_[w].counts;
+      continue;
+    }
+    out[w].assign(NumBars(w), 0);
+    for (const auto& [bin_w, cnt] : aggs[w]) {
+      uint32_t b = views_[w].bin_to_bar.Find(bin_w);
+      out[w][b] = cnt;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> Crossfilter::BrushBTFT(size_t v,
+                                                         size_t bar) const {
+  // Listing 1: forward indexes are perfect hashes from rows to bars — update
+  // per-bar counters directly, no hash tables.
+  const size_t nv = views_.size();
+  std::vector<std::vector<int64_t>> out(nv);
+  for (size_t w = 0; w < nv; ++w) {
+    out[w] = w == v ? views_[w].counts
+                    : std::vector<int64_t>(NumBars(w), 0);
+  }
+  const RidVec& rids = views_[v].backward.list(bar);
+  for (size_t w = 0; w < nv; ++w) {
+    if (w == v) continue;
+    const RidArray& fw = views_[w].forward;
+    auto& counts = out[w];
+    for (rid_t r : rids) ++counts[fw[r]];
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> Crossfilter::BrushCube(size_t v,
+                                                         size_t bar) const {
+  const size_t nv = views_.size();
+  std::vector<std::vector<int64_t>> out(nv);
+  for (size_t w = 0; w < nv; ++w) {
+    if (w == v) {
+      out[w] = views_[w].counts;
+      continue;
+    }
+    const auto& m = marginals_[v][w];
+    out[w].assign(m.begin() + static_cast<long>(bar * NumBars(w)),
+                  m.begin() + static_cast<long>((bar + 1) * NumBars(w)));
+  }
+  return out;
+}
+
+size_t Crossfilter::IndexMemoryBytes() const {
+  size_t b = 0;
+  for (const auto& view : views_) {
+    b += view.backward.MemoryBytes();
+    b += view.forward.capacity() * sizeof(rid_t);
+  }
+  for (const auto& per_v : marginals_) {
+    for (const auto& m : per_v) b += m.capacity() * sizeof(int64_t);
+  }
+  return b;
+}
+
+}  // namespace smoke

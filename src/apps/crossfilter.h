@@ -1,0 +1,93 @@
+// Crossfilter application (paper Section 6.5.1, Appendix D).
+//
+// N group-by COUNT(*) views over one table; brushing a bar in one view
+// recomputes the other views over the backward lineage of that bar:
+//
+//  - Lazy: no capture; each brush re-runs the group-bys behind a shared
+//    selection scan of the base table.
+//  - BT: capture backward indexes during the initial view queries; a brush
+//    re-runs the group-bys over a shared *indexed* scan (still re-building
+//    group-by hash tables).
+//  - BT+FT: additionally capture forward rid arrays; the forward index is a
+//    perfect hash from base rows to each view's bars, so a brush increments
+//    per-bar counters directly — no hash tables at all (Listing 1).
+//  - Cube: offline partial data-cube (pairwise view marginals) built with
+//    the group-by push-down machinery; brushes are lookups. Build cost is
+//    charged separately (the cold-start problem).
+#ifndef SMOKE_APPS_CROSSFILTER_H_
+#define SMOKE_APPS_CROSSFILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "lineage/rid_index.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// \brief Crossfilter session over integer-binned dimension columns.
+class Crossfilter {
+ public:
+  enum class Strategy { kLazy, kBT, kBTFT, kCube };
+
+  /// `dims`: one int64 column per view.
+  Crossfilter(const Table& data, std::vector<int> dims);
+
+  /// Runs the initial view queries with the capture required by `strategy`.
+  /// Returns the time spent (callers time it themselves too; this performs
+  /// the work). For kCube this also builds the pairwise marginals.
+  void Initialize(Strategy strategy);
+
+  size_t num_views() const { return dims_.size(); }
+
+  /// Number of bars (distinct bins) in view `v`.
+  size_t NumBars(size_t v) const { return views_[v].bin_values.size(); }
+
+  /// The bin value of bar `bar` of view `v`.
+  int64_t BarValue(size_t v, size_t bar) const {
+    return views_[v].bin_values[bar];
+  }
+
+  /// Initial COUNT(*) of bar `bar` of view `v`.
+  int64_t BarCount(size_t v, size_t bar) const {
+    return views_[v].counts[bar];
+  }
+
+  /// Brushes bar `bar` of view `v`: recomputes every *other* view over the
+  /// rows contributing to that bar. Returns, per view, the updated per-bar
+  /// counts (aligned to that view's bar order; the brushed view keeps its
+  /// initial counts). Uses the strategy from Initialize.
+  std::vector<std::vector<int64_t>> Brush(size_t v, size_t bar) const;
+
+  /// Memory held by lineage indexes / cube (reporting).
+  size_t IndexMemoryBytes() const;
+
+ private:
+  struct View {
+    int col;
+    IntKeyMap bin_to_bar{64};          // bin value -> bar id
+    std::vector<int64_t> bin_values;   // bar id -> bin value
+    std::vector<int64_t> counts;       // initial COUNT(*)
+    RidIndex backward;                 // bar -> row rids (BT, BT+FT)
+    RidArray forward;                  // row -> bar (BT+FT)
+  };
+
+  std::vector<std::vector<int64_t>> BrushLazy(size_t v, size_t bar) const;
+  std::vector<std::vector<int64_t>> BrushBT(size_t v, size_t bar) const;
+  std::vector<std::vector<int64_t>> BrushBTFT(size_t v, size_t bar) const;
+  std::vector<std::vector<int64_t>> BrushCube(size_t v, size_t bar) const;
+
+  const Table& data_;
+  std::vector<int> dims_;
+  Strategy strategy_ = Strategy::kLazy;
+  std::vector<View> views_;
+
+  // Cube: marginals_[v][w] (v != w) is a NumBars(v) x NumBars(w) count
+  // matrix, row-major.
+  std::vector<std::vector<std::vector<int64_t>>> marginals_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_APPS_CROSSFILTER_H_

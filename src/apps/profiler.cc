@@ -1,0 +1,213 @@
+#include "apps/profiler.h"
+
+#include <unordered_map>
+
+#include "baselines/phys_mem.h"
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace smoke {
+
+namespace {
+
+/// Typed accessor: display string + int64 view of a column value.
+struct ColAccess {
+  const std::vector<int64_t>* ints = nullptr;
+  const std::vector<std::string>* strs = nullptr;
+
+  explicit ColAccess(const Column& c) {
+    if (c.type() == DataType::kInt64) ints = &c.ints();
+    else strs = &c.strings();
+  }
+  bool is_int() const { return ints != nullptr; }
+  std::string Display(rid_t r) const {
+    return is_int() ? std::to_string((*ints)[r]) : (*strs)[r];
+  }
+};
+
+/// Distinct-value grouping of one column with Inject lineage: value ->
+/// group slot; per-slot rid lists (backward) and a row -> slot array
+/// (forward).
+struct DistinctIndex {
+  std::unordered_map<int64_t, uint32_t> int_map;
+  std::unordered_map<std::string, uint32_t> str_map;
+  std::vector<RidVec> lists;      // backward
+  RidArray forward;               // row -> slot
+  std::vector<rid_t> first_rid;   // slot representative
+
+  void Build(const Table& t, int col, bool want_backward) {
+    ColAccess a(t.column(static_cast<size_t>(col)));
+    const size_t n = t.num_rows();
+    forward.assign(n, kInvalidRid);
+    if (a.is_int()) {
+      int_map.reserve(1024);
+      for (rid_t r = 0; r < n; ++r) {
+        auto [it, inserted] = int_map.emplace(
+            (*a.ints)[r], static_cast<uint32_t>(first_rid.size()));
+        if (inserted) {
+          first_rid.push_back(r);
+          if (want_backward) lists.emplace_back();
+        }
+        if (want_backward) lists[it->second].PushBack(r);
+        forward[r] = it->second;
+      }
+    } else {
+      str_map.reserve(1024);
+      for (rid_t r = 0; r < n; ++r) {
+        auto [it, inserted] = str_map.emplace(
+            (*a.strs)[r], static_cast<uint32_t>(first_rid.size()));
+        if (inserted) {
+          first_rid.push_back(r);
+          if (want_backward) lists.emplace_back();
+        }
+        if (want_backward) lists[it->second].PushBack(r);
+        forward[r] = it->second;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+FdReport ProfileCD(const Table& table, const FdSpec& fd) {
+  // One pass: group by LHS, track whether COUNT(DISTINCT RHS) > 1 (any RHS
+  // differing from the group's first), capture i_rids inline (Inject).
+  ColAccess lhs(table.column(static_cast<size_t>(fd.lhs_col)));
+  ColAccess rhs(table.column(static_cast<size_t>(fd.rhs_col)));
+  const size_t n = table.num_rows();
+
+  std::unordered_map<int64_t, uint32_t> int_map;
+  std::unordered_map<std::string, uint32_t> str_map;
+  std::vector<RidVec> lists;
+  std::vector<rid_t> first_rid;
+  std::vector<uint8_t> violated;
+
+  auto on_row = [&](uint32_t g, rid_t r, bool inserted) {
+    if (inserted) {
+      first_rid.push_back(r);
+      violated.push_back(0);
+      lists.emplace_back();
+    }
+    lists[g].PushBack(r);
+    if (!violated[g]) {
+      rid_t f = first_rid[g];
+      bool same = rhs.is_int() ? (*rhs.ints)[r] == (*rhs.ints)[f]
+                               : (*rhs.strs)[r] == (*rhs.strs)[f];
+      if (!same) violated[g] = 1;
+    }
+  };
+
+  if (lhs.is_int()) {
+    int_map.reserve(1024);
+    for (rid_t r = 0; r < n; ++r) {
+      auto [it, inserted] = int_map.emplace(
+          (*lhs.ints)[r], static_cast<uint32_t>(first_rid.size()));
+      on_row(it->second, r, inserted);
+    }
+  } else {
+    str_map.reserve(1024);
+    for (rid_t r = 0; r < n; ++r) {
+      auto [it, inserted] = str_map.emplace(
+          (*lhs.strs)[r], static_cast<uint32_t>(first_rid.size()));
+      on_row(it->second, r, inserted);
+    }
+  }
+
+  FdReport report;
+  report.num_groups = first_rid.size();
+  std::vector<RidVec> violating_lists;
+  for (size_t g = 0; g < first_rid.size(); ++g) {
+    if (!violated[g]) continue;
+    report.violating_values.push_back(lhs.Display(first_rid[g]));
+    violating_lists.push_back(std::move(lists[g]));
+  }
+  report.bipartite = RidIndex::FromLists(std::move(violating_lists));
+  return report;
+}
+
+FdReport ProfileUG(const Table& table, const FdSpec& fd) {
+  // Q_ug,A and Q_ug,B: DISTINCT with lineage. Violation check: backward
+  // trace each distinct a to T, forward trace into Q_ug,B's output.
+  DistinctIndex da, db;
+  da.Build(table, fd.lhs_col, /*want_backward=*/true);
+  db.Build(table, fd.rhs_col, /*want_backward=*/false);
+
+  ColAccess lhs(table.column(static_cast<size_t>(fd.lhs_col)));
+  FdReport report;
+  report.num_groups = da.first_rid.size();
+  std::vector<RidVec> violating_lists;
+  for (size_t g = 0; g < da.first_rid.size(); ++g) {
+    const RidVec& rids = da.lists[g];
+    const uint32_t first_b = db.forward[rids[0]];
+    bool violated = false;
+    for (size_t i = 1; i < rids.size(); ++i) {
+      if (db.forward[rids[i]] != first_b) {
+        violated = true;
+        break;
+      }
+    }
+    if (!violated) continue;
+    report.violating_values.push_back(lhs.Display(da.first_rid[g]));
+    violating_lists.push_back(da.lists[g]);  // copy: index stays reusable
+  }
+  report.bipartite = RidIndex::FromLists(std::move(violating_lists));
+  return report;
+}
+
+FdReport ProfileMetanomeUG(const Table& table, const FdSpec& fd) {
+  // Metanome's data model: every attribute is a string; lineage-index
+  // construction goes through a virtual Emit call per edge.
+  ColAccess lhs(table.column(static_cast<size_t>(fd.lhs_col)));
+  ColAccess rhs(table.column(static_cast<size_t>(fd.rhs_col)));
+  const size_t n = table.num_rows();
+
+  PhysMemWriter wa(/*backward=*/true, /*forward=*/false);
+  LineageWriter* wa_iface = &wa;  // force virtual dispatch
+  std::unordered_map<std::string, uint32_t> a_map;
+  std::vector<rid_t> a_first;
+  a_map.reserve(1024);
+  wa_iface->BeginCapture(n);
+  for (rid_t r = 0; r < n; ++r) {
+    // String-typed processing even for integer attributes (NPI).
+    std::string key = lhs.Display(r);
+    auto [it, inserted] =
+        a_map.emplace(std::move(key), static_cast<uint32_t>(a_first.size()));
+    if (inserted) a_first.push_back(r);
+    wa_iface->Emit(it->second, r);
+  }
+  wa_iface->FinishCapture(a_first.size());
+
+  std::unordered_map<std::string, uint32_t> b_map;
+  std::vector<uint32_t> b_fw(n);
+  b_map.reserve(1024);
+  uint32_t b_groups = 0;
+  for (rid_t r = 0; r < n; ++r) {
+    std::string key = rhs.Display(r);
+    auto [it, inserted] = b_map.emplace(std::move(key), b_groups);
+    if (inserted) ++b_groups;
+    b_fw[r] = it->second;
+  }
+
+  FdReport report;
+  report.num_groups = a_first.size();
+  std::vector<RidVec> violating_lists;
+  for (uint32_t g = 0; g < a_first.size(); ++g) {
+    const RidVec* rids = wa.Lookup(g);  // keyed fetch from the subsystem
+    SMOKE_CHECK(rids != nullptr);
+    const uint32_t first_b = b_fw[(*rids)[0]];
+    bool violated = false;
+    for (size_t i = 1; i < rids->size(); ++i) {
+      if (b_fw[(*rids)[i]] != first_b) {
+        violated = true;
+        break;
+      }
+    }
+    if (!violated) continue;
+    report.violating_values.push_back(lhs.Display(a_first[g]));
+    violating_lists.push_back(*rids);
+  }
+  report.bipartite = RidIndex::FromLists(std::move(violating_lists));
+  return report;
+}
+
+}  // namespace smoke

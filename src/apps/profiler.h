@@ -1,0 +1,60 @@
+// Data profiling application (paper Section 6.5.2, Figure 15): FD violation
+// detection with bipartite violation graphs, expressed in lineage terms.
+//
+// Task: given FD A → B over table T, find the distinct values a ∈ A that
+// violate the FD and connect each violation to the tuples {t | t.A = a}.
+//
+//  - Smoke-CD: run Q_cd = SELECT A FROM T GROUP BY A HAVING
+//    COUNT(DISTINCT B) > 1 with lineage capture; the backward/forward
+//    indexes are the bipartite graph.
+//  - Smoke-UG: UGuide's approach in lineage terms — evaluate SELECT
+//    DISTINCT A and SELECT DISTINCT B with lineage, backward-trace each
+//    distinct a to T, forward-trace into the distinct-B output; more than
+//    one distinct b ⇒ violation.
+//  - Metanome-UG: the same UG algorithm, simulating Metanome/UGuide's two
+//    measured costs: all attributes modeled as strings (slowing integer
+//    FDs like NPI → PAC_ID) and lineage-index construction through virtual
+//    function calls (>2x overhead per the paper). JVM overhead is not
+//    modeled (see EXPERIMENTS.md).
+#ifndef SMOKE_APPS_PROFILER_H_
+#define SMOKE_APPS_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "lineage/rid_index.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// A functional dependency lhs_col -> rhs_col.
+struct FdSpec {
+  int lhs_col = -1;
+  int rhs_col = -1;
+  std::string name;
+};
+
+/// Violations of one FD plus the violation-to-tuple bipartite graph.
+struct FdReport {
+  /// Distinct violating LHS values (display strings, unordered).
+  std::vector<std::string> violating_values;
+  /// bipartite.list(i) holds the rids of tuples with LHS value
+  /// violating_values[i].
+  RidIndex bipartite;
+  /// Total distinct LHS values checked.
+  size_t num_groups = 0;
+};
+
+/// Smoke-CD: single grouped pass with lineage capture.
+FdReport ProfileCD(const Table& table, const FdSpec& fd);
+
+/// Smoke-UG: two DISTINCT queries with lineage, backward+forward tracing.
+FdReport ProfileUG(const Table& table, const FdSpec& fd);
+
+/// Metanome-UG simulation: UG with string-modeled attributes and
+/// virtual-call lineage capture.
+FdReport ProfileMetanomeUG(const Table& table, const FdSpec& fd);
+
+}  // namespace smoke
+
+#endif  // SMOKE_APPS_PROFILER_H_

@@ -1,0 +1,188 @@
+#include "baselines/bdb_sim.h"
+
+#include <algorithm>
+
+namespace smoke {
+
+// Composite key layout: (user key << 32) | insertion sequence. Duplicates of
+// one user key are adjacent and ordered by insertion, like DB_DUP.
+namespace {
+inline uint64_t Compose(uint32_t key, uint32_t seq) {
+  return (static_cast<uint64_t>(key) << 32) | seq;
+}
+inline uint32_t UserKey(uint64_t k) { return static_cast<uint32_t>(k >> 32); }
+}  // namespace
+
+struct BdbSim::Node {
+  bool leaf = true;
+  int n = 0;                       // entries (leaf) / keys (internal)
+  uint64_t keys[kOrder];           // composite keys / separators
+  uint32_t vals[kOrder];           // leaf payloads
+  Node* children[kOrder + 1];      // internal fan-out
+  Node* next = nullptr;            // leaf chain for cursor scans
+};
+
+int BdbSim::CompareKeys(const void* a, const void* b) {
+  uint64_t ka, kb;
+  std::memcpy(&ka, a, sizeof(ka));
+  std::memcpy(&kb, b, sizeof(kb));
+  return ka < kb ? -1 : (ka > kb ? 1 : 0);
+}
+
+int BdbSim::UpperBound(const uint64_t* keys, int n, uint64_t k) const {
+  int lo = 0, hi = n;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (cmp_(&keys[mid], &k) <= 0) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo;
+}
+
+int BdbSim::LowerBound(const uint64_t* keys, int n, uint64_t k) const {
+  int lo = 0, hi = n;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (cmp_(&keys[mid], &k) < 0) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo;
+}
+
+BdbSim::Node* BdbSim::NewLeaf() {
+  Node* n = new Node();
+  n->leaf = true;
+  ++num_nodes_;
+  return n;
+}
+
+BdbSim::Node* BdbSim::NewInternal() {
+  Node* n = new Node();
+  n->leaf = false;
+  ++num_nodes_;
+  return n;
+}
+
+void BdbSim::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  if (!n->leaf) {
+    for (int i = 0; i <= n->n; ++i) FreeTree(n->children[i]);
+  }
+  delete n;
+}
+
+BdbSim::~BdbSim() { FreeTree(root_); }
+
+void BdbSim::Put(const void* key, size_t key_len, const void* val,
+                 size_t val_len) {
+  // Page latch: BDB latches even in single-threaded in-memory use.
+  std::lock_guard<std::mutex> lock(latch_);
+  // Unmarshal the byte buffers (the API boundary the paper charges for).
+  SMOKE_DCHECK(key_len == 4 && val_len == 4);
+  (void)key_len;
+  (void)val_len;
+  uint32_t k32, v32;
+  std::memcpy(&k32, key, 4);
+  std::memcpy(&v32, val, 4);
+  uint64_t k = Compose(k32, static_cast<uint32_t>(seq_++));
+
+  SplitResult split = InsertRec(root_, k, v32);
+  if (split.right != nullptr) {
+    Node* new_root = NewInternal();
+    new_root->n = 1;
+    new_root->keys[0] = split.sep;
+    new_root->children[0] = root_;
+    new_root->children[1] = split.right;
+    root_ = new_root;
+  }
+  ++count_;
+}
+
+BdbSim::SplitResult BdbSim::InsertRec(Node* n, uint64_t k, uint32_t v) {
+  if (n->leaf) {
+    int pos = UpperBound(n->keys, n->n, k);
+    // Shift and insert.
+    for (int i = n->n; i > pos; --i) {
+      n->keys[i] = n->keys[i - 1];
+      n->vals[i] = n->vals[i - 1];
+    }
+    n->keys[pos] = k;
+    n->vals[pos] = v;
+    ++n->n;
+    if (n->n < kOrder) return {};
+    // Split leaf.
+    Node* right = NewLeaf();
+    int half = n->n / 2;
+    right->n = n->n - half;
+    std::copy(n->keys + half, n->keys + n->n, right->keys);
+    std::copy(n->vals + half, n->vals + n->n, right->vals);
+    n->n = half;
+    right->next = n->next;
+    n->next = right;
+    return {right, right->keys[0]};
+  }
+
+  int pos = UpperBound(n->keys, n->n, k);
+  SplitResult child_split = InsertRec(n->children[pos], k, v);
+  if (child_split.right == nullptr) return {};
+  // Insert separator into this internal node.
+  for (int i = n->n; i > pos; --i) {
+    n->keys[i] = n->keys[i - 1];
+    n->children[i + 1] = n->children[i];
+  }
+  n->keys[pos] = child_split.sep;
+  n->children[pos + 1] = child_split.right;
+  ++n->n;
+  if (n->n < kOrder) return {};
+  // Split internal: middle separator moves up.
+  Node* right = NewInternal();
+  int mid = n->n / 2;
+  uint64_t up = n->keys[mid];
+  right->n = n->n - mid - 1;
+  std::copy(n->keys + mid + 1, n->keys + n->n, right->keys);
+  std::copy(n->children + mid + 1, n->children + n->n + 1, right->children);
+  n->n = mid;
+  return {right, up};
+}
+
+bool BdbSim::Cursor::Seek(uint32_t key) {
+  std::lock_guard<std::mutex> lock(db_->latch_);
+  key_ = key;
+  uint64_t target = Compose(key, 0);
+  const Node* n = db_->root_;
+  while (!n->leaf) {
+    int pos = db_->UpperBound(n->keys, n->n, target);
+    n = n->children[pos];
+  }
+  int pos = db_->LowerBound(n->keys, n->n, target);
+  // Target may start in the next leaf.
+  while (n != nullptr && pos >= n->n) {
+    n = n->next;
+    pos = 0;
+  }
+  if (n == nullptr || UserKey(n->keys[pos]) != key) return false;
+  leaf_ = n;
+  pos_ = static_cast<size_t>(pos);
+  return true;
+}
+
+bool BdbSim::Cursor::Next(uint32_t* value) {
+  std::lock_guard<std::mutex> lock(db_->latch_);
+  const Node* n = static_cast<const Node*>(leaf_);
+  if (n == nullptr) return false;
+  if (pos_ >= static_cast<size_t>(n->n)) {
+    n = n->next;
+    pos_ = 0;
+    if (n == nullptr) {
+      leaf_ = nullptr;
+      return false;
+    }
+    leaf_ = n;
+  }
+  if (UserKey(n->keys[pos_]) != key_) return false;
+  *value = n->vals[pos_];
+  ++pos_;
+  return true;
+}
+
+}  // namespace smoke

@@ -1,0 +1,124 @@
+// Phys-Mem baseline (paper Section 5, Appendix B): lineage capture through
+// one *virtual function call per lineage edge* into an in-memory subsystem
+// that builds Smoke-style rid indexes but cannot reuse operator state.
+//
+// Per the paper's appendix: "for one-to-many relations between output and
+// input, Phys-Mem probes a hash table on the output rid. Each entry in the
+// hash table keeps a pointer to an rid index that we use to append the input
+// rid." — the subsystem does not know output rids are dense, so it pays a
+// hash probe per edge on top of the virtual call.
+#ifndef SMOKE_BASELINES_PHYS_MEM_H_
+#define SMOKE_BASELINES_PHYS_MEM_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rid_vec.h"
+#include "engine/capture.h"
+#include "lineage/rid_index.h"
+
+namespace smoke {
+
+/// \brief In-memory per-edge lineage writer.
+///
+/// `forward_one_to_one` selects the paper's 1:1 representation ("for
+/// one-to-one relations, we use an rid list where we append the input
+/// rid") — group-by and selection forward lineage is 1:1, join forward is
+/// 1:N (hash-probed).
+class PhysMemWriter : public LineageWriter {
+ public:
+  /// Direction flags mirror instrumentation pruning.
+  explicit PhysMemWriter(bool backward = true, bool forward = true,
+                         bool forward_one_to_one = true)
+      : backward_(backward),
+        forward_(forward),
+        forward_one_to_one_(forward_one_to_one) {}
+
+  void BeginCapture(size_t input_cardinality) override {
+    (void)input_cardinality;  // a detached subsystem cannot exploit this
+  }
+
+  void Emit(rid_t out, rid_t in) override {
+    if (backward_) AppendTo(&bw_map_, &bw_lists_, out, in);
+    if (forward_) {
+      if (forward_one_to_one_) fw_list_.PushBack(out);
+      else AppendTo(&fw_map_, &fw_lists_, in, out);
+    }
+  }
+
+  void FinishCapture(size_t output_cardinality) override {
+    output_cardinality_ = output_cardinality;
+  }
+
+  size_t num_edges() const {
+    size_t n = 0;
+    for (const auto& l : bw_lists_) n += l.size();
+    return n;
+  }
+
+  /// Converts the captured backward lineage into a dense RidIndex
+  /// (out rid -> input rids), for equivalence testing and querying.
+  RidIndex ExportBackward() const {
+    RidIndex idx(output_cardinality_);
+    ExportInto(bw_map_, bw_lists_, &idx);
+    return idx;
+  }
+
+  /// Converts forward lineage into a dense RidIndex (in rid -> out rids).
+  /// For 1:1 forward capture, entry i is the i-th emitted edge's output —
+  /// valid when the operator emits exactly one edge per input rid in rid
+  /// order (group-by; NOT selection, which skips filtered rows).
+  RidIndex ExportForward(size_t input_cardinality) const {
+    RidIndex idx(input_cardinality);
+    if (forward_one_to_one_) {
+      for (size_t i = 0; i < fw_list_.size(); ++i) {
+        idx.Append(i, fw_list_[i]);
+      }
+      return idx;
+    }
+    ExportInto(fw_map_, fw_lists_, &idx);
+    return idx;
+  }
+
+  /// Direct keyed lookup (what a lineage query against the subsystem does).
+  const RidVec* Lookup(rid_t out) const {
+    uint32_t slot = bw_map_.Find(static_cast<int64_t>(out));
+    if (slot == IntKeyMap::kNotFound) return nullptr;
+    return &bw_lists_[slot];
+  }
+
+ private:
+  void AppendTo(IntKeyMap* map, std::vector<RidVec>* lists, rid_t key,
+                rid_t value) {
+    uint32_t fresh = static_cast<uint32_t>(lists->size());
+    uint32_t slot = map->FindOrInsert(static_cast<int64_t>(key), fresh);
+    if (slot == IntKeyMap::kNotFound) {
+      lists->emplace_back();
+      slot = fresh;
+    }
+    (*lists)[slot].PushBack(value);
+  }
+
+  void ExportInto(const IntKeyMap& map, const std::vector<RidVec>& lists,
+                  RidIndex* idx) const {
+    for (size_t key = 0; key < idx->size(); ++key) {
+      uint32_t slot = map.Find(static_cast<int64_t>(key));
+      if (slot == IntKeyMap::kNotFound) continue;
+      for (rid_t v : lists[slot]) idx->Append(key, v);
+    }
+  }
+
+  bool backward_;
+  bool forward_;
+  bool forward_one_to_one_;
+  IntKeyMap bw_map_{1024};
+  IntKeyMap fw_map_{1024};
+  std::vector<RidVec> bw_lists_;
+  std::vector<RidVec> fw_lists_;
+  RidVec fw_list_;  // 1:1 forward representation
+  size_t output_cardinality_ = 0;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_BASELINES_PHYS_MEM_H_

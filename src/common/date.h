@@ -1,0 +1,50 @@
+// Calendar helpers. Dates are stored in columns as int64 yyyymmdd (ordering
+// matches chronological order; EXTRACT(YEAR/MONTH) is integer arithmetic).
+#ifndef SMOKE_COMMON_DATE_H_
+#define SMOKE_COMMON_DATE_H_
+
+#include <cstdint>
+
+namespace smoke {
+
+/// Days from 1970-01-01 to y-m-d (Howard Hinnant's civil-days algorithm).
+constexpr int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+/// Inverse of DaysFromCivil.
+constexpr void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+/// yyyymmdd encoding of a day number.
+constexpr int64_t YmdFromDays(int64_t days) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return y * 10000 + static_cast<int64_t>(m) * 100 + d;
+}
+
+/// Day number of a yyyymmdd date.
+constexpr int64_t DaysFromYmd(int64_t ymd) {
+  return DaysFromCivil(ymd / 10000, static_cast<unsigned>((ymd / 100) % 100),
+                       static_cast<unsigned>(ymd % 100));
+}
+
+}  // namespace smoke
+
+#endif  // SMOKE_COMMON_DATE_H_

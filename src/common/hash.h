@@ -1,0 +1,120 @@
+// Hashing utilities and a specialized open-addressing hash map for the hot
+// paths (group-by and join keys). Tight integration (paper P1) requires the
+// probe/insert loops to be inlineable and allocation-light.
+#ifndef SMOKE_COMMON_HASH_H_
+#define SMOKE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+/// 64-bit finalizer (splitmix64). Good avalanche for integer keys.
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over bytes, for composite/string keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// \brief Open-addressing hash map from int64 keys to a uint32 payload
+/// (typically a slot index into a contiguous entry arena).
+///
+/// Linear probing, power-of-two capacity, max load factor 0.7. This is the
+/// hash table that group-by and join builds construct during normal operator
+/// execution and that lineage capture *reuses* (paper P4): the payload points
+/// at an entry arena that capture augments with rid lists or oids.
+class IntKeyMap {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  explicit IntKeyMap(size_t expected = 16) {
+    size_t cap = 16;
+    while (cap * 10 < expected * 16) cap <<= 1;  // ~0.6 initial load
+    keys_.resize(cap);
+    vals_.assign(cap, kNotFound);
+    mask_ = cap - 1;
+  }
+
+  /// Returns the payload for `key`, or kNotFound.
+  uint32_t Find(int64_t key) const {
+    size_t i = Hash64(static_cast<uint64_t>(key)) & mask_;
+    while (vals_[i] != kNotFound) {
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  /// Returns the existing payload for `key`, or inserts `fresh` and returns
+  /// kNotFound (so the caller knows it created a new entry).
+  uint32_t FindOrInsert(int64_t key, uint32_t fresh) {
+    if ((size_ + 1) * 10 > (mask_ + 1) * 7) Rehash();
+    size_t i = Hash64(static_cast<uint64_t>(key)) & mask_;
+    while (vals_[i] != kNotFound) {
+      if (keys_[i] == key) return vals_[i];
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    vals_[i] = fresh;
+    ++size_;
+    return kNotFound;
+  }
+
+  void Insert(int64_t key, uint32_t val) {
+    uint32_t prev = FindOrInsert(key, val);
+    SMOKE_DCHECK(prev == kNotFound);
+    (void)prev;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  void Rehash() {
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_vals = std::move(vals_);
+    size_t cap = (mask_ + 1) * 2;
+    keys_.assign(cap, 0);
+    vals_.assign(cap, kNotFound);
+    mask_ = cap - 1;
+    for (size_t j = 0; j < old_vals.size(); ++j) {
+      if (old_vals[j] == kNotFound) continue;
+      size_t i = Hash64(static_cast<uint64_t>(old_keys[j])) & mask_;
+      while (vals_[i] != kNotFound) i = (i + 1) & mask_;
+      keys_[i] = old_keys[j];
+      vals_[i] = old_vals[j];
+    }
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> vals_;  // kNotFound marks an empty slot
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_COMMON_HASH_H_

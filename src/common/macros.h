@@ -1,0 +1,30 @@
+// Common macros used across the Smoke codebase.
+#ifndef SMOKE_COMMON_MACROS_H_
+#define SMOKE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message when `cond` is false. Used for internal invariants
+// that indicate programming errors (not data errors); data errors are
+// reported through Status.
+#define SMOKE_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SMOKE_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SMOKE_DCHECK(cond) ((void)0)
+#else
+#define SMOKE_DCHECK(cond) SMOKE_CHECK(cond)
+#endif
+
+#define SMOKE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;            \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // SMOKE_COMMON_MACROS_H_

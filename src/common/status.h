@@ -1,0 +1,72 @@
+// A minimal Status type for error reporting, following the Arrow/RocksDB
+// convention of returning Status from fallible API-level operations.
+#ifndef SMOKE_COMMON_STATUS_H_
+#define SMOKE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace smoke {
+
+/// \brief Outcome of a fallible operation.
+///
+/// Internal invariant violations abort via SMOKE_CHECK; user-facing errors
+/// (unknown table, schema mismatch, bad parameters) surface as a Status.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kUnsupported,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string prefix;
+    switch (code_) {
+      case Code::kInvalidArgument: prefix = "Invalid argument: "; break;
+      case Code::kNotFound:        prefix = "Not found: ";        break;
+      case Code::kAlreadyExists:   prefix = "Already exists: ";   break;
+      case Code::kUnsupported:     prefix = "Unsupported: ";      break;
+      default:                     prefix = "";                   break;
+    }
+    return prefix + msg_;
+  }
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+#define SMOKE_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::smoke::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace smoke
+
+#endif  // SMOKE_COMMON_STATUS_H_

@@ -1,0 +1,54 @@
+// Wall-clock timing helpers for the benchmark harness.
+#ifndef SMOKE_COMMON_TIMER_H_
+#define SMOKE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace smoke {
+
+/// Simple steady-clock stopwatch reporting milliseconds.
+class WallTimer {
+ public:
+  WallTimer() { Start(); }
+  void Start() { start_ = Clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Aggregate statistics over repeated runs (paper: 15 runs after 3 warmups).
+struct RunStats {
+  double mean_ms = 0;
+  double stddev_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+
+  static RunStats From(const std::vector<double>& samples) {
+    RunStats s;
+    if (samples.empty()) return s;
+    double sum = 0;
+    s.min_ms = samples[0];
+    s.max_ms = samples[0];
+    for (double v : samples) {
+      sum += v;
+      if (v < s.min_ms) s.min_ms = v;
+      if (v > s.max_ms) s.max_ms = v;
+    }
+    s.mean_ms = sum / static_cast<double>(samples.size());
+    double var = 0;
+    for (double v : samples) var += (v - s.mean_ms) * (v - s.mean_ms);
+    s.stddev_ms = std::sqrt(var / static_cast<double>(samples.size()));
+    return s;
+  }
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_COMMON_TIMER_H_

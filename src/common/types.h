@@ -1,0 +1,61 @@
+// Fundamental scalar types shared across the engine.
+#ifndef SMOKE_COMMON_TYPES_H_
+#define SMOKE_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <variant>
+
+namespace smoke {
+
+/// Record identifier: the position of a tuple within its relation. Lineage
+/// indexes map rids to rids; a lookup "simply indexes into the relation's
+/// array" (paper Section 3.1). 32 bits halve index memory relative to size_t
+/// and cover all datasets in the paper.
+using rid_t = uint32_t;
+
+/// Sentinel for "no output" in forward rid arrays (e.g., a selection input
+/// tuple that did not pass the predicate).
+inline constexpr rid_t kInvalidRid = std::numeric_limits<rid_t>::max();
+
+/// Physical column types. The engine is typed at the column level; rows are
+/// materialized views over columns addressed by rid.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+};
+
+inline const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:   return "int64";
+    case DataType::kFloat64: return "float64";
+    case DataType::kString:  return "string";
+  }
+  return "unknown";
+}
+
+/// A dynamically typed scalar, used at API boundaries (constants in
+/// predicates, row accessors in tests). Hot loops never touch Value.
+using Value = std::variant<int64_t, double, std::string>;
+
+inline DataType ValueType(const Value& v) {
+  switch (v.index()) {
+    case 0: return DataType::kInt64;
+    case 1: return DataType::kFloat64;
+    default: return DataType::kString;
+  }
+}
+
+inline std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0: return std::to_string(std::get<int64_t>(v));
+    case 1: return std::to_string(std::get<double>(v));
+    default: return std::get<std::string>(v);
+  }
+}
+
+}  // namespace smoke
+
+#endif  // SMOKE_COMMON_TYPES_H_

@@ -1,0 +1,30 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+ZipfGenerator::ZipfGenerator(uint64_t num_values, double theta, uint64_t seed)
+    : num_values_(num_values), theta_(theta), rng_(seed) {
+  SMOKE_CHECK(num_values >= 1);
+  cdf_.resize(num_values);
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= num_values; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_[i - 1] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against fp rounding
+}
+
+int64_t ZipfGenerator::Next() {
+  const double u = unif_(rng_);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace smoke

@@ -1,0 +1,61 @@
+// Zipfian and uniform random generators for the microbenchmark datasets
+// zipf_{theta,n,g}(id, z, v) (paper Section 5).
+#ifndef SMOKE_COMMON_ZIPF_H_
+#define SMOKE_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace smoke {
+
+/// \brief Samples integers in [1, num_values] following a zipfian
+/// distribution with skew parameter theta (theta = 0 is uniform).
+///
+/// Uses the inverse-CDF method with a precomputed cumulative table, which is
+/// exact and fast for the value cardinalities used in the paper (<= 65536).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t num_values, double theta, uint64_t seed = 42);
+
+  /// Returns the next sample in [1, num_values].
+  int64_t Next();
+
+  uint64_t num_values() const { return num_values_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t num_values_;
+  double theta_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> unif_{0.0, 1.0};
+  std::vector<double> cdf_;  // cdf_[i] = P(value <= i+1)
+};
+
+/// Convenience uniform double in [lo, hi).
+class UniformDouble {
+ public:
+  UniformDouble(double lo, double hi, uint64_t seed = 43)
+      : rng_(seed), dist_(lo, hi) {}
+  double Next() { return dist_(rng_); }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> dist_;
+};
+
+/// Convenience uniform int64 in [lo, hi] inclusive.
+class UniformInt {
+ public:
+  UniformInt(int64_t lo, int64_t hi, uint64_t seed = 44)
+      : rng_(seed), dist_(lo, hi) {}
+  int64_t Next() { return dist_(rng_); }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uniform_int_distribution<int64_t> dist_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_COMMON_ZIPF_H_

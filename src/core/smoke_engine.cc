@@ -1,0 +1,230 @@
+#include "core/smoke_engine.h"
+
+#include "query/lineage_query.h"
+
+namespace smoke {
+
+Status SmokeEngine::CreateTable(const std::string& name, Table table) {
+  return catalog_.AddTable(name, std::move(table));
+}
+
+Status SmokeEngine::GetTable(const std::string& name,
+                             const Table** out) const {
+  return catalog_.GetTable(name, out);
+}
+
+Status SmokeEngine::ExecuteQuery(const std::string& query_name,
+                                 const SPJAQuery& query, CaptureMode mode,
+                                 const Workload* workload) {
+  if (queries_.count(query_name)) {
+    return Status::AlreadyExists("query '" + query_name + "'");
+  }
+  if (query.fact == nullptr) {
+    return Status::InvalidArgument("query has no fact table");
+  }
+  if (mode == CaptureMode::kPhysMem || mode == CaptureMode::kPhysBdb) {
+    return Status::Unsupported(
+        "physical baselines are exercised per-operator, not via the engine "
+        "facade");
+  }
+
+  CaptureOptions opts = CaptureOptions::Mode(mode);
+  const SPJAPushdown* push = nullptr;
+  if (workload != nullptr) {
+    opts.only_relations = workload->traced_relations;
+    opts.capture_backward = workload->needs_backward;
+    opts.capture_forward = workload->needs_forward;
+    if (!workload->pushdown.empty()) push = &workload->pushdown;
+  }
+
+  auto retained = std::make_unique<RetainedQuery>();
+  retained->query = query;
+  retained->fact = query.fact;
+  retained->result = SPJAExec(query, opts, push);
+  if (mode == CaptureMode::kDefer) {
+    // The facade finalizes eagerly; callers wanting think-time scheduling
+    // use SPJAExec directly. (SPJA Defer finalizes inside SPJAExec.)
+  }
+  queries_[query_name] = std::move(retained);
+  return Status::OK();
+}
+
+Status SmokeEngine::GetResult(const std::string& query_name,
+                              const Table** out) const {
+  auto it = queries_.find(query_name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + query_name + "'");
+  }
+  *out = &it->second->result.output;
+  return Status::OK();
+}
+
+Status SmokeEngine::GetResultObject(const std::string& query_name,
+                                    const SPJAResult** out) const {
+  auto it = queries_.find(query_name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + query_name + "'");
+  }
+  *out = &it->second->result;
+  return Status::OK();
+}
+
+Status SmokeEngine::Backward(const std::string& query_name,
+                             const std::string& relation,
+                             const std::vector<rid_t>& out_rids,
+                             std::vector<rid_t>* rids, bool dedup) const {
+  auto it = queries_.find(query_name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + query_name + "'");
+  }
+  const QueryLineage& lineage = it->second->result.lineage;
+  int idx = lineage.FindInput(relation);
+  if (idx < 0) {
+    return Status::NotFound("relation '" + relation + "' in query lineage");
+  }
+  if (lineage.input(static_cast<size_t>(idx)).backward.empty()) {
+    return Status::InvalidArgument(
+        "backward lineage for '" + relation +
+        "' was not captured (pruned or mode without indexes)");
+  }
+  for (rid_t o : out_rids) {
+    if (o >= lineage.output_cardinality()) {
+      return Status::InvalidArgument("output rid out of range");
+    }
+  }
+  *rids = BackwardRids(lineage, relation, out_rids, dedup);
+  return Status::OK();
+}
+
+Status SmokeEngine::Forward(const std::string& query_name,
+                            const std::string& relation,
+                            const std::vector<rid_t>& in_rids,
+                            std::vector<rid_t>* rids) const {
+  auto it = queries_.find(query_name);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + query_name + "'");
+  }
+  const QueryLineage& lineage = it->second->result.lineage;
+  int idx = lineage.FindInput(relation);
+  if (idx < 0) {
+    return Status::NotFound("relation '" + relation + "' in query lineage");
+  }
+  const TableLineage& tl = lineage.input(static_cast<size_t>(idx));
+  if (tl.forward.empty()) {
+    return Status::InvalidArgument(
+        "forward lineage for '" + relation + "' was not captured");
+  }
+  for (rid_t r : in_rids) {
+    if (tl.table != nullptr && r >= tl.table->num_rows()) {
+      return Status::InvalidArgument("input rid out of range");
+    }
+  }
+  *rids = ForwardRids(lineage, relation, in_rids);
+  return Status::OK();
+}
+
+Status SmokeEngine::BackwardRows(const std::string& query_name,
+                                 const std::string& relation,
+                                 const std::vector<rid_t>& out_rids,
+                                 Table* rows) const {
+  std::vector<rid_t> rids;
+  SMOKE_RETURN_NOT_OK(Backward(query_name, relation, out_rids, &rids));
+  auto it = queries_.find(query_name);
+  const QueryLineage& lineage = it->second->result.lineage;
+  int idx = lineage.FindInput(relation);
+  const Table* table = lineage.input(static_cast<size_t>(idx)).table;
+  if (table == nullptr) {
+    return Status::InvalidArgument("relation table not available");
+  }
+  *rows = MaterializeRows(*table, rids);
+  return Status::OK();
+}
+
+Status SmokeEngine::TraceAcross(const std::string& from_query,
+                                const std::vector<rid_t>& out_rids,
+                                const std::string& relation,
+                                const std::string& to_query,
+                                std::vector<rid_t>* linked) const {
+  std::vector<rid_t> shared;
+  SMOKE_RETURN_NOT_OK(
+      Backward(from_query, relation, out_rids, &shared, /*dedup=*/true));
+  return Forward(to_query, relation, shared, linked);
+}
+
+Status SmokeEngine::ExecuteConsuming(const std::string& result_name,
+                                     const std::string& base_query,
+                                     rid_t output_rid,
+                                     const ConsumingSpec& spec) {
+  if (consuming_.count(result_name)) {
+    return Status::AlreadyExists("result '" + result_name + "'");
+  }
+  auto it = queries_.find(base_query);
+  if (it == queries_.end()) {
+    return Status::NotFound("query '" + base_query + "'");
+  }
+  const SPJAResult& base = it->second->result;
+  const QueryLineage& lineage = base.lineage;
+  if (output_rid >= base.output_cardinality) {
+    return Status::InvalidArgument("output rid out of range");
+  }
+  int idx = lineage.FindInput(it->second->query.fact_name);
+  if (idx < 0 || lineage.input(static_cast<size_t>(idx)).backward.kind() !=
+                     LineageIndex::Kind::kIndex) {
+    return Status::InvalidArgument(
+        "base query has no fact backward index (pruned or skip-partitioned)");
+  }
+  const RidVec& rids =
+      lineage.input(static_cast<size_t>(idx)).backward.index().list(output_rid);
+  auto retained = std::make_unique<RetainedConsuming>();
+  retained->fact = it->second->fact;
+  retained->result = ConsumingOverRids(*it->second->fact, spec, rids);
+  consuming_[result_name] = std::move(retained);
+  return Status::OK();
+}
+
+Status SmokeEngine::ExecuteConsumingChained(const std::string& result_name,
+                                            const std::string& base_consuming,
+                                            rid_t output_rid,
+                                            const ConsumingSpec& spec) {
+  if (consuming_.count(result_name)) {
+    return Status::AlreadyExists("result '" + result_name + "'");
+  }
+  auto it = consuming_.find(base_consuming);
+  if (it == consuming_.end()) {
+    return Status::NotFound("consuming result '" + base_consuming + "'");
+  }
+  if (output_rid >= it->second->result.backward.size()) {
+    return Status::InvalidArgument("output rid out of range");
+  }
+  const RidVec& rids = it->second->result.backward.list(output_rid);
+  auto retained = std::make_unique<RetainedConsuming>();
+  retained->fact = it->second->fact;
+  retained->result = ConsumingOverRids(*it->second->fact, spec, rids);
+  consuming_[result_name] = std::move(retained);
+  return Status::OK();
+}
+
+Status SmokeEngine::GetConsumingResult(const std::string& result_name,
+                                       const Table** out) const {
+  auto it = consuming_.find(result_name);
+  if (it == consuming_.end()) {
+    return Status::NotFound("consuming result '" + result_name + "'");
+  }
+  *out = &it->second->result.output;
+  return Status::OK();
+}
+
+Status SmokeEngine::DropResult(const std::string& query_name) {
+  if (queries_.erase(query_name) > 0) return Status::OK();
+  if (consuming_.erase(query_name) > 0) return Status::OK();
+  return Status::NotFound("query '" + query_name + "'");
+}
+
+std::vector<std::string> SmokeEngine::QueryNames() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : queries_) names.push_back(k);
+  for (const auto& [k, v] : consuming_) names.push_back(k);
+  return names;
+}
+
+}  // namespace smoke

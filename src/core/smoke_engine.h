@@ -1,0 +1,139 @@
+// SmokeEngine: the system-level facade (paper Figure 2).
+//
+// Ties the pieces together the way the paper's engine does: a client
+// registers base relations, submits base queries Q (optionally with a
+// declared lineage-consuming workload W that configures pruning and
+// push-down), and then issues backward / forward / consuming lineage
+// queries against the retained lineage indexes. Query results and their
+// lineage are retained under client-chosen names so consuming queries can
+// chain (C over C' over Q).
+#ifndef SMOKE_CORE_SMOKE_ENGINE_H_
+#define SMOKE_CORE_SMOKE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/spja.h"
+#include "query/consuming.h"
+#include "storage/catalog.h"
+
+namespace smoke {
+
+/// The declared lineage-consuming workload W for a base query (paper
+/// Section 4): which relations/directions future lineage queries touch
+/// (instrumentation pruning) and which push-downs to apply.
+struct Workload {
+  /// Relations future lineage queries trace to (empty = all).
+  std::vector<std::string> traced_relations;
+  bool needs_backward = true;
+  bool needs_forward = true;
+  /// Push-down configuration (selection / data skipping / cube).
+  SPJAPushdown pushdown;
+};
+
+/// \brief In-memory lineage-enabled database engine.
+class SmokeEngine {
+ public:
+  SmokeEngine() = default;
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(SmokeEngine);
+
+  // ---- data definition ----
+
+  /// Registers a base relation.
+  Status CreateTable(const std::string& name, Table table);
+
+  /// Looks up a base relation.
+  Status GetTable(const std::string& name, const Table** out) const;
+
+  // ---- base queries ----
+
+  /// Executes an SPJA base query with the given capture technique and
+  /// retains its result and lineage under `query_name`. The optional
+  /// workload drives pruning and push-down configuration.
+  Status ExecuteQuery(const std::string& query_name, const SPJAQuery& query,
+                      CaptureMode mode = CaptureMode::kInject,
+                      const Workload* workload = nullptr);
+
+  /// The output relation of a retained query.
+  Status GetResult(const std::string& query_name, const Table** out) const;
+
+  /// The full result object (lineage, push-down artifacts).
+  Status GetResultObject(const std::string& query_name,
+                         const SPJAResult** out) const;
+
+  // ---- lineage queries ----
+
+  /// Lb(out_rids ⊆ O, relation): input rids of `relation` that contributed
+  /// to the given outputs of `query_name`.
+  Status Backward(const std::string& query_name, const std::string& relation,
+                  const std::vector<rid_t>& out_rids,
+                  std::vector<rid_t>* rids, bool dedup = true) const;
+
+  /// Lf(in_rids ⊆ R, O): output rids of `query_name` derived from the given
+  /// input rids of `relation`.
+  Status Forward(const std::string& query_name, const std::string& relation,
+                 const std::vector<rid_t>& in_rids,
+                 std::vector<rid_t>* rids) const;
+
+  /// SELECT * FROM Lb(...): materializes the traced rows.
+  Status BackwardRows(const std::string& query_name,
+                      const std::string& relation,
+                      const std::vector<rid_t>& out_rids, Table* rows) const;
+
+  /// Linked brushing (paper Figure 1): Lf(Lb(out_rids ⊆ V1, relation), V2) —
+  /// backward from `from_query`'s outputs to the shared input relation,
+  /// then forward into `to_query`'s outputs. Both queries must have lineage
+  /// on `relation` (backward on from, forward on to).
+  Status TraceAcross(const std::string& from_query,
+                     const std::vector<rid_t>& out_rids,
+                     const std::string& relation,
+                     const std::string& to_query,
+                     std::vector<rid_t>* linked) const;
+
+  // ---- lineage consuming queries ----
+
+  /// Evaluates a consuming query over the backward lineage of one output of
+  /// a retained base query (secondary index scan), retaining the consuming
+  /// result under `result_name` for further chaining. The traced relation
+  /// is the base query's fact table.
+  Status ExecuteConsuming(const std::string& result_name,
+                          const std::string& base_query, rid_t output_rid,
+                          const ConsumingSpec& spec);
+
+  /// Evaluates a consuming query over one output of a retained *consuming*
+  /// result (the Q1b -> Q1c chain).
+  Status ExecuteConsumingChained(const std::string& result_name,
+                                 const std::string& base_consuming,
+                                 rid_t output_rid, const ConsumingSpec& spec);
+
+  /// The output of a retained consuming query.
+  Status GetConsumingResult(const std::string& result_name,
+                            const Table** out) const;
+
+  /// Drops a retained query result and its lineage.
+  Status DropResult(const std::string& query_name);
+
+  std::vector<std::string> QueryNames() const;
+
+ private:
+  struct RetainedQuery {
+    SPJAQuery query;        // note: borrows engine-owned tables
+    SPJAResult result;
+    const Table* fact = nullptr;
+  };
+  struct RetainedConsuming {
+    ConsumingResult result;
+    const Table* fact = nullptr;
+  };
+
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<RetainedQuery>> queries_;
+  std::map<std::string, std::unique_ptr<RetainedConsuming>> consuming_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_CORE_SMOKE_ENGINE_H_

@@ -1,0 +1,78 @@
+// Instrumented hash equi-join (paper Section 3.2.4).
+//
+// A hash join splits into ⋈ht (build on the left relation A) and ⋈probe
+// (probe with the right relation B). Lineage: backward rid *arrays* for both
+// sides (each output row has exactly one A and one B ancestor) and forward
+// rid *indexes* (an input record can produce many join results).
+//
+//  - Inject: ⋈'ht augments each hash entry with i_rids (A rids for the
+//    entry's key); ⋈'probe tracks the output rid and populates all four
+//    indexes. Forward-index resizing for A is the dominant overhead because
+//    output cardinalities are unknown during the probe.
+//  - Defer: adds o_rids to each entry — the rid of the *first* output record
+//    for each B match (output records for one match run are contiguous).
+//    After the probe, scanht pre-allocates and populates A's forward and
+//    backward indexes exactly. Variant kDeferForwardOnly defers only A's
+//    forward index (Smoke-D-DeferForw in Figure 7).
+//  - Pk-fk optimization: i_rids collapses to a single rid; B's forward index
+//    is an rid array; backward arrays are pre-allocated (join cardinality =
+//    matched-B cardinality); Defer ≡ Inject.
+//  - Logic-Rid: output annotated with prov_rid_a / prov_rid_b columns (the
+//    join output *is* Perm's denormalized lineage graph). Logic-Tup is the
+//    unannotated output itself. Logic-Idx additionally scans the annotated
+//    output to build the four rid indexes.
+//  - Phys-Mem / Phys-Bdb: one virtual Emit per (output, input) edge — two
+//    per output row — via CaptureOptions::writer (A side) and
+//    JoinSpec::writer_right (B side).
+#ifndef SMOKE_ENGINE_HASH_JOIN_H_
+#define SMOKE_ENGINE_HASH_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/capture.h"
+#include "lineage/query_lineage.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// Join description. Join keys must be int64 columns (all joins in the
+/// paper's workloads are integer keys).
+struct JoinSpec {
+  int left_key = -1;
+  int right_key = -1;
+
+  /// Build-side key is unique (primary key): enables the pk-fk
+  /// optimizations above.
+  bool pk_build = false;
+
+  /// When false, the join output relation is not materialized (used by the
+  /// M:N microbenchmark whose output exceeds memory; lineage indexes are
+  /// still built). Lineage and annotations are unaffected.
+  bool materialize_output = true;
+
+  /// Defer variant (only meaningful under CaptureMode::kDefer).
+  enum class DeferVariant : uint8_t { kBoth, kForwardOnly };
+  DeferVariant defer_variant = DeferVariant::kBoth;
+
+  /// Phys-* edge sink for the right relation (left uses
+  /// CaptureOptions::writer).
+  LineageWriter* writer_right = nullptr;
+};
+
+struct JoinResult {
+  Table output;           ///< left columns ++ right columns (+ annotations)
+  QueryLineage lineage;   ///< input 0 = left (A), input 1 = right (B)
+  size_t output_cardinality = 0;  ///< valid even when not materialized
+};
+
+/// Executes A ⋈ B with the capture technique in `opts`.
+JoinResult HashJoinExec(const Table& left, const std::string& left_name,
+                        const Table& right, const std::string& right_name,
+                        const JoinSpec& spec, const CaptureOptions& opts);
+
+}  // namespace smoke
+
+#endif  // SMOKE_ENGINE_HASH_JOIN_H_

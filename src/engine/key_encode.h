@@ -1,0 +1,45 @@
+// Byte-encoding of composite keys for hash operators (group-by, set ops).
+#ifndef SMOKE_ENGINE_KEY_ENCODE_H_
+#define SMOKE_ENGINE_KEY_ENCODE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace smoke {
+
+/// Encodes row `rid`'s values of `cols` as bytes (raw 8-byte ints/doubles,
+/// length-prefixed strings) — injective, suitable as a hash-map key.
+inline std::string EncodeRowKey(const Table& in, const std::vector<int>& cols,
+                                rid_t rid) {
+  std::string key;
+  key.reserve(cols.size() * 8);
+  for (int c : cols) {
+    const Column& col = in.column(static_cast<size_t>(c));
+    switch (col.type()) {
+      case DataType::kInt64: {
+        int64_t v = col.ints()[rid];
+        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kFloat64: {
+        double v = col.doubles()[rid];
+        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kString: {
+        const std::string& v = col.strings()[rid];
+        uint32_t len = static_cast<uint32_t>(v.size());
+        key.append(reinterpret_cast<const char*>(&len), sizeof(len));
+        key.append(v);
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+}  // namespace smoke
+
+#endif  // SMOKE_ENGINE_KEY_ENCODE_H_

@@ -1,0 +1,158 @@
+#include "engine/nested_loop_join.h"
+
+#include "common/macros.h"
+
+namespace smoke {
+
+namespace {
+
+Schema ConcatSchema(const Table& left, const Table& right,
+                    const std::string& right_name) {
+  Schema s = left.schema();
+  for (const auto& f : right.schema().fields()) {
+    std::string name = f.name;
+    if (s.IndexOf(name) >= 0) name = right_name + "_" + name;
+    s.AddField(std::move(name), f.type);
+  }
+  return s;
+}
+
+/// Evaluates one θ conjunct on (a, b). Numeric columns compare as double;
+/// strings compare lexicographically.
+bool EvalCond(const Table& left, rid_t a, const Table& right, rid_t b,
+              const ThetaCond& c) {
+  const Column& lc = left.column(static_cast<size_t>(c.left_col));
+  const Column& rc = right.column(static_cast<size_t>(c.right_col));
+  if (lc.type() == DataType::kString || rc.type() == DataType::kString) {
+    SMOKE_CHECK(lc.type() == DataType::kString &&
+                rc.type() == DataType::kString);
+    const std::string& lv = lc.strings()[a];
+    const std::string& rv = rc.strings()[b];
+    switch (c.op) {
+      case CmpOp::kLt: return lv < rv;
+      case CmpOp::kLe: return lv <= rv;
+      case CmpOp::kGt: return lv > rv;
+      case CmpOp::kGe: return lv >= rv;
+      case CmpOp::kEq: return lv == rv;
+      case CmpOp::kNe: return lv != rv;
+      case CmpOp::kIn: return false;
+    }
+    return false;
+  }
+  double lv = lc.type() == DataType::kInt64
+                  ? static_cast<double>(lc.ints()[a])
+                  : lc.doubles()[a];
+  double rv = rc.type() == DataType::kInt64
+                  ? static_cast<double>(rc.ints()[b])
+                  : rc.doubles()[b];
+  switch (c.op) {
+    case CmpOp::kLt: return lv < rv;
+    case CmpOp::kLe: return lv <= rv;
+    case CmpOp::kGt: return lv > rv;
+    case CmpOp::kGe: return lv >= rv;
+    case CmpOp::kEq: return lv == rv;
+    case CmpOp::kNe: return lv != rv;
+    case CmpOp::kIn: return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+NljResult NestedLoopJoinExec(const Table& left, const std::string& left_name,
+                             const Table& right,
+                             const std::string& right_name,
+                             const NljSpec& spec, const CaptureOptions& opts) {
+  const size_t na = left.num_rows();
+  const size_t nb = right.num_rows();
+  const bool inject = opts.mode == CaptureMode::kInject;
+
+  NljResult result;
+  result.output = Table(ConcatSchema(left, right, right_name));
+  const size_t left_cols = left.num_columns();
+
+  RidArray a_bw, b_bw;
+  RidIndex a_fw, b_fw;
+  if (inject) {
+    if (!spec.condense_left_forward) a_fw.Resize(na);
+    b_fw.Resize(nb);
+    if (spec.condense_left_forward) {
+      result.left_run_start.assign(na, kInvalidRid);
+      result.left_run_len.assign(na, 0);
+    }
+  }
+
+  rid_t oid = 0;
+  for (rid_t a = 0; a < na; ++a) {
+    const rid_t run_start = oid;
+    for (rid_t b = 0; b < nb; ++b) {
+      bool match = true;
+      for (const ThetaCond& c : spec.conds) {
+        if (!EvalCond(left, a, right, b, c)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      if (spec.materialize_output) {
+        result.output.AppendRowFrom(left, a);
+        for (size_t c = 0; c < right.num_columns(); ++c) {
+          result.output.mutable_column(left_cols + c)
+              .AppendFrom(right.column(c), b);
+        }
+      }
+      if (inject) {
+        a_bw.push_back(a);
+        b_bw.push_back(b);
+        if (!spec.condense_left_forward) a_fw.Append(a, oid);
+        b_fw.Append(b, oid);
+      }
+      ++oid;
+    }
+    if (inject && spec.condense_left_forward && oid > run_start) {
+      result.left_run_start[a] = run_start;
+      result.left_run_len[a] = oid - run_start;
+    }
+  }
+  result.output_cardinality = oid;
+
+  if (inject) {
+    TableLineage& la = result.lineage.AddInput(left_name, &left);
+    TableLineage& lb = result.lineage.AddInput(right_name, &right);
+    result.lineage.set_output_cardinality(oid);
+    if (opts.capture_backward) {
+      la.backward = LineageIndex::FromArray(std::move(a_bw));
+      lb.backward = LineageIndex::FromArray(std::move(b_bw));
+    }
+    if (opts.capture_forward) {
+      if (!spec.condense_left_forward) {
+        la.forward = LineageIndex::FromIndex(std::move(a_fw));
+      }
+      lb.forward = LineageIndex::FromIndex(std::move(b_fw));
+    }
+  }
+  return result;
+}
+
+CrossResult CrossProductExec(const Table& left, const Table& right,
+                             bool materialize_output) {
+  CrossResult result;
+  result.lineage.num_left = left.num_rows();
+  result.lineage.num_right = right.num_rows();
+  result.output = Table(ConcatSchema(left, right, "right"));
+  if (!materialize_output) return result;
+  const size_t left_cols = left.num_columns();
+  result.output.Reserve(left.num_rows() * right.num_rows());
+  for (rid_t a = 0; a < left.num_rows(); ++a) {
+    for (rid_t b = 0; b < right.num_rows(); ++b) {
+      result.output.AppendRowFrom(left, a);
+      for (size_t c = 0; c < right.num_columns(); ++c) {
+        result.output.mutable_column(left_cols + c)
+            .AppendFrom(right.column(c), b);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace smoke

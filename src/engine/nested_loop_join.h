@@ -1,0 +1,85 @@
+// Nested-loop θ-join and cross product (paper Appendix F.6–F.7).
+#ifndef SMOKE_ENGINE_NESTED_LOOP_JOIN_H_
+#define SMOKE_ENGINE_NESTED_LOOP_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/capture.h"
+#include "engine/expr.h"
+#include "lineage/query_lineage.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// One conjunct of a θ condition: left.col <op> right.col.
+struct ThetaCond {
+  int left_col = -1;
+  CmpOp op = CmpOp::kEq;
+  int right_col = -1;
+};
+
+struct NljSpec {
+  std::vector<ThetaCond> conds;  ///< conjunction; empty = cross product
+  bool materialize_output = true;
+
+  /// Appendix F.6 optimization: outputs for one A row are contiguous, so
+  /// A's forward index can store only the first output rid of each run
+  /// (exposed for the ablation bench; lineage queries expand the run).
+  bool condense_left_forward = false;
+};
+
+struct NljResult {
+  Table output;
+  QueryLineage lineage;  ///< input 0 = A (outer), input 1 = B (inner)
+  size_t output_cardinality = 0;
+  /// With condense_left_forward: per A rid, run start and length.
+  RidArray left_run_start;
+  std::vector<uint32_t> left_run_len;
+};
+
+/// Executes A ⋈θ B by nested loops with Inject capture (kNone/kInject).
+NljResult NestedLoopJoinExec(const Table& left, const std::string& left_name,
+                             const Table& right,
+                             const std::string& right_name,
+                             const NljSpec& spec, const CaptureOptions& opts);
+
+/// \brief Cross-product lineage is computed, not captured (Appendix F.7):
+/// output rid o pairs A rid o / |B| with B rid o % |B|.
+struct CrossLineage {
+  size_t num_left = 0;
+  size_t num_right = 0;
+
+  rid_t BackwardLeft(size_t out) const {
+    return static_cast<rid_t>(out / num_right);
+  }
+  rid_t BackwardRight(size_t out) const {
+    return static_cast<rid_t>(out % num_right);
+  }
+  /// Appends the output rids derived from A rid `a` ({a*|B| .. a*|B|+|B|-1}).
+  void ForwardLeftInto(rid_t a, std::vector<rid_t>* out) const {
+    for (size_t j = 0; j < num_right; ++j) {
+      out->push_back(static_cast<rid_t>(a * num_right + j));
+    }
+  }
+  /// Appends the output rids derived from B rid `b` ({b, b+|B|, ...}).
+  void ForwardRightInto(rid_t b, std::vector<rid_t>* out) const {
+    for (size_t i = 0; i < num_left; ++i) {
+      out->push_back(static_cast<rid_t>(i * num_right + b));
+    }
+  }
+};
+
+struct CrossResult {
+  Table output;
+  CrossLineage lineage;
+};
+
+/// Materializes A × B (or only computes the lineage arithmetic when
+/// `materialize_output` is false).
+CrossResult CrossProductExec(const Table& left, const Table& right,
+                             bool materialize_output);
+
+}  // namespace smoke
+
+#endif  // SMOKE_ENGINE_NESTED_LOOP_JOIN_H_

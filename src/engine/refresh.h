@@ -1,0 +1,39 @@
+// Refresh and forward propagation (paper Section 2.1, footnote 1: Smoke's
+// query model includes refresh and forward propagation in addition to
+// backward/forward lineage queries).
+//
+// Both operate on a GroupByResult whose hash-table handle is retained
+// (reuse, P4):
+//  - AppendRows: the input relation grew; fold the new rows into the
+//    retained hash table, update the output aggregates in place, extend the
+//    lineage indexes, and report which output groups changed (including
+//    newly created groups, which are appended to the output).
+//  - ForwardPropagate: input rows changed in place (non-key columns);
+//    forward lineage identifies the affected output groups, whose
+//    aggregates are recomputed by a secondary index scan of their backward
+//    lineage — the affected set, not the whole relation.
+#ifndef SMOKE_ENGINE_REFRESH_H_
+#define SMOKE_ENGINE_REFRESH_H_
+
+#include <vector>
+
+#include "engine/group_by.h"
+
+namespace smoke {
+
+/// Incrementally maintains `result` after rows [first_new_rid, input rows)
+/// were appended to `input`. Requires result->handle and Inject-captured
+/// lineage. Returns the output rids whose aggregates changed (new groups
+/// are returned too, in output order).
+std::vector<rid_t> RefreshAppend(GroupByResult* result, const Table& input,
+                                 rid_t first_new_rid);
+
+/// Recomputes the output groups affected by in-place updates to the given
+/// input rows (group-by key columns must be unchanged — key changes require
+/// re-running the query). Returns the affected output rids.
+std::vector<rid_t> ForwardPropagate(GroupByResult* result, const Table& input,
+                                    const std::vector<rid_t>& updated_rids);
+
+}  // namespace smoke
+
+#endif  // SMOKE_ENGINE_REFRESH_H_

@@ -1,0 +1,111 @@
+#include "engine/select.h"
+
+#include "common/macros.h"
+
+namespace smoke {
+
+namespace {
+
+Schema OutputSchema(const Table& input, CaptureMode mode) {
+  Schema s = input.schema();
+  if (mode == CaptureMode::kLogicRid || mode == CaptureMode::kLogicIdx) {
+    s.AddField("prov_rid", DataType::kInt64);
+  } else if (mode == CaptureMode::kLogicTup) {
+    for (const auto& f : input.schema().fields()) {
+      s.AddField("prov_" + f.name, f.type);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+SelectResult SelectExec(const Table& input, const std::string& input_name,
+                        const std::vector<Predicate>& preds,
+                        const CaptureOptions& opts) {
+  const size_t n = input.num_rows();
+  PredicateList plist(input, preds);
+
+  SelectResult result;
+  result.output = Table(OutputSchema(input, opts.mode));
+  TableLineage* lin = nullptr;
+  const bool smoke_capture =
+      opts.mode == CaptureMode::kInject || opts.mode == CaptureMode::kDefer;
+  const bool phys_capture =
+      opts.mode == CaptureMode::kPhysMem || opts.mode == CaptureMode::kPhysBdb;
+  if (opts.mode != CaptureMode::kNone) {
+    lin = &result.lineage.AddInput(input_name, &input);
+  }
+
+  RidArray backward;
+  RidArray forward;
+  const bool want_b = smoke_capture && opts.capture_backward;
+  const bool want_f = smoke_capture && opts.capture_forward;
+  if (want_f) forward.assign(n, kInvalidRid);
+  if (want_b) {
+    // EC hint: pre-allocate the backward rid array from the selectivity
+    // estimate; underestimates fall back to vector growth.
+    double sel = opts.hints != nullptr ? opts.hints->selection_selectivity
+                                       : -1.0;
+    if (sel >= 0) {
+      backward.reserve(static_cast<size_t>(sel * static_cast<double>(n)) + 1);
+    }
+  }
+
+  if (phys_capture) {
+    SMOKE_CHECK(opts.writer != nullptr);
+    opts.writer->BeginCapture(n);
+  }
+
+  // ctr_i is the loop variable; ctr_o the output counter.
+  rid_t ctr_o = 0;
+  const bool annotate_rid = opts.mode == CaptureMode::kLogicRid ||
+                            opts.mode == CaptureMode::kLogicIdx;
+  const bool annotate_tup = opts.mode == CaptureMode::kLogicTup;
+  const size_t in_cols = input.num_columns();
+
+  for (rid_t ctr_i = 0; ctr_i < n; ++ctr_i) {
+    if (!plist.Eval(ctr_i)) continue;
+    result.output.AppendRowFrom(input, ctr_i);
+    if (annotate_rid) {
+      result.output.mutable_column(in_cols).AppendInt(ctr_i);
+    } else if (annotate_tup) {
+      for (size_t c = 0; c < in_cols; ++c) {
+        result.output.mutable_column(in_cols + c)
+            .AppendFrom(input.column(c), ctr_i);
+      }
+    }
+    if (want_b) backward.push_back(ctr_i);
+    if (want_f) forward[ctr_i] = ctr_o;
+    if (phys_capture) opts.writer->Emit(ctr_o, ctr_i);
+    ++ctr_o;
+  }
+
+  if (phys_capture) opts.writer->FinishCapture(ctr_o);
+
+  if (opts.mode == CaptureMode::kLogicIdx) {
+    // Logic-Idx scans the annotated output to build the same end-to-end
+    // indexes Smoke produces (here the annotation scan is the prov_rid
+    // column of the output we just materialized).
+    RidArray b2;
+    RidArray f2(n, kInvalidRid);
+    const auto& ann = result.output.column(in_cols).ints();
+    for (rid_t o = 0; o < ann.size(); ++o) {
+      rid_t r = static_cast<rid_t>(ann[o]);
+      if (opts.capture_backward) b2.push_back(r);
+      if (opts.capture_forward) f2[r] = o;
+    }
+    if (opts.capture_backward)
+      lin->backward = LineageIndex::FromArray(std::move(b2));
+    if (opts.capture_forward)
+      lin->forward = LineageIndex::FromArray(std::move(f2));
+  } else if (smoke_capture) {
+    if (want_b) lin->backward = LineageIndex::FromArray(std::move(backward));
+    if (want_f) lin->forward = LineageIndex::FromArray(std::move(forward));
+  }
+
+  result.lineage.set_output_cardinality(ctr_o);
+  return result;
+}
+
+}  // namespace smoke

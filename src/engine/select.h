@@ -1,0 +1,39 @@
+// Instrumented selection (paper Section 3.2.2).
+//
+// Selection is an if-condition in a for-loop over the input. Both lineage
+// directions are rid arrays. Inject tracks two counters (ctr_i, ctr_o); the
+// forward array is pre-allocated from the input cardinality, and the
+// backward array can be pre-allocated from a selectivity estimate
+// (Smoke-I+EC; overestimating beats resizing — paper Appendix G.1).
+// Defer is strictly inferior to Inject for selection and is mapped to
+// Inject, as in the paper.
+#ifndef SMOKE_ENGINE_SELECT_H_
+#define SMOKE_ENGINE_SELECT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/capture.h"
+#include "engine/expr.h"
+#include "lineage/query_lineage.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// Result of a selection: the filtered output plus (optionally) lineage.
+/// Under kLogicRid/kLogicIdx the output carries a trailing "prov_rid"
+/// annotation column; under kLogicTup trailing copies of all input columns.
+struct SelectResult {
+  Table output;
+  QueryLineage lineage;
+};
+
+/// Runs SELECT * FROM input WHERE preds with the capture technique in
+/// `opts`. `input_name` labels the lineage endpoint.
+SelectResult SelectExec(const Table& input, const std::string& input_name,
+                        const std::vector<Predicate>& preds,
+                        const CaptureOptions& opts);
+
+}  // namespace smoke
+
+#endif  // SMOKE_ENGINE_SELECT_H_

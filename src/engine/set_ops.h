@@ -1,0 +1,68 @@
+// Instrumented set and bag operators (paper Appendix F).
+//
+// All are hash-based. Lineage shapes:
+//   set union / set intersection: backward is 1-to-N (rid index) per input,
+//     forward is 1-to-1 (rid array) per input;
+//   bag union: pure concatenation — lineage is offset arithmetic, captured
+//     as cheap rid arrays;
+//   bag intersection: backward is 1-to-1 (each output pairs one A and one B
+//     duplicate), forward is 1-to-N;
+//   set difference: lineage is captured for the outer relation A only — an
+//     output additionally depends on the *whole* inner relation B, which
+//     Smoke does not materialize (Appendix F.5).
+//
+// Inject populates indexes during the build/probe/scan phases; Defer stores
+// only an oid per hash entry and constructs exactly-sized indexes afterwards
+// by re-probing the reused hash table (operators ⋈'∪ / ⋈'∩ in the paper).
+#ifndef SMOKE_ENGINE_SET_OPS_H_
+#define SMOKE_ENGINE_SET_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/capture.h"
+#include "lineage/query_lineage.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+struct SetOpResult {
+  Table output;
+  QueryLineage lineage;  ///< input 0 = A; input 1 = B (absent for set diff)
+};
+
+/// A ∪_set B over columns `cols` (same positions in both tables; output
+/// schema is A's projection onto `cols`). Supports kNone/kInject/kDefer.
+SetOpResult SetUnionExec(const Table& a, const std::string& a_name,
+                         const Table& b, const std::string& b_name,
+                         const std::vector<int>& cols,
+                         const CaptureOptions& opts);
+
+/// A ∪_bag B (concatenation; schemas must match). Lineage is captured as
+/// rid arrays derived from the boundary offset.
+SetOpResult BagUnionExec(const Table& a, const std::string& a_name,
+                         const Table& b, const std::string& b_name,
+                         const CaptureOptions& opts);
+
+/// A ∩_set B over `cols`. Supports kNone/kInject/kDefer.
+SetOpResult SetIntersectExec(const Table& a, const std::string& a_name,
+                             const Table& b, const std::string& b_name,
+                             const std::vector<int>& cols,
+                             const CaptureOptions& opts);
+
+/// A ∩_bag B over `cols`: each distinct value emits (#A dups × #B dups)
+/// output rows. Supports kNone/kInject/kDefer.
+SetOpResult BagIntersectExec(const Table& a, const std::string& a_name,
+                             const Table& b, const std::string& b_name,
+                             const std::vector<int>& cols,
+                             const CaptureOptions& opts);
+
+/// A ∖_set B over `cols`. Captures lineage for A only. kNone/kInject.
+SetOpResult SetDifferenceExec(const Table& a, const std::string& a_name,
+                              const Table& b, const std::string& b_name,
+                              const std::vector<int>& cols,
+                              const CaptureOptions& opts);
+
+}  // namespace smoke
+
+#endif  // SMOKE_ENGINE_SET_OPS_H_

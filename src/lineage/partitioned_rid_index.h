@@ -1,0 +1,82 @@
+// Partitioned rid arrays for the data-skipping optimization (paper
+// Section 4.2): the rid lists of a backward index are partitioned by a
+// (dictionary-encoded) predicate attribute so parameterized lineage
+// consuming queries only scan the matching partition.
+#ifndef SMOKE_LINEAGE_PARTITIONED_RID_INDEX_H_
+#define SMOKE_LINEAGE_PARTITIONED_RID_INDEX_H_
+
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rid_vec.h"
+#include "common/types.h"
+
+namespace smoke {
+
+/// \brief A backward lineage index whose per-output rid lists are split by
+/// partition code: entry (output, code) -> rids of input records in that
+/// output's lineage whose partition attribute has that code.
+class PartitionedRidIndex {
+ public:
+  PartitionedRidIndex() = default;
+  PartitionedRidIndex(size_t num_outputs, uint32_t num_codes)
+      : num_codes_(num_codes), parts_(num_outputs * num_codes) {}
+
+  void Reset(size_t num_outputs, uint32_t num_codes) {
+    num_codes_ = num_codes;
+    parts_.assign(num_outputs * num_codes, RidVec());
+  }
+
+  /// Appends one output entry (a fresh row of empty partitions). Used when
+  /// output cardinality grows during capture (group-by discovers groups).
+  void AddOutput() { parts_.resize(parts_.size() + num_codes_); }
+
+  void SetNumCodes(uint32_t num_codes) {
+    SMOKE_DCHECK(parts_.empty());
+    num_codes_ = num_codes;
+  }
+
+  size_t num_outputs() const {
+    return num_codes_ == 0 ? 0 : parts_.size() / num_codes_;
+  }
+  uint32_t num_codes() const { return num_codes_; }
+
+  void Append(size_t output, uint32_t code, rid_t rid) {
+    SMOKE_DCHECK(code < num_codes_);
+    parts_[output * num_codes_ + code].PushBack(rid);
+  }
+
+  const RidVec& Partition(size_t output, uint32_t code) const {
+    SMOKE_DCHECK(code < num_codes_);
+    return parts_[output * num_codes_ + code];
+  }
+
+  /// All rids of `output` across partitions (equivalent to an unpartitioned
+  /// backward trace).
+  void TraceAllInto(size_t output, std::vector<rid_t>* out) const {
+    for (uint32_t c = 0; c < num_codes_; ++c) {
+      const RidVec& l = Partition(output, c);
+      out->insert(out->end(), l.begin(), l.end());
+    }
+  }
+
+  size_t TotalEdges() const {
+    size_t n = 0;
+    for (const auto& l : parts_) n += l.size();
+    return n;
+  }
+
+  size_t MemoryBytes() const {
+    size_t b = parts_.capacity() * sizeof(RidVec);
+    for (const auto& l : parts_) b += l.MemoryBytes();
+    return b;
+  }
+
+ private:
+  uint32_t num_codes_ = 0;
+  std::vector<RidVec> parts_;  // row-major: [output][code]
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_LINEAGE_PARTITIONED_RID_INDEX_H_

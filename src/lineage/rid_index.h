@@ -1,0 +1,169 @@
+// Lineage index representations (paper Section 3.1).
+//
+// Two physical forms:
+//  - RidArray: 1-to-1 relationships (e.g., selection backward/forward,
+//    group-by forward). Entry i holds the single rid related to rid i.
+//  - RidIndex: 1-to-N relationships (e.g., group-by backward, join forward).
+//    Entry i points to an rid array of related rids. Arrays start at
+//    capacity 10 and grow 1.5x (RidVec).
+#ifndef SMOKE_LINEAGE_RID_INDEX_H_
+#define SMOKE_LINEAGE_RID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rid_vec.h"
+#include "common/types.h"
+
+namespace smoke {
+
+/// 1-to-1 lineage: position -> single rid (kInvalidRid = no counterpart,
+/// e.g., a selection input tuple that failed the predicate).
+using RidArray = std::vector<rid_t>;
+
+/// \brief 1-to-N lineage: position -> rid list.
+class RidIndex {
+ public:
+  RidIndex() = default;
+  explicit RidIndex(size_t num_entries) : lists_(num_entries) {}
+
+  size_t size() const { return lists_.size(); }
+  void Resize(size_t n) { lists_.resize(n); }
+
+  RidVec& list(size_t i) {
+    SMOKE_DCHECK(i < lists_.size());
+    return lists_[i];
+  }
+  const RidVec& list(size_t i) const {
+    SMOKE_DCHECK(i < lists_.size());
+    return lists_[i];
+  }
+
+  void Append(size_t i, rid_t rid) { lists_[i].PushBack(rid); }
+
+  /// Takes ownership of pre-built rid lists (hash-table reuse: Inject moves
+  /// the i_rids arrays out of the group/join hash table instead of copying).
+  static RidIndex FromLists(std::vector<RidVec> lists) {
+    RidIndex idx;
+    idx.lists_ = std::move(lists);
+    return idx;
+  }
+
+  /// Total number of lineage edges stored.
+  size_t TotalEdges() const {
+    size_t n = 0;
+    for (const auto& l : lists_) n += l.size();
+    return n;
+  }
+
+  size_t MemoryBytes() const {
+    size_t b = lists_.capacity() * sizeof(RidVec);
+    for (const auto& l : lists_) b += l.MemoryBytes();
+    return b;
+  }
+
+  /// Total reallocations across all rid arrays (resize-cost ablation).
+  uint64_t TotalReallocs() const {
+    uint64_t n = 0;
+    for (const auto& l : lists_) n += l.realloc_count();
+    return n;
+  }
+
+ private:
+  std::vector<RidVec> lists_;
+};
+
+/// \brief Tagged union over the two physical lineage forms, with a uniform
+/// trace interface. Direction and endpoint metadata live in QueryLineage.
+class LineageIndex {
+ public:
+  enum class Kind : uint8_t { kNone, kArray, kIndex };
+
+  LineageIndex() = default;
+  static LineageIndex FromArray(RidArray array) {
+    LineageIndex idx;
+    idx.kind_ = Kind::kArray;
+    idx.array_ = std::move(array);
+    return idx;
+  }
+  static LineageIndex FromIndex(RidIndex index) {
+    LineageIndex idx;
+    idx.kind_ = Kind::kIndex;
+    idx.index_ = std::move(index);
+    return idx;
+  }
+
+  Kind kind() const { return kind_; }
+  bool empty() const { return kind_ == Kind::kNone; }
+
+  const RidArray& array() const {
+    SMOKE_DCHECK(kind_ == Kind::kArray);
+    return array_;
+  }
+  const RidIndex& index() const {
+    SMOKE_DCHECK(kind_ == Kind::kIndex);
+    return index_;
+  }
+  RidArray& mutable_array() { return array_; }
+  RidIndex& mutable_index() { return index_; }
+
+  /// Number of source positions this index is defined over.
+  size_t size() const {
+    switch (kind_) {
+      case Kind::kArray: return array_.size();
+      case Kind::kIndex: return index_.size();
+      case Kind::kNone:  return 0;
+    }
+    return 0;
+  }
+
+  /// Appends all rids related to source position `pos` into `out`.
+  void TraceInto(rid_t pos, std::vector<rid_t>* out) const {
+    switch (kind_) {
+      case Kind::kArray: {
+        rid_t r = array_[pos];
+        if (r != kInvalidRid) out->push_back(r);
+        break;
+      }
+      case Kind::kIndex: {
+        const RidVec& l = index_.list(pos);
+        out->insert(out->end(), l.begin(), l.end());
+        break;
+      }
+      case Kind::kNone:
+        break;
+    }
+  }
+
+  size_t TotalEdges() const {
+    switch (kind_) {
+      case Kind::kArray: {
+        size_t n = 0;
+        for (rid_t r : array_) n += (r != kInvalidRid);
+        return n;
+      }
+      case Kind::kIndex: return index_.TotalEdges();
+      case Kind::kNone:  return 0;
+    }
+    return 0;
+  }
+
+  size_t MemoryBytes() const {
+    switch (kind_) {
+      case Kind::kArray: return array_.capacity() * sizeof(rid_t);
+      case Kind::kIndex: return index_.MemoryBytes();
+      case Kind::kNone:  return 0;
+    }
+    return 0;
+  }
+
+ private:
+  Kind kind_ = Kind::kNone;
+  RidArray array_;
+  RidIndex index_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_LINEAGE_RID_INDEX_H_

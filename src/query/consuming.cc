@@ -1,0 +1,152 @@
+#include "query/consuming.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+namespace {
+
+/// Bound evaluator for one derived grouping key.
+struct BoundGroupExpr {
+  GroupExpr::Kind kind;
+  const int64_t* icol = nullptr;
+  const double* dcol = nullptr;
+
+  int64_t Eval(rid_t r) const {
+    switch (kind) {
+      case GroupExpr::Kind::kRaw:
+        return icol[r];
+      case GroupExpr::Kind::kYear:
+        return icol[r] / 10000;  // yyyymmdd
+      case GroupExpr::Kind::kMonth:
+        return (icol[r] / 100) % 100;
+      case GroupExpr::Kind::kScale100:
+        return static_cast<int64_t>(std::llround(dcol[r] * 100.0));
+    }
+    return 0;
+  }
+};
+
+struct Grouper {
+  std::vector<BoundGroupExpr> exprs;
+  AggLayout layout;
+  size_t stride;
+  bool capture;
+
+  // Single derived key fast path or packed multi-key (each component is
+  // offset-encoded into 16 bits; all experiment keys fit comfortably).
+  std::unordered_map<int64_t, uint32_t> map;
+  std::vector<double> state;
+  std::vector<std::vector<int64_t>> key_values;  // per group, per expr
+  std::vector<uint32_t> counts;
+  std::vector<RidVec> lists;
+
+  Grouper(const Table& input, const ConsumingSpec& spec, bool cap)
+      : layout(input, spec.aggs), capture(cap) {
+    stride = layout.stride();
+    for (const GroupExpr& g : spec.group_by) {
+      BoundGroupExpr b;
+      b.kind = g.kind;
+      const Column& c = input.column(static_cast<size_t>(g.col));
+      if (c.type() == DataType::kInt64) b.icol = c.ints().data();
+      else if (c.type() == DataType::kFloat64) b.dcol = c.doubles().data();
+      else SMOKE_CHECK(false && "string grouping keys use GroupExpr::kRaw over int codes");
+      exprs.push_back(b);
+    }
+    map.reserve(256);
+  }
+
+  void Add(rid_t r) {
+    int64_t key = 0;
+    int64_t vals[8];
+    SMOKE_DCHECK(exprs.size() <= 8);
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      vals[i] = exprs[i].Eval(r);
+      key = key * 1000003 + vals[i];  // injective for small component ranges
+    }
+    auto [it, inserted] = map.emplace(key, static_cast<uint32_t>(counts.size()));
+    uint32_t g = it->second;
+    if (inserted) {
+      state.resize(state.size() + stride);
+      layout.Init(&state[g * stride]);
+      counts.push_back(0);
+      key_values.emplace_back(vals, vals + exprs.size());
+      if (capture) lists.emplace_back();
+    }
+    layout.Update(&state[g * stride], r);
+    ++counts[g];
+    if (capture) lists[g].PushBack(r);
+  }
+
+  ConsumingResult Finish(const ConsumingSpec& spec) {
+    ConsumingResult result;
+    Schema s;
+    for (const GroupExpr& g : spec.group_by) {
+      s.AddField(g.name, DataType::kInt64);
+    }
+    for (size_t i = 0; i < layout.num_aggs(); ++i) {
+      s.AddField(layout.OutputField(i).name, layout.OutputField(i).type);
+    }
+    result.output = Table(s);
+    result.output.Reserve(counts.size());
+    std::vector<Column*> agg_cols;
+    for (size_t i = 0; i < layout.num_aggs(); ++i) {
+      agg_cols.push_back(
+          &result.output.mutable_column(spec.group_by.size() + i));
+    }
+    for (size_t g = 0; g < counts.size(); ++g) {
+      for (size_t k = 0; k < spec.group_by.size(); ++k) {
+        result.output.mutable_column(k).AppendInt(key_values[g][k]);
+      }
+      layout.Finalize(&state[g * stride], &agg_cols);
+    }
+    if (capture) result.backward = RidIndex::FromLists(std::move(lists));
+    return result;
+  }
+};
+
+}  // namespace
+
+ConsumingResult ConsumingOverRids(const Table& input,
+                                  const ConsumingSpec& spec, const rid_t* rids,
+                                  size_t n, bool capture_lineage) {
+  PredicateList filt(input, spec.filters);
+  Grouper grouper(input, spec, capture_lineage);
+  if (filt.empty()) {
+    for (size_t i = 0; i < n; ++i) grouper.Add(rids[i]);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (filt.Eval(rids[i])) grouper.Add(rids[i]);
+    }
+  }
+  return grouper.Finish(spec);
+}
+
+ConsumingResult ConsumingLazy(const Table& input,
+                              const std::vector<Predicate>& base_preds,
+                              const ConsumingSpec& spec,
+                              bool capture_lineage) {
+  std::vector<Predicate> all = base_preds;
+  all.insert(all.end(), spec.filters.begin(), spec.filters.end());
+  PredicateList filt(input, all);
+  Grouper grouper(input, spec, capture_lineage);
+  const size_t n = input.num_rows();
+  for (rid_t r = 0; r < n; ++r) {
+    if (filt.Eval(r)) grouper.Add(r);
+  }
+  return grouper.Finish(spec);
+}
+
+ConsumingResult ConsumingSkipping(const Table& input,
+                                  const PartitionedRidIndex& index, rid_t oid,
+                                  uint32_t code, const ConsumingSpec& spec,
+                                  bool capture_lineage) {
+  const RidVec& part = index.Partition(oid, code);
+  return ConsumingOverRids(input, spec, part.data(), part.size(),
+                           capture_lineage);
+}
+
+}  // namespace smoke

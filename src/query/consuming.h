@@ -1,0 +1,106 @@
+// Lineage consuming queries (paper Sections 2.1, 6.4, Appendix C):
+// SQL over the result of a lineage query — in the paper's drill-down chain,
+// group-by aggregations with extra filters and extra grouping attributes
+// evaluated over Lb(o, lineitem) (TPC-H Q1a/Q1b/Q1c).
+//
+// Evaluation strategies (compared in Figures 10–11):
+//  - Lazy: rewrite to a full selection scan of the input relation;
+//  - Indexed: secondary index scan over the backward lineage rid list;
+//  - Skipping: scan only the rid partition matching the parameterized
+//    predicate (data-skipping push-down);
+//  - Cube: fetch the materialized sub-aggregates (group-by push-down) —
+//    no scan at all.
+//
+// Consuming queries capture their own backward lineage, so their results
+// can serve as base queries for further consuming queries (the Q1b → Q1c
+// chain).
+#ifndef SMOKE_QUERY_CONSUMING_H_
+#define SMOKE_QUERY_CONSUMING_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/aggregates.h"
+#include "engine/expr.h"
+#include "lineage/partitioned_rid_index.h"
+#include "lineage/rid_index.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// A derived integer grouping key over the input relation (EXTRACT(YEAR/
+/// MONTH FROM date) on yyyymmdd-encoded dates; ×100 scaling for small
+/// decimal columns like l_tax).
+struct GroupExpr {
+  enum class Kind : uint8_t { kRaw, kYear, kMonth, kScale100 };
+  Kind kind = Kind::kRaw;
+  int col = -1;
+  std::string name;
+
+  static GroupExpr Raw(int col, std::string name) {
+    return GroupExpr{Kind::kRaw, col, std::move(name)};
+  }
+  static GroupExpr Year(int col, std::string name = "year") {
+    return GroupExpr{Kind::kYear, col, std::move(name)};
+  }
+  static GroupExpr Month(int col, std::string name = "month") {
+    return GroupExpr{Kind::kMonth, col, std::move(name)};
+  }
+  static GroupExpr Scale100(int col, std::string name) {
+    return GroupExpr{Kind::kScale100, col, std::move(name)};
+  }
+};
+
+/// A lineage consuming query: extra filters, extra grouping, aggregates —
+/// all over the traced input relation.
+struct ConsumingSpec {
+  std::vector<Predicate> filters;
+  std::vector<GroupExpr> group_by;
+  std::vector<AggSpec> aggs;
+};
+
+struct ConsumingResult {
+  Table output;       ///< group expr columns (int64) then aggregates
+  RidIndex backward;  ///< output row -> input rids (for further chaining)
+};
+
+/// Indexed evaluation over an explicit rid list (the backward lineage of the
+/// selected base output).
+ConsumingResult ConsumingOverRids(const Table& input, const ConsumingSpec& spec,
+                                  const rid_t* rids, size_t n,
+                                  bool capture_lineage = true);
+
+inline ConsumingResult ConsumingOverRids(const Table& input,
+                                         const ConsumingSpec& spec,
+                                         const std::vector<rid_t>& rids,
+                                         bool capture_lineage = true) {
+  return ConsumingOverRids(input, spec, rids.data(), rids.size(),
+                           capture_lineage);
+}
+inline ConsumingResult ConsumingOverRids(const Table& input,
+                                         const ConsumingSpec& spec,
+                                         const RidVec& rids,
+                                         bool capture_lineage = true) {
+  return ConsumingOverRids(input, spec, rids.data(), rids.size(),
+                           capture_lineage);
+}
+
+/// Lazy evaluation: full scan of `input` with `base_preds` (the lazily
+/// rewritten backward lineage predicates) conjoined with the spec's filters.
+ConsumingResult ConsumingLazy(const Table& input,
+                              const std::vector<Predicate>& base_preds,
+                              const ConsumingSpec& spec,
+                              bool capture_lineage = true);
+
+/// Data-skipping evaluation: scans only partition `code` of output `oid` in
+/// the partitioned backward index (the spec's filters on the partition
+/// attributes are already satisfied by construction; remaining filters are
+/// still applied).
+ConsumingResult ConsumingSkipping(const Table& input,
+                                  const PartitionedRidIndex& index, rid_t oid,
+                                  uint32_t code, const ConsumingSpec& spec,
+                                  bool capture_lineage = true);
+
+}  // namespace smoke
+
+#endif  // SMOKE_QUERY_CONSUMING_H_

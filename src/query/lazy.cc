@@ -1,0 +1,45 @@
+#include "query/lazy.h"
+
+#include "common/macros.h"
+
+namespace smoke {
+
+std::vector<Predicate> LazyBackwardPredicates(const SPJAQuery& query,
+                                              const Table& output,
+                                              rid_t oid) {
+  std::vector<Predicate> preds = query.fact_filters;
+  for (size_t k = 0; k < query.group_by.size(); ++k) {
+    const ColRef& ref = query.group_by[k];
+    SMOKE_CHECK(ref.table == ColRef::kFact);
+    const Column& out_col = output.column(k);
+    switch (out_col.type()) {
+      case DataType::kInt64:
+        preds.push_back(
+            Predicate::Int(ref.col, CmpOp::kEq, out_col.ints()[oid]));
+        break;
+      case DataType::kFloat64:
+        preds.push_back(
+            Predicate::Double(ref.col, CmpOp::kEq, out_col.doubles()[oid]));
+        break;
+      case DataType::kString:
+        preds.push_back(
+            Predicate::Str(ref.col, CmpOp::kEq, out_col.strings()[oid]));
+        break;
+    }
+  }
+  return preds;
+}
+
+std::vector<rid_t> LazyBackwardRids(const SPJAQuery& query,
+                                    const Table& output, rid_t oid) {
+  std::vector<Predicate> preds = LazyBackwardPredicates(query, output, oid);
+  PredicateList plist(*query.fact, preds);
+  std::vector<rid_t> rids;
+  const size_t n = query.fact->num_rows();
+  for (rid_t r = 0; r < n; ++r) {
+    if (plist.Eval(r)) rids.push_back(r);
+  }
+  return rids;
+}
+
+}  // namespace smoke

@@ -1,0 +1,31 @@
+// Lazy lineage query evaluation (paper Section 2.1, Appendix C): rewrite
+// lineage queries as relational queries over the input relations. For a
+// group-by base query O = γ_{g1..gn,F}(I), the backward lineage of output o
+// is σ_{o.g1=I.g1 ∧ ... ∧ o.gn=I.gn}(I), with the base query's selections
+// conjoined.
+#ifndef SMOKE_QUERY_LAZY_H_
+#define SMOKE_QUERY_LAZY_H_
+
+#include <vector>
+
+#include "engine/spja.h"
+
+namespace smoke {
+
+/// Builds the selection predicates (over the fact table) equivalent to "fact
+/// row belongs to output group `oid`" of the SPJA base query: the base
+/// query's fact filters plus equality on each group-by key with the group's
+/// values. Requires all group-by columns to live on the fact table (true for
+/// the paper's lazy comparisons — Q1 and the microbenchmarks).
+std::vector<Predicate> LazyBackwardPredicates(const SPJAQuery& query,
+                                              const Table& output, rid_t oid);
+
+/// Lazily evaluates Lb(oid, fact) as a full selection scan of the fact
+/// table. This is the paper's strongest lazy baseline (cheap equality
+/// predicates on the group keys).
+std::vector<rid_t> LazyBackwardRids(const SPJAQuery& query,
+                                    const Table& output, rid_t oid);
+
+}  // namespace smoke
+
+#endif  // SMOKE_QUERY_LAZY_H_

@@ -1,0 +1,63 @@
+#include "query/lineage_query.h"
+
+#include "common/macros.h"
+
+namespace smoke {
+
+namespace {
+
+std::vector<rid_t> Trace(const LineageIndex& index, size_t universe,
+                         const std::vector<rid_t>& from, bool dedup) {
+  std::vector<rid_t> out;
+  if (!dedup) {
+    for (rid_t f : from) index.TraceInto(f, &out);
+    return out;
+  }
+  std::vector<uint8_t> seen(universe, 0);
+  std::vector<rid_t> raw;
+  for (rid_t f : from) {
+    raw.clear();
+    index.TraceInto(f, &raw);
+    for (rid_t r : raw) {
+      if (!seen[r]) {
+        seen[r] = 1;
+        out.push_back(r);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<rid_t> BackwardRids(const QueryLineage& lineage,
+                                const std::string& table_name,
+                                const std::vector<rid_t>& out_rids,
+                                bool dedup) {
+  int i = lineage.FindInput(table_name);
+  SMOKE_CHECK(i >= 0);
+  const TableLineage& tl = lineage.input(static_cast<size_t>(i));
+  SMOKE_CHECK(!tl.backward.empty());
+  size_t universe = tl.table != nullptr ? tl.table->num_rows() : 0;
+  return Trace(tl.backward, universe, out_rids, dedup);
+}
+
+std::vector<rid_t> ForwardRids(const QueryLineage& lineage,
+                               const std::string& table_name,
+                               const std::vector<rid_t>& in_rids,
+                               bool dedup) {
+  int i = lineage.FindInput(table_name);
+  SMOKE_CHECK(i >= 0);
+  const TableLineage& tl = lineage.input(static_cast<size_t>(i));
+  SMOKE_CHECK(!tl.forward.empty());
+  return Trace(tl.forward, lineage.output_cardinality(), in_rids, dedup);
+}
+
+Table MaterializeRows(const Table& table, const std::vector<rid_t>& rids) {
+  Table out(table.schema());
+  out.Reserve(rids.size());
+  for (rid_t r : rids) out.AppendRowFrom(table, r);
+  return out;
+}
+
+}  // namespace smoke

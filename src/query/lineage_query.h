@@ -1,0 +1,40 @@
+// Lineage query evaluation over captured indexes (paper Sections 2.1, 6.3).
+//
+// Backward queries Lb(O' ⊆ O, R) return the input records that contributed
+// to a subset of outputs; forward queries Lf(R' ⊆ R, O) the outputs derived
+// from a subset of inputs. Smoke evaluates both as secondary index scans:
+// probe the rid index, then index directly into the relation's arrays.
+#ifndef SMOKE_QUERY_LINEAGE_QUERY_H_
+#define SMOKE_QUERY_LINEAGE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "lineage/query_lineage.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// Backward lineage: input rids of `table_name` reachable from `out_rids`.
+/// Duplicates are preserved when `dedup` is false (why-provenance witness
+/// alignment); deduplication uses a visited bitmap over the input.
+std::vector<rid_t> BackwardRids(const QueryLineage& lineage,
+                                const std::string& table_name,
+                                const std::vector<rid_t>& out_rids,
+                                bool dedup = false);
+
+/// Forward lineage: output rids reachable from `in_rids` of `table_name`.
+/// Deduplicated by default (an input can contribute to an output through
+/// many derivations).
+std::vector<rid_t> ForwardRids(const QueryLineage& lineage,
+                               const std::string& table_name,
+                               const std::vector<rid_t>& in_rids,
+                               bool dedup = true);
+
+/// SELECT * FROM L(...): materializes the traced rows — a secondary index
+/// scan into `table`.
+Table MaterializeRows(const Table& table, const std::vector<rid_t>& rids);
+
+}  // namespace smoke
+
+#endif  // SMOKE_QUERY_LINEAGE_QUERY_H_

@@ -1,0 +1,97 @@
+#include "query/provenance.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+namespace {
+
+/// Collects the aligned witness tuples of `oid` (may contain duplicates).
+std::vector<Witness> RawWitnesses(const QueryLineage& lineage, rid_t oid) {
+  const size_t nt = lineage.num_inputs();
+  SMOKE_CHECK(nt >= 1);
+  std::vector<std::vector<rid_t>> per_table(nt);
+  size_t len = SIZE_MAX;
+  for (size_t t = 0; t < nt; ++t) {
+    lineage.input(t).backward.TraceInto(oid, &per_table[t]);
+    len = std::min(len, per_table[t].size());
+  }
+  // Alignment invariant: all lists have the same length for SPJA plans.
+  for (size_t t = 0; t < nt; ++t) SMOKE_CHECK(per_table[t].size() == len);
+  std::vector<Witness> ws(len);
+  for (size_t j = 0; j < len; ++j) {
+    ws[j].rids.resize(nt);
+    for (size_t t = 0; t < nt; ++t) ws[j].rids[t] = per_table[t][j];
+  }
+  return ws;
+}
+
+}  // namespace
+
+std::vector<Witness> WhyProvenance(const QueryLineage& lineage, rid_t oid) {
+  std::vector<Witness> ws = RawWitnesses(lineage, oid);
+  std::set<std::vector<rid_t>> seen;
+  std::vector<Witness> out;
+  for (auto& w : ws) {
+    if (seen.insert(w.rids).second) out.push_back(std::move(w));
+  }
+  return out;
+}
+
+std::vector<std::vector<rid_t>> WhichProvenance(const QueryLineage& lineage,
+                                                rid_t oid) {
+  const size_t nt = lineage.num_inputs();
+  std::vector<std::vector<rid_t>> out(nt);
+  for (size_t t = 0; t < nt; ++t) {
+    lineage.input(t).backward.TraceInto(oid, &out[t]);
+    std::sort(out[t].begin(), out[t].end());
+    out[t].erase(std::unique(out[t].begin(), out[t].end()), out[t].end());
+  }
+  return out;
+}
+
+std::string HowProvenance(const QueryLineage& lineage, rid_t oid) {
+  std::vector<Witness> ws = WhyProvenance(lineage, oid);
+  const size_t nt = lineage.num_inputs();
+  std::ostringstream out;
+
+  auto term = [&](size_t t, rid_t r) {
+    return lineage.input(t).table_name + "[" + std::to_string(r) + "]";
+  };
+
+  if (nt == 2) {
+    // Factor on the first relation: a1*(b1 + b2) + a2*(b3).
+    std::map<rid_t, std::vector<rid_t>> grouped;
+    for (const Witness& w : ws) grouped[w.rids[0]].push_back(w.rids[1]);
+    bool first = true;
+    for (const auto& [a, bs] : grouped) {
+      if (!first) out << " + ";
+      first = false;
+      out << term(0, a);
+      out << "*(";
+      for (size_t i = 0; i < bs.size(); ++i) {
+        if (i) out << " + ";
+        out << term(1, bs[i]);
+      }
+      out << ")";
+    }
+    return out.str();
+  }
+
+  // General case: sum of monomials.
+  for (size_t j = 0; j < ws.size(); ++j) {
+    if (j) out << " + ";
+    for (size_t t = 0; t < nt; ++t) {
+      if (t) out << "*";
+      out << term(t, ws[j].rids[t]);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace smoke

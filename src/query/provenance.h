@@ -1,0 +1,42 @@
+// Provenance semantics over Smoke's rid indexes (paper Appendix E).
+//
+// Backward rid lists preserve duplicates and are aligned across input
+// relations: position j of every table's list for an output o is one join
+// witness. From that single representation Smoke derives:
+//   - why-provenance:  the set of witnesses {(a1,b1), (a1,b2)};
+//   - which-provenance (lineage): the set union of the lists {a1,b1,b2};
+//   - how-provenance:  the polynomial a1·(b1+b2).
+#ifndef SMOKE_QUERY_PROVENANCE_H_
+#define SMOKE_QUERY_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "lineage/query_lineage.h"
+
+namespace smoke {
+
+/// One derivation of an output: one rid per input relation, in
+/// QueryLineage input order.
+struct Witness {
+  std::vector<rid_t> rids;
+
+  bool operator==(const Witness& other) const { return rids == other.rids; }
+};
+
+/// Why-provenance: the witnesses of output `oid` (duplicates collapsed).
+std::vector<Witness> WhyProvenance(const QueryLineage& lineage, rid_t oid);
+
+/// Which-provenance (lineage): per input relation, the deduplicated set of
+/// contributing rids.
+std::vector<std::vector<rid_t>> WhichProvenance(const QueryLineage& lineage,
+                                                rid_t oid);
+
+/// How-provenance: the provenance polynomial of output `oid` rendered as a
+/// string, e.g. "A[1]*(B[1] + B[2])" for two inputs (factored on the first
+/// relation) or a sum of monomials for more inputs.
+std::string HowProvenance(const QueryLineage& lineage, rid_t oid);
+
+}  // namespace smoke
+
+#endif  // SMOKE_QUERY_PROVENANCE_H_

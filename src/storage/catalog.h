@@ -1,0 +1,53 @@
+// Named table registry.
+#ifndef SMOKE_STORAGE_CATALOG_H_
+#define SMOKE_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// \brief Owns the database's base relations by name.
+class Catalog {
+ public:
+  Catalog() = default;
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(Catalog);
+
+  /// Registers `table` under `name`. Fails if the name is taken.
+  Status AddTable(const std::string& name, Table table) {
+    if (tables_.count(name)) {
+      return Status::AlreadyExists("table '" + name + "'");
+    }
+    tables_[name] = std::make_unique<Table>(std::move(table));
+    return Status::OK();
+  }
+
+  /// Looks up a table; sets *out on success.
+  Status GetTable(const std::string& name, const Table** out) const {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+    *out = it->second.get();
+    return Status::OK();
+  }
+
+  bool HasTable(const std::string& name) const { return tables_.count(name); }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [k, v] : tables_) names.push_back(k);
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_STORAGE_CATALOG_H_

@@ -1,0 +1,71 @@
+#include "storage/dictionary.h"
+
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+uint32_t Dictionary::CodeForInt(int64_t v) const {
+  for (uint32_t i = 0; i < int_entries.size(); ++i) {
+    if (int_entries[i] == v) return i;
+  }
+  return UINT32_MAX;
+}
+
+uint32_t Dictionary::CodeForString(const std::string& s) const {
+  for (uint32_t i = 0; i < entries.size(); ++i) {
+    if (entries[i] == s) return i;
+  }
+  return UINT32_MAX;
+}
+
+std::string DictKeyOfRow(const Table& table, const std::vector<int>& cols,
+                         rid_t rid) {
+  std::string key;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i) key.push_back('\x1f');
+    key += ValueToString(table.GetValue(rid, static_cast<size_t>(cols[i])));
+  }
+  return key;
+}
+
+Dictionary BuildDictionary(const Table& table, const std::vector<int>& cols) {
+  SMOKE_CHECK(!cols.empty());
+  Dictionary dict;
+  const size_t n = table.num_rows();
+  dict.codes.resize(n);
+
+  // Fast path: single int64 column.
+  if (cols.size() == 1 &&
+      table.column(static_cast<size_t>(cols[0])).type() == DataType::kInt64) {
+    const auto& vals = table.column(static_cast<size_t>(cols[0])).ints();
+    std::unordered_map<int64_t, uint32_t> map;
+    map.reserve(1024);
+    for (size_t r = 0; r < n; ++r) {
+      auto [it, inserted] =
+          map.emplace(vals[r], static_cast<uint32_t>(dict.entries.size()));
+      if (inserted) {
+        dict.entries.push_back(std::to_string(vals[r]));
+        dict.int_entries.push_back(vals[r]);
+      }
+      dict.codes[r] = it->second;
+    }
+    dict.num_codes = static_cast<uint32_t>(dict.entries.size());
+    return dict;
+  }
+
+  std::unordered_map<std::string, uint32_t> map;
+  map.reserve(1024);
+  for (size_t r = 0; r < n; ++r) {
+    std::string key = DictKeyOfRow(table, cols, static_cast<rid_t>(r));
+    auto [it, inserted] =
+        map.emplace(std::move(key), static_cast<uint32_t>(dict.entries.size()));
+    if (inserted) dict.entries.push_back(it->first);
+    dict.codes[r] = it->second;
+  }
+  dict.num_codes = static_cast<uint32_t>(dict.entries.size());
+  return dict;
+}
+
+}  // namespace smoke

@@ -1,0 +1,46 @@
+// Dictionary encoding of column values into dense partition codes.
+// Used by the data-skipping optimization (partitioned rid arrays, paper
+// Section 4.2) and by the crossfilter binning.
+#ifndef SMOKE_STORAGE_DICTIONARY_H_
+#define SMOKE_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace smoke {
+
+/// \brief A dense code assignment for the distinct combinations of one or
+/// more columns of a table.
+///
+/// codes[rid] is the partition id of row `rid`; dictionary entries map codes
+/// back to the originating value combinations (as display strings plus, for
+/// single int columns, the raw value).
+struct Dictionary {
+  std::vector<uint32_t> codes;             // per input rid
+  std::vector<std::string> entries;        // code -> display string
+  std::vector<int64_t> int_entries;        // code -> raw value (single-int)
+  uint32_t num_codes = 0;
+
+  /// Returns the code for a raw int value (single int-column dictionaries),
+  /// or UINT32_MAX when absent.
+  uint32_t CodeForInt(int64_t v) const;
+  /// Returns the code for a display string, or UINT32_MAX when absent.
+  uint32_t CodeForString(const std::string& s) const;
+};
+
+/// Builds a dictionary over the given columns of `table`. Multi-column
+/// combinations are encoded as concatenated display strings with a '\x1f'
+/// separator (the same encoding CodeForString expects).
+Dictionary BuildDictionary(const Table& table, const std::vector<int>& cols);
+
+/// Display-string encoding of a row's combination of `cols`, matching
+/// BuildDictionary's entry format.
+std::string DictKeyOfRow(const Table& table, const std::vector<int>& cols,
+                         rid_t rid);
+
+}  // namespace smoke
+
+#endif  // SMOKE_STORAGE_DICTIONARY_H_

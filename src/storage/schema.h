@@ -1,0 +1,62 @@
+// Relation schemas: ordered, named, typed fields.
+#ifndef SMOKE_STORAGE_SCHEMA_H_
+#define SMOKE_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace smoke {
+
+/// A named, typed column slot in a schema.
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// \brief Ordered collection of fields describing a relation layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const {
+    SMOKE_DCHECK(i < fields_.size());
+    return fields_[i];
+  }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(std::string name, DataType type) {
+    fields_.push_back({std::move(name), type});
+  }
+
+  /// Returns the index of the field named `name`, or -1.
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) s += ", ";
+      s += fields_[i].name;
+      s += ":";
+      s += DataTypeName(fields_[i].type);
+    }
+    s += ")";
+    return s;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_STORAGE_SCHEMA_H_

@@ -1,0 +1,28 @@
+#include "storage/table.h"
+
+#include <sstream>
+
+namespace smoke {
+
+std::string Table::ToString(size_t limit) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    if (i) out << " | ";
+    out << schema_.field(i).name;
+  }
+  out << "\n";
+  size_t n = std::min(limit, num_rows());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c) out << " | ";
+      out << ValueToString(GetValue(static_cast<rid_t>(r), c));
+    }
+    out << "\n";
+  }
+  if (n < num_rows()) {
+    out << "... (" << num_rows() - n << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace smoke

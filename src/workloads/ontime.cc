@@ -1,0 +1,52 @@
+#include "workloads/ontime.h"
+
+#include <random>
+#include <unordered_set>
+
+#include "common/zipf.h"
+
+namespace smoke {
+namespace ontime {
+
+Table Generate(size_t rows, uint64_t seed) {
+  Schema s;
+  s.AddField("latlon_bin", DataType::kInt64);
+  s.AddField("date_bin", DataType::kInt64);
+  s.AddField("delay_bin", DataType::kInt64);
+  s.AddField("carrier", DataType::kInt64);
+  Table t(s);
+  t.Reserve(rows);
+
+  std::mt19937_64 rng(seed);
+
+  // Pick kNumAirports distinct grid cells.
+  std::vector<int64_t> airports;
+  {
+    std::unordered_set<int64_t> used;
+    std::uniform_int_distribution<int64_t> cell(0, kNumLatLonBins - 1);
+    while (airports.size() < static_cast<size_t>(kNumAirports)) {
+      int64_t c = cell(rng);
+      if (used.insert(c).second) airports.push_back(c);
+    }
+  }
+
+  ZipfGenerator airport_pick(kNumAirports, 1.0, seed + 1);
+  ZipfGenerator carrier_pick(kNumCarriers, 0.8, seed + 2);
+  ZipfGenerator delay_pick(kNumDelayBins, 1.2, seed + 3);
+  std::uniform_int_distribution<int64_t> date_pick(0, kNumDateBins - 1);
+
+  auto& latlon = t.mutable_column(kLatLonBin).mutable_ints();
+  auto& date = t.mutable_column(kDateBin).mutable_ints();
+  auto& delay = t.mutable_column(kDelayBin).mutable_ints();
+  auto& carrier = t.mutable_column(kCarrier).mutable_ints();
+  for (size_t i = 0; i < rows; ++i) {
+    latlon.push_back(airports[static_cast<size_t>(airport_pick.Next() - 1)]);
+    date.push_back(date_pick(rng));
+    delay.push_back(delay_pick.Next() - 1);
+    carrier.push_back(carrier_pick.Next() - 1);
+  }
+  return t;
+}
+
+}  // namespace ontime
+}  // namespace smoke

@@ -1,0 +1,41 @@
+// Ontime-like dataset for the crossfilter experiment (paper Section 6.5.1).
+//
+// Substitution note (DESIGN.md Section 2): the paper uses the 123.5M-row
+// Airline On-Time Performance dataset. We generate a synthetic equivalent
+// with the same binning structure: <lat,lon> over a 256x256 grid (65,536
+// bins, sparse — only ~300 airport bins non-empty), <date> with 7,762 bins,
+// <departure delay> with 8 bins, <carrier> with 29 bins, for a total of
+// ~8,100 non-empty bars across the four views, matching the paper's
+// interaction count.
+#ifndef SMOKE_WORKLOADS_ONTIME_H_
+#define SMOKE_WORKLOADS_ONTIME_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace smoke {
+namespace ontime {
+
+enum Col : int {
+  kLatLonBin = 0,  ///< airport grid cell in [0, 65536)
+  kDateBin,        ///< day index in [0, 7762)
+  kDelayBin,       ///< departure-delay bucket in [0, 8)
+  kCarrier,        ///< carrier id in [0, 29)
+};
+
+constexpr int64_t kNumLatLonBins = 65536;
+constexpr int64_t kNumDateBins = 7762;
+constexpr int64_t kNumDelayBins = 8;
+constexpr int64_t kNumCarriers = 29;
+constexpr int64_t kNumAirports = 300;  // non-empty lat/lon bins
+
+/// Generates `rows` flights. Airports and carriers follow zipfian
+/// popularity; dates are uniform; delay buckets are skewed toward
+/// small delays.
+Table Generate(size_t rows, uint64_t seed = 77);
+
+}  // namespace ontime
+}  // namespace smoke
+
+#endif  // SMOKE_WORKLOADS_ONTIME_H_

@@ -1,0 +1,67 @@
+#include "workloads/physician.h"
+
+#include <random>
+
+namespace smoke {
+namespace physician {
+
+Table Generate(size_t rows, uint64_t seed) {
+  Schema s;
+  s.AddField("npi", DataType::kInt64);
+  s.AddField("pac_id", DataType::kString);
+  s.AddField("zip", DataType::kString);
+  s.AddField("state", DataType::kString);
+  s.AddField("city", DataType::kString);
+  s.AddField("lbn1", DataType::kString);
+  s.AddField("ccn1", DataType::kString);
+  Table t(s);
+  t.Reserve(rows);
+
+  std::mt19937_64 rng(seed);
+  auto ri = [&rng](int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+  };
+  auto chance = [&rng](double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+  };
+
+  // Each physician (NPI) appears on average ~2.5 rows (one per practice
+  // location), like the real file.
+  const int64_t num_npi = std::max<int64_t>(1, static_cast<int64_t>(rows) * 2 / 5);
+  const int64_t num_zip = std::max<int64_t>(1, std::min<int64_t>(30000, static_cast<int64_t>(rows) / 8));
+  const int64_t num_lbn = std::max<int64_t>(1, static_cast<int64_t>(rows) / 20);
+
+  auto& npi = t.mutable_column(kNpi).mutable_ints();
+  auto& pac = t.mutable_column(kPacId).mutable_strings();
+  auto& zip = t.mutable_column(kZip).mutable_strings();
+  auto& state = t.mutable_column(kState).mutable_strings();
+  auto& city = t.mutable_column(kCity).mutable_strings();
+  auto& lbn = t.mutable_column(kLbn1).mutable_strings();
+  auto& ccn = t.mutable_column(kCcn1).mutable_strings();
+
+  for (size_t r = 0; r < rows; ++r) {
+    const int64_t n = ri(1, num_npi);
+    npi.push_back(1000000000 + n);
+    // Canonical PAC_ID is a function of NPI; violations break it.
+    int64_t pac_base = chance(0.003) ? n * 7 + 1 : n * 7;
+    pac.push_back("PAC" + std::to_string(pac_base));
+
+    const int64_t z = ri(0, num_zip - 1);
+    zip.push_back(std::to_string(10000 + z));
+    // Canonical state is zip / 600 (~50 states); 0.2% violations.
+    int64_t st = chance(0.002) ? ri(0, 49) : z * 50 / num_zip;
+    state.push_back("ST" + std::to_string(st));
+    // Canonical city is a function of zip; 2% violations.
+    int64_t ct = chance(0.02) ? z * 3 + 1 : z * 3;
+    city.push_back("CITY" + std::to_string(ct));
+
+    const int64_t b = ri(0, num_lbn - 1);
+    lbn.push_back("HOSPITAL GROUP " + std::to_string(b));
+    int64_t cc = chance(0.005) ? b * 11 + 1 : b * 11;
+    ccn.push_back("CCN" + std::to_string(cc));
+  }
+  return t;
+}
+
+}  // namespace physician
+}  // namespace smoke

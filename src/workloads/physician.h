@@ -1,0 +1,39 @@
+// Physician-Compare-like dataset for the data profiling experiment
+// (paper Section 6.5.2, Figure 15).
+//
+// Substitution note (DESIGN.md Section 2): the paper uses the 2.2M-row
+// Physician Compare National file (as in HoloClean). We generate a
+// synthetic equivalent with the four functional dependencies the paper
+// checks — NPI → PAC_ID, Zip → State, Zip → City, LBN1 → CCN1 — and
+// controlled violation rates per FD. NPI is an integer attribute; all
+// others are strings (the paper exploits this: Metanome models *all*
+// attributes as strings, which slows integer FDs like NPI → PAC_ID).
+#ifndef SMOKE_WORKLOADS_PHYSICIAN_H_
+#define SMOKE_WORKLOADS_PHYSICIAN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace smoke {
+namespace physician {
+
+enum Col : int {
+  kNpi = 0,  ///< int64
+  kPacId,    ///< string
+  kZip,      ///< string
+  kState,    ///< string
+  kCity,     ///< string
+  kLbn1,     ///< string
+  kCcn1,     ///< string
+};
+
+/// Generates `rows` physician records with injected FD violations
+/// (violation rates: NPI→PAC_ID 0.3%, Zip→State 0.2%, Zip→City 2%,
+/// LBN1→CCN1 0.5%).
+Table Generate(size_t rows, uint64_t seed = 99);
+
+}  // namespace physician
+}  // namespace smoke
+
+#endif  // SMOKE_WORKLOADS_PHYSICIAN_H_

@@ -1,0 +1,353 @@
+#include "workloads/tpch.h"
+
+#include <random>
+
+#include "common/date.h"
+#include "common/macros.h"
+
+namespace smoke {
+namespace tpch {
+
+namespace {
+
+const char* kNations[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+const std::vector<std::string> kShipModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+const std::vector<std::string> kShipInstructs = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+const std::vector<std::string> kOrderPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+const std::vector<std::string> kMktSegments = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+
+constexpr int64_t kStartDay = DaysFromCivil(1992, 1, 1);
+constexpr int64_t kEndDay = DaysFromCivil(1998, 8, 2);
+// dbgen's CURRENTDATE used for returnflag/linestatus determination.
+constexpr int64_t kCurrentDay = DaysFromCivil(1995, 6, 17);
+
+Schema LineitemSchema() {
+  Schema s;
+  s.AddField("l_orderkey", DataType::kInt64);
+  s.AddField("l_quantity", DataType::kFloat64);
+  s.AddField("l_extendedprice", DataType::kFloat64);
+  s.AddField("l_discount", DataType::kFloat64);
+  s.AddField("l_tax", DataType::kFloat64);
+  s.AddField("l_returnflag", DataType::kString);
+  s.AddField("l_linestatus", DataType::kString);
+  s.AddField("l_shipdate", DataType::kInt64);
+  s.AddField("l_commitdate", DataType::kInt64);
+  s.AddField("l_receiptdate", DataType::kInt64);
+  s.AddField("l_shipinstruct", DataType::kString);
+  s.AddField("l_shipmode", DataType::kString);
+  return s;
+}
+
+Schema OrdersSchema() {
+  Schema s;
+  s.AddField("o_orderkey", DataType::kInt64);
+  s.AddField("o_custkey", DataType::kInt64);
+  s.AddField("o_orderdate", DataType::kInt64);
+  s.AddField("o_orderpriority", DataType::kString);
+  s.AddField("o_shippriority", DataType::kInt64);
+  return s;
+}
+
+Schema CustomerSchema() {
+  Schema s;
+  s.AddField("c_custkey", DataType::kInt64);
+  s.AddField("c_name", DataType::kString);
+  s.AddField("c_address", DataType::kString);
+  s.AddField("c_nationkey", DataType::kInt64);
+  s.AddField("c_phone", DataType::kString);
+  s.AddField("c_acctbal", DataType::kFloat64);
+  s.AddField("c_mktsegment", DataType::kString);
+  return s;
+}
+
+Schema NationSchema() {
+  Schema s;
+  s.AddField("n_nationkey", DataType::kInt64);
+  s.AddField("n_name", DataType::kString);
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ShipModes() { return kShipModes; }
+const std::vector<std::string>& ShipInstructs() { return kShipInstructs; }
+
+Database Generate(double scale_factor, uint64_t seed) {
+  SMOKE_CHECK(scale_factor > 0);
+  Database db;
+  std::mt19937_64 rng(seed);
+  auto ri = [&rng](int64_t lo, int64_t hi) {  // inclusive
+    return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+  };
+  auto rd = [&rng](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+
+  const size_t num_customers =
+      static_cast<size_t>(150000 * scale_factor) + 1;
+  const size_t num_orders = num_customers * 10;
+
+  // Precompute day-number -> yyyymmdd for the generation window.
+  std::vector<int64_t> ymd(static_cast<size_t>(kEndDay - kStartDay + 160));
+  for (size_t i = 0; i < ymd.size(); ++i) {
+    ymd[i] = YmdFromDays(kStartDay + static_cast<int64_t>(i));
+  }
+  auto to_ymd = [&ymd](int64_t day) {
+    return ymd[static_cast<size_t>(day - kStartDay)];
+  };
+
+  // ---- nation ----
+  db.nation = Table(NationSchema());
+  for (int64_t k = 0; k < 25; ++k) {
+    db.nation.mutable_column(kNNationkey).AppendInt(k);
+    db.nation.mutable_column(kNName).AppendString(kNations[k]);
+  }
+
+  // ---- customer ----
+  db.customer = Table(CustomerSchema());
+  db.customer.Reserve(num_customers);
+  for (size_t c = 1; c <= num_customers; ++c) {
+    db.customer.mutable_column(kCCustkey).AppendInt(static_cast<int64_t>(c));
+    db.customer.mutable_column(kCName).AppendString(
+        "Customer#" + std::to_string(c));
+    db.customer.mutable_column(kCAddress).AppendString(
+        "Addr" + std::to_string(ri(0, 999999)));
+    db.customer.mutable_column(kCNationkey).AppendInt(ri(0, 24));
+    db.customer.mutable_column(kCPhone).AppendString(
+        std::to_string(ri(10, 34)) + "-" + std::to_string(ri(100, 999)) +
+        "-" + std::to_string(ri(1000, 9999)));
+    db.customer.mutable_column(kCAcctbal).AppendDouble(rd(-999.99, 9999.99));
+    db.customer.mutable_column(kCMktsegment).AppendString(
+        kMktSegments[static_cast<size_t>(ri(0, 4))]);
+  }
+
+  // ---- orders + lineitem ----
+  db.orders = Table(OrdersSchema());
+  db.orders.Reserve(num_orders);
+  db.lineitem = Table(LineitemSchema());
+  db.lineitem.Reserve(num_orders * 4);
+  for (size_t o = 1; o <= num_orders; ++o) {
+    const int64_t okey = static_cast<int64_t>(o);
+    // dbgen leaves a "hole": only 2/3 of customers have orders; we keep all
+    // for simplicity (join shape is unchanged).
+    const int64_t ckey = ri(1, static_cast<int64_t>(num_customers));
+    const int64_t odate_day = ri(kStartDay, kEndDay - 121);
+    db.orders.mutable_column(kOOrderkey).AppendInt(okey);
+    db.orders.mutable_column(kOCustkey).AppendInt(ckey);
+    db.orders.mutable_column(kOOrderdate).AppendInt(to_ymd(odate_day));
+    db.orders.mutable_column(kOOrderpriority).AppendString(
+        kOrderPriorities[static_cast<size_t>(ri(0, 4))]);
+    db.orders.mutable_column(kOShippriority).AppendInt(0);
+
+    const int64_t num_lines = ri(1, 7);
+    for (int64_t l = 0; l < num_lines; ++l) {
+      const int64_t ship_day = odate_day + ri(1, 121);
+      const int64_t commit_day = odate_day + ri(30, 90);
+      const int64_t receipt_day = ship_day + ri(1, 30);
+      const double quantity = static_cast<double>(ri(1, 50));
+      const double price = quantity * rd(900.0, 10000.0);
+      db.lineitem.mutable_column(kLOrderkey).AppendInt(okey);
+      db.lineitem.mutable_column(kLQuantity).AppendDouble(quantity);
+      db.lineitem.mutable_column(kLExtendedprice).AppendDouble(price);
+      db.lineitem.mutable_column(kLDiscount).AppendDouble(
+          static_cast<double>(ri(0, 10)) / 100.0);
+      db.lineitem.mutable_column(kLTax).AppendDouble(
+          static_cast<double>(ri(0, 8)) / 100.0);
+      // dbgen: R/A when receipt <= CURRENTDATE else N; O when shipped after
+      // CURRENTDATE else F. Yields the four Q1 groups with group (N, F)
+      // rare, as in the paper's bar widths.
+      const char* rflag =
+          receipt_day <= kCurrentDay ? (ri(0, 1) ? "R" : "A") : "N";
+      const char* lstatus = ship_day > kCurrentDay ? "O" : "F";
+      db.lineitem.mutable_column(kLReturnflag).AppendString(rflag);
+      db.lineitem.mutable_column(kLLinestatus).AppendString(lstatus);
+      db.lineitem.mutable_column(kLShipdate).AppendInt(to_ymd(ship_day));
+      db.lineitem.mutable_column(kLCommitdate).AppendInt(to_ymd(commit_day));
+      db.lineitem.mutable_column(kLReceiptdate).AppendInt(to_ymd(receipt_day));
+      db.lineitem.mutable_column(kLShipinstruct).AppendString(
+          kShipInstructs[static_cast<size_t>(ri(0, 3))]);
+      db.lineitem.mutable_column(kLShipmode).AppendString(
+          kShipModes[static_cast<size_t>(ri(0, 6))]);
+    }
+  }
+  return db;
+}
+
+namespace {
+
+/// Q1's aggregate list (shared by Q1 and the Q1a/Q1b/Q1c variants).
+std::vector<AggSpec> Q1Aggs() {
+  using E = ScalarExpr;
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec::Sum(E::Col(kLQuantity), "sum_qty"));
+  aggs.push_back(AggSpec::Sum(E::Col(kLExtendedprice), "sum_base_price"));
+  aggs.push_back(AggSpec::Sum(
+      E::Mul(E::Col(kLExtendedprice),
+             E::Sub(E::Const(1.0), E::Col(kLDiscount))),
+      "sum_disc_price"));
+  aggs.push_back(AggSpec::Sum(
+      E::Mul(E::Mul(E::Col(kLExtendedprice),
+                    E::Sub(E::Const(1.0), E::Col(kLDiscount))),
+             E::Add(E::Const(1.0), E::Col(kLTax))),
+      "sum_charge"));
+  aggs.push_back(AggSpec::Avg(E::Col(kLQuantity), "avg_qty"));
+  aggs.push_back(AggSpec::Avg(E::Col(kLExtendedprice), "avg_price"));
+  aggs.push_back(AggSpec::Avg(E::Col(kLDiscount), "avg_disc"));
+  aggs.push_back(AggSpec::Count("count_order"));
+  return aggs;
+}
+
+ScalarExpr Revenue() {
+  using E = ScalarExpr;
+  return E::Mul(E::Col(kLExtendedprice),
+                E::Sub(E::Const(1.0), E::Col(kLDiscount)));
+}
+
+}  // namespace
+
+SPJAQuery MakeQ1(const Database& db) {
+  SPJAQuery q;
+  q.fact = &db.lineitem;
+  q.fact_name = "lineitem";
+  q.fact_filters = {Predicate::Int(kLShipdate, CmpOp::kLe, 19980902)};
+  q.group_by = {ColRef::Fact(kLReturnflag), ColRef::Fact(kLLinestatus)};
+  q.aggs = Q1Aggs();
+  return q;
+}
+
+SPJAQuery MakeQ3(const Database& db) {
+  SPJAQuery q;
+  q.fact = &db.lineitem;
+  q.fact_name = "lineitem";
+  q.fact_filters = {Predicate::Int(kLShipdate, CmpOp::kGt, 19950315)};
+
+  SPJADim orders;
+  orders.table = &db.orders;
+  orders.name = "orders";
+  orders.pk_col = kOOrderkey;
+  orders.fk = ColRef::Fact(kLOrderkey);
+  orders.filters = {Predicate::Int(kOOrderdate, CmpOp::kLt, 19950315)};
+  q.dims.push_back(orders);
+
+  SPJADim customer;
+  customer.table = &db.customer;
+  customer.name = "customer";
+  customer.pk_col = kCCustkey;
+  customer.fk = ColRef::Dim(0, kOCustkey);
+  customer.filters = {Predicate::Str(kCMktsegment, CmpOp::kEq, "BUILDING")};
+  q.dims.push_back(customer);
+
+  q.group_by = {ColRef::Fact(kLOrderkey), ColRef::Dim(0, kOOrderdate),
+                ColRef::Dim(0, kOShippriority)};
+  q.aggs = {AggSpec::Sum(Revenue(), "revenue")};
+  return q;
+}
+
+SPJAQuery MakeQ10(const Database& db) {
+  SPJAQuery q;
+  q.fact = &db.lineitem;
+  q.fact_name = "lineitem";
+  q.fact_filters = {Predicate::Str(kLReturnflag, CmpOp::kEq, "R")};
+
+  SPJADim orders;
+  orders.table = &db.orders;
+  orders.name = "orders";
+  orders.pk_col = kOOrderkey;
+  orders.fk = ColRef::Fact(kLOrderkey);
+  orders.filters = {Predicate::Int(kOOrderdate, CmpOp::kGe, 19931001),
+                    Predicate::Int(kOOrderdate, CmpOp::kLt, 19940101)};
+  q.dims.push_back(orders);
+
+  SPJADim customer;
+  customer.table = &db.customer;
+  customer.name = "customer";
+  customer.pk_col = kCCustkey;
+  customer.fk = ColRef::Dim(0, kOCustkey);
+  q.dims.push_back(customer);
+
+  SPJADim nation;
+  nation.table = &db.nation;
+  nation.name = "nation";
+  nation.pk_col = kNNationkey;
+  nation.fk = ColRef::Dim(1, kCNationkey);
+  q.dims.push_back(nation);
+
+  q.group_by = {ColRef::Dim(1, kCCustkey), ColRef::Dim(1, kCName),
+                ColRef::Dim(1, kCAcctbal), ColRef::Dim(1, kCPhone),
+                ColRef::Dim(2, kNName),    ColRef::Dim(1, kCAddress)};
+  q.aggs = {AggSpec::Sum(Revenue(), "revenue")};
+  return q;
+}
+
+SPJAQuery MakeQ12(const Database& db) {
+  SPJAQuery q;
+  q.fact = &db.lineitem;
+  q.fact_name = "lineitem";
+  q.fact_filters = {
+      Predicate::StrIn(kLShipmode, {"MAIL", "SHIP"}),
+      Predicate::ColCmp(kLCommitdate, CmpOp::kLt, kLReceiptdate,
+                        DataType::kInt64),
+      Predicate::ColCmp(kLShipdate, CmpOp::kLt, kLCommitdate,
+                        DataType::kInt64),
+      Predicate::Int(kLReceiptdate, CmpOp::kGe, 19940101),
+      Predicate::Int(kLReceiptdate, CmpOp::kLt, 19950101),
+  };
+
+  SPJADim orders;
+  orders.table = &db.orders;
+  orders.name = "orders";
+  orders.pk_col = kOOrderkey;
+  orders.fk = ColRef::Fact(kLOrderkey);
+  q.dims.push_back(orders);
+
+  q.group_by = {ColRef::Fact(kLShipmode)};
+
+  AggSpec high = AggSpec::Sum(
+      ScalarExpr::Indicator(
+          Predicate::StrIn(kOOrderpriority, {"1-URGENT", "2-HIGH"})),
+      "high_line_count");
+  high.src = 1;  // reads the orders dimension
+  AggSpec low = AggSpec::Sum(
+      ScalarExpr::Indicator(Predicate::StrIn(
+          kOOrderpriority, {"3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"})),
+      "low_line_count");
+  low.src = 1;
+  q.aggs = {high, low};
+  return q;
+}
+
+ConsumingSpec MakeQ1a(const Database& db) {
+  (void)db;
+  ConsumingSpec spec;
+  spec.group_by = {GroupExpr::Year(kLShipdate, "ship_year"),
+                   GroupExpr::Month(kLShipdate, "ship_month")};
+  spec.aggs = Q1Aggs();
+  return spec;
+}
+
+ConsumingSpec MakeQ1b(const Database& db, const std::string& shipmode,
+                      const std::string& shipinstruct) {
+  ConsumingSpec spec = MakeQ1a(db);
+  spec.filters = {Predicate::Str(kLShipmode, CmpOp::kEq, shipmode),
+                  Predicate::Str(kLShipinstruct, CmpOp::kEq, shipinstruct)};
+  return spec;
+}
+
+ConsumingSpec MakeQ1c(const Database& db, const std::string& shipmode,
+                      const std::string& shipinstruct) {
+  ConsumingSpec spec = MakeQ1b(db, shipmode, shipinstruct);
+  spec.group_by.push_back(GroupExpr::Scale100(kLTax, "l_tax_x100"));
+  return spec;
+}
+
+}  // namespace tpch
+}  // namespace smoke

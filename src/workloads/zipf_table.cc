@@ -1,0 +1,52 @@
+#include "workloads/zipf_table.h"
+
+#include "common/zipf.h"
+
+namespace smoke {
+
+Table MakeZipfTable(size_t n, uint64_t groups, double theta, uint64_t seed) {
+  Schema s;
+  s.AddField("id", DataType::kInt64);
+  s.AddField("z", DataType::kInt64);
+  s.AddField("v", DataType::kFloat64);
+  Table t(s);
+  t.Reserve(n);
+  ZipfGenerator zgen(groups, theta, seed);
+  UniformDouble vgen(0.0, 100.0, seed + 1);
+  auto& ids = t.mutable_column(zipf_table::kId).mutable_ints();
+  auto& zs = t.mutable_column(zipf_table::kZ).mutable_ints();
+  auto& vs = t.mutable_column(zipf_table::kV).mutable_doubles();
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(static_cast<int64_t>(i));
+    zs.push_back(zgen.Next());
+    vs.push_back(vgen.Next());
+  }
+  return t;
+}
+
+Table MakeGidsTable(uint64_t groups, uint64_t seed) {
+  Schema s;
+  s.AddField("id", DataType::kInt64);
+  s.AddField("payload", DataType::kFloat64);
+  Table t(s);
+  t.Reserve(groups);
+  UniformDouble vgen(0.0, 1.0, seed);
+  auto& ids = t.mutable_column(0).mutable_ints();
+  auto& vs = t.mutable_column(1).mutable_doubles();
+  for (uint64_t g = 1; g <= groups; ++g) {
+    ids.push_back(static_cast<int64_t>(g));
+    vs.push_back(vgen.Next());
+  }
+  return t;
+}
+
+std::unordered_map<int64_t, uint32_t> CountPerKey(const Table& table,
+                                                  int col) {
+  std::unordered_map<int64_t, uint32_t> counts;
+  for (int64_t v : table.column(static_cast<size_t>(col)).ints()) {
+    ++counts[v];
+  }
+  return counts;
+}
+
+}  // namespace smoke

@@ -1,0 +1,35 @@
+// Microbenchmark datasets (paper Section 5): zipf_{theta,n,g}(id, z, v)
+// tables with zipfian z in [1, g] and uniform v in [0, 100), plus the gids
+// dimension table for the pk-fk join microbenchmark.
+#ifndef SMOKE_WORKLOADS_ZIPF_TABLE_H_
+#define SMOKE_WORKLOADS_ZIPF_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "storage/table.h"
+
+namespace smoke {
+
+namespace zipf_table {
+/// Column indexes of the generated zipf table.
+enum : int { kId = 0, kZ = 1, kV = 2 };
+}  // namespace zipf_table
+
+/// Generates zipf_{theta,n,g}: columns id (0..n-1), z (zipfian in [1, g]),
+/// v (uniform double in [0, 100)). Tuples are deliberately narrow to
+/// emphasize worst-case lineage overheads.
+Table MakeZipfTable(size_t n, uint64_t groups, double theta,
+                    uint64_t seed = 42);
+
+/// Generates gids(id, payload): one row per key in [1, groups] — the pk side
+/// of the join microbenchmark.
+Table MakeGidsTable(uint64_t groups, uint64_t seed = 7);
+
+/// Exact per-key cardinalities of column `col` (the TC hints used by
+/// Smoke-I+TC).
+std::unordered_map<int64_t, uint32_t> CountPerKey(const Table& table, int col);
+
+}  // namespace smoke
+
+#endif  // SMOKE_WORKLOADS_ZIPF_TABLE_H_

@@ -1,0 +1,112 @@
+#include "engine/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+Table TwoColTable() {
+  Schema s;
+  s.AddField("i", DataType::kInt64);
+  s.AddField("d", DataType::kFloat64);
+  Table t(s);
+  t.AppendRow({int64_t{1}, 2.0});
+  t.AppendRow({int64_t{3}, 4.0});
+  t.AppendRow({int64_t{5}, 6.0});
+  return t;
+}
+
+TEST(AggLayoutTest, StrideAccounting) {
+  Table t = TwoColTable();
+  AggLayout layout(t, {AggSpec::Count("c"), AggSpec::Sum(ScalarExpr::Col(1), "s"),
+                       AggSpec::Avg(ScalarExpr::Col(1), "a")});
+  EXPECT_EQ(layout.stride(), 4u);  // 1 + 1 + 2
+  EXPECT_EQ(layout.num_aggs(), 3u);
+}
+
+TEST(AggLayoutTest, InitUpdateFinalize) {
+  Table t = TwoColTable();
+  AggLayout layout(t, {AggSpec::Count("c"),
+                       AggSpec::Sum(ScalarExpr::Col(1), "s"),
+                       AggSpec::Min(ScalarExpr::Col(1), "mn"),
+                       AggSpec::Max(ScalarExpr::Col(1), "mx"),
+                       AggSpec::Avg(ScalarExpr::Col(1), "av")});
+  std::vector<double> state(layout.stride());
+  layout.Init(state.data());
+  for (rid_t r = 0; r < 3; ++r) layout.Update(state.data(), r);
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 0), 3);     // count
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 1), 12.0);  // sum
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 2), 2.0);   // min
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 3), 6.0);   // max
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 4), 4.0);   // avg
+}
+
+TEST(AggLayoutTest, MergePartialStates) {
+  Table t = TwoColTable();
+  AggLayout layout(t, {AggSpec::Count("c"),
+                       AggSpec::Sum(ScalarExpr::Col(1), "s"),
+                       AggSpec::Min(ScalarExpr::Col(1), "mn"),
+                       AggSpec::Avg(ScalarExpr::Col(1), "av")});
+  std::vector<double> a(layout.stride()), b(layout.stride());
+  layout.Init(a.data());
+  layout.Init(b.data());
+  layout.Update(a.data(), 0);
+  layout.Update(b.data(), 1);
+  layout.Update(b.data(), 2);
+  layout.Merge(a.data(), b.data());
+  EXPECT_DOUBLE_EQ(layout.FinalValue(a.data(), 0), 3);
+  EXPECT_DOUBLE_EQ(layout.FinalValue(a.data(), 1), 12.0);
+  EXPECT_DOUBLE_EQ(layout.FinalValue(a.data(), 2), 2.0);
+  EXPECT_DOUBLE_EQ(layout.FinalValue(a.data(), 3), 4.0);
+}
+
+TEST(AggLayoutTest, EmptyGroupFinalValues) {
+  Table t = TwoColTable();
+  AggLayout layout(t, {AggSpec::Count("c"), AggSpec::Avg(ScalarExpr::Col(1), "a")});
+  std::vector<double> state(layout.stride());
+  layout.Init(state.data());
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 0), 0);
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 1), 0);  // avg of none
+}
+
+TEST(AggLayoutTest, MultiTableBinding) {
+  Table t1 = TwoColTable();
+  Table t2 = TwoColTable();
+  AggSpec from_t1 = AggSpec::Sum(ScalarExpr::Col(0), "s1");
+  from_t1.src = 0;
+  AggSpec from_t2 = AggSpec::Sum(ScalarExpr::Col(1), "s2");
+  from_t2.src = 1;
+  AggLayout layout({&t1, &t2}, {from_t1, from_t2});
+  std::vector<double> state(layout.stride());
+  layout.Init(state.data());
+  rid_t rids[2] = {0, 2};  // t1 row 0 (i=1), t2 row 2 (d=6.0)
+  layout.UpdateMulti(state.data(), rids);
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 0), 1.0);
+  EXPECT_DOUBLE_EQ(layout.FinalValue(state.data(), 1), 6.0);
+}
+
+TEST(AggLayoutTest, OutputFieldTypes) {
+  Table t = TwoColTable();
+  AggLayout layout(t, {AggSpec::Count("c"), AggSpec::Sum(ScalarExpr::Col(1), "s")});
+  EXPECT_EQ(layout.OutputField(0).type, DataType::kInt64);
+  EXPECT_EQ(layout.OutputField(1).type, DataType::kFloat64);
+  EXPECT_EQ(layout.OutputField(0).name, "c");
+}
+
+TEST(AggLayoutTest, FinalizeAppendsToColumns) {
+  Table t = TwoColTable();
+  AggLayout layout(t, {AggSpec::Count("c"), AggSpec::Sum(ScalarExpr::Col(1), "s")});
+  std::vector<double> state(layout.stride());
+  layout.Init(state.data());
+  layout.Update(state.data(), 0);
+  Column ic(DataType::kInt64), dc(DataType::kFloat64);
+  std::vector<Column*> cols = {&ic, &dc};
+  layout.Finalize(state.data(), &cols);
+  EXPECT_EQ(ic.ints()[0], 1);
+  EXPECT_DOUBLE_EQ(dc.doubles()[0], 2.0);
+}
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,117 @@
+#include "baselines/bdb_sim.h"
+
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace smoke {
+namespace {
+
+void Put32(BdbSim* db, uint32_t k, uint32_t v) {
+  db->Put(&k, 4, &v, 4);
+}
+
+std::vector<uint32_t> GetAll(const BdbSim& db, uint32_t k) {
+  BdbSim::Cursor cur(&db);
+  std::vector<uint32_t> out;
+  if (!cur.Seek(k)) return out;
+  uint32_t v;
+  while (cur.Next(&v)) out.push_back(v);
+  return out;
+}
+
+TEST(BdbSimTest, EmptySeekFails) {
+  BdbSim db;
+  EXPECT_TRUE(GetAll(db, 1).empty());
+}
+
+TEST(BdbSimTest, SingleKeyValue) {
+  BdbSim db;
+  Put32(&db, 5, 42);
+  EXPECT_EQ(GetAll(db, 5), (std::vector<uint32_t>{42}));
+  EXPECT_TRUE(GetAll(db, 4).empty());
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(BdbSimTest, DuplicatesPreserveInsertionOrder) {
+  BdbSim db;
+  Put32(&db, 7, 1);
+  Put32(&db, 7, 2);
+  Put32(&db, 7, 3);
+  EXPECT_EQ(GetAll(db, 7), (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(BdbSimTest, ManyKeysForceSplits) {
+  BdbSim db;
+  const uint32_t n = 10000;
+  for (uint32_t k = 0; k < n; ++k) Put32(&db, k, k * 2);
+  EXPECT_GT(db.num_nodes(), 100u);  // the tree actually split
+  for (uint32_t k = 0; k < n; k += 97) {
+    ASSERT_EQ(GetAll(db, k), (std::vector<uint32_t>{k * 2}));
+  }
+}
+
+TEST(BdbSimTest, InterleavedDuplicatesAcrossLeaves) {
+  BdbSim db;
+  // Interleave inserts so one key's duplicates span leaf boundaries.
+  for (uint32_t round = 0; round < 200; ++round) {
+    for (uint32_t k = 0; k < 50; ++k) Put32(&db, k, round);
+  }
+  for (uint32_t k = 0; k < 50; ++k) {
+    std::vector<uint32_t> vals = GetAll(db, k);
+    ASSERT_EQ(vals.size(), 200u);
+    for (uint32_t round = 0; round < 200; ++round) {
+      ASSERT_EQ(vals[round], round);  // insertion order preserved
+    }
+  }
+}
+
+class BdbRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BdbRandomSweep, MatchesMultimap) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<uint32_t> keys(0, 500);
+  BdbSim db;
+  std::multimap<uint32_t, uint32_t> ref;
+  for (int i = 0; i < 30000; ++i) {
+    uint32_t k = keys(rng);
+    uint32_t v = static_cast<uint32_t>(i);
+    Put32(&db, k, v);
+    ref.emplace(k, v);
+  }
+  for (uint32_t k = 0; k <= 500; ++k) {
+    auto [lo, hi] = ref.equal_range(k);
+    std::vector<uint32_t> expect;
+    for (auto it = lo; it != hi; ++it) expect.push_back(it->second);
+    ASSERT_EQ(GetAll(db, k), expect) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BdbRandomSweep,
+                         ::testing::Values(11, 22, 33));
+
+TEST(BdbWriterTest, EmitRoundTrip) {
+  BdbWriter w;
+  w.BeginCapture(10);
+  w.Emit(0, 3);
+  w.Emit(0, 4);
+  w.Emit(1, 5);
+  w.FinishCapture(2);
+  std::vector<rid_t> rids;
+  w.FetchBackward(0, &rids);
+  EXPECT_EQ(rids, (std::vector<rid_t>{3, 4}));
+  rids.clear();
+  w.FetchBackward(1, &rids);
+  EXPECT_EQ(rids, (std::vector<rid_t>{5}));
+}
+
+TEST(BdbWriterTest, DirectionPruning) {
+  BdbWriter w(/*backward=*/true, /*forward=*/false);
+  w.Emit(0, 3);
+  EXPECT_NE(w.backward_db(), nullptr);
+  EXPECT_EQ(w.forward_db(), nullptr);
+}
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,105 @@
+#include "apps/crossfilter.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/ontime.h"
+
+namespace smoke {
+namespace {
+
+class CrossfilterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new Table(ontime::Generate(20000, 5));
+  }
+  static void TearDownTestSuite() { delete data_; }
+  static Table* data_;
+  static std::vector<int> Dims() {
+    return {ontime::kLatLonBin, ontime::kDateBin, ontime::kDelayBin,
+            ontime::kCarrier};
+  }
+};
+Table* CrossfilterTest::data_ = nullptr;
+
+TEST_F(CrossfilterTest, InitialCountsSumToRows) {
+  Crossfilter cf(*data_, Dims());
+  cf.Initialize(Crossfilter::Strategy::kLazy);
+  for (size_t v = 0; v < cf.num_views(); ++v) {
+    int64_t total = 0;
+    for (size_t b = 0; b < cf.NumBars(v); ++b) total += cf.BarCount(v, b);
+    EXPECT_EQ(total, static_cast<int64_t>(data_->num_rows()));
+  }
+}
+
+TEST_F(CrossfilterTest, ViewCardinalitiesMatchGenerator) {
+  Crossfilter cf(*data_, Dims());
+  cf.Initialize(Crossfilter::Strategy::kLazy);
+  EXPECT_LE(cf.NumBars(0), static_cast<size_t>(ontime::kNumAirports));
+  EXPECT_LE(cf.NumBars(1), static_cast<size_t>(ontime::kNumDateBins));
+  EXPECT_LE(cf.NumBars(2), static_cast<size_t>(ontime::kNumDelayBins));
+  EXPECT_LE(cf.NumBars(3), static_cast<size_t>(ontime::kNumCarriers));
+  EXPECT_GT(cf.NumBars(0), 100u);  // most airports appear
+}
+
+TEST_F(CrossfilterTest, AllStrategiesAgree) {
+  Crossfilter lazy(*data_, Dims());
+  lazy.Initialize(Crossfilter::Strategy::kLazy);
+  Crossfilter bt(*data_, Dims());
+  bt.Initialize(Crossfilter::Strategy::kBT);
+  Crossfilter btft(*data_, Dims());
+  btft.Initialize(Crossfilter::Strategy::kBTFT);
+  Crossfilter cube(*data_, Dims());
+  cube.Initialize(Crossfilter::Strategy::kCube);
+
+  // Brush a sample of bars in every view; all four strategies must agree.
+  for (size_t v = 0; v < lazy.num_views(); ++v) {
+    const size_t step = std::max<size_t>(1, lazy.NumBars(v) / 7);
+    for (size_t bar = 0; bar < lazy.NumBars(v); bar += step) {
+      auto r_lazy = lazy.Brush(v, bar);
+      auto r_bt = bt.Brush(v, bar);
+      auto r_btft = btft.Brush(v, bar);
+      auto r_cube = cube.Brush(v, bar);
+      for (size_t w = 0; w < lazy.num_views(); ++w) {
+        ASSERT_EQ(r_lazy[w], r_bt[w]) << "view " << v << " bar " << bar;
+        ASSERT_EQ(r_lazy[w], r_btft[w]) << "view " << v << " bar " << bar;
+        ASSERT_EQ(r_lazy[w], r_cube[w]) << "view " << v << " bar " << bar;
+      }
+    }
+  }
+}
+
+TEST_F(CrossfilterTest, BrushedViewKeepsInitialCounts) {
+  Crossfilter cf(*data_, Dims());
+  cf.Initialize(Crossfilter::Strategy::kBTFT);
+  auto r = cf.Brush(2, 0);
+  for (size_t b = 0; b < cf.NumBars(2); ++b) {
+    EXPECT_EQ(r[2][b], cf.BarCount(2, b));
+  }
+}
+
+TEST_F(CrossfilterTest, BrushCountsSumToBarCount) {
+  Crossfilter cf(*data_, Dims());
+  cf.Initialize(Crossfilter::Strategy::kBTFT);
+  for (size_t bar = 0; bar < cf.NumBars(3); ++bar) {
+    auto r = cf.Brush(3, bar);
+    const int64_t expect = cf.BarCount(3, bar);
+    for (size_t w = 0; w < cf.num_views(); ++w) {
+      if (w == 3) continue;
+      int64_t total = 0;
+      for (int64_t c : r[w]) total += c;
+      ASSERT_EQ(total, expect);
+    }
+  }
+}
+
+TEST_F(CrossfilterTest, IndexMemoryReported) {
+  Crossfilter bt(*data_, Dims());
+  bt.Initialize(Crossfilter::Strategy::kBT);
+  EXPECT_GT(bt.IndexMemoryBytes(), 0u);
+  Crossfilter lazy(*data_, Dims());
+  lazy.Initialize(Crossfilter::Strategy::kLazy);
+  EXPECT_EQ(lazy.IndexMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace smoke

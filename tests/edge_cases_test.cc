@@ -1,0 +1,276 @@
+// Edge cases and cross-module integration checks that don't fit the
+// per-module suites.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/smoke_engine.h"
+#include "engine/group_by.h"
+#include "engine/nested_loop_join.h"
+#include "engine/select.h"
+#include "engine/set_ops.h"
+#include "query/provenance.h"
+#include "test_util.h"
+#include "workloads/tpch.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+// ---- selection with IN predicates and empty tables ----
+
+TEST(SelectEdgeTest, InPredicateThroughOperator) {
+  Table t = MakeZipfTable(200, 10, 1.0);
+  auto res = SelectExec(t, "zipf", {Predicate::IntIn(zipf_table::kZ, {1, 3})},
+                        CaptureOptions::Inject());
+  const auto& zs = t.column(zipf_table::kZ).ints();
+  for (rid_t o = 0; o < res.output.num_rows(); ++o) {
+    int64_t z = res.output.column(zipf_table::kZ).ints()[o];
+    EXPECT_TRUE(z == 1 || z == 3);
+  }
+  size_t expect = 0;
+  for (int64_t z : zs) expect += z == 1 || z == 3;
+  EXPECT_EQ(res.output.num_rows(), expect);
+}
+
+TEST(SelectEdgeTest, EmptyInputAllModes) {
+  Schema s;
+  s.AddField("x", DataType::kInt64);
+  Table t(s);
+  for (CaptureMode m :
+       {CaptureMode::kNone, CaptureMode::kInject, CaptureMode::kLogicIdx}) {
+    auto res = SelectExec(t, "t", {Predicate::Int(0, CmpOp::kGt, 0)},
+                          CaptureOptions::Mode(m));
+    EXPECT_EQ(res.output.num_rows(), 0u) << CaptureModeName(m);
+  }
+}
+
+// ---- group-by over every column type combination ----
+
+TEST(GroupByEdgeTest, DoubleKeyColumn) {
+  Schema s;
+  s.AddField("k", DataType::kFloat64);
+  Table t(s);
+  t.AppendRow({1.5});
+  t.AppendRow({2.5});
+  t.AppendRow({1.5});
+  GroupBySpec spec;
+  spec.keys = {0};
+  spec.aggs = {AggSpec::Count("cnt")};
+  auto res = GroupByExec(t, "t", spec, CaptureOptions::Inject());
+  EXPECT_EQ(res.output.num_rows(), 2u);
+}
+
+TEST(GroupByEdgeTest, EmptyInput) {
+  Schema s;
+  s.AddField("k", DataType::kInt64);
+  Table t(s);
+  GroupBySpec spec;
+  spec.keys = {0};
+  spec.aggs = {AggSpec::Count("cnt")};
+  auto res = GroupByExec(t, "t", spec, CaptureOptions::Inject());
+  EXPECT_EQ(res.output.num_rows(), 0u);
+  auto def = GroupByExec(t, "t", spec, CaptureOptions::Defer());
+  FinalizeDeferredGroupBy(&def, t, CaptureOptions::Defer());
+  EXPECT_EQ(def.output.num_rows(), 0u);
+}
+
+// ---- SPJA edge cases ----
+
+TEST(SpjaEdgeTest, AllRowsFiltered) {
+  Table t = MakeZipfTable(100, 4, 1.0);
+  SPJAQuery q;
+  q.fact = &t;
+  q.fact_name = "zipf";
+  q.fact_filters = {Predicate::Double(zipf_table::kV, CmpOp::kLt, -1.0)};
+  q.group_by = {ColRef::Fact(zipf_table::kZ)};
+  q.aggs = {AggSpec::Count("cnt")};
+  auto res = SPJAExec(q, CaptureOptions::Inject());
+  EXPECT_EQ(res.output.num_rows(), 0u);
+  EXPECT_EQ(res.lineage.output_cardinality(), 0u);
+}
+
+TEST(SpjaEdgeTest, DimFilterDropsAllJoinPartners) {
+  tpch::Database db = tpch::Generate(0.002);
+  SPJAQuery q = tpch::MakeQ3(db);
+  // Impossible dim filter: no order qualifies.
+  q.dims[0].filters = {Predicate::Int(tpch::kOOrderdate, CmpOp::kLt, 0)};
+  auto res = SPJAExec(q, CaptureOptions::Inject());
+  EXPECT_EQ(res.output.num_rows(), 0u);
+}
+
+TEST(SpjaEdgeTest, GroupCountsMatchBackwardListLengths) {
+  tpch::Database db = tpch::Generate(0.005);
+  auto q = tpch::MakeQ1(db);
+  auto res = SPJAExec(q, CaptureOptions::Inject());
+  const auto& bw = res.lineage.input(0).backward.index();
+  ASSERT_EQ(res.group_counts.size(), bw.size());
+  for (size_t g = 0; g < bw.size(); ++g) {
+    EXPECT_EQ(res.group_counts[g], bw.list(g).size());
+  }
+}
+
+TEST(SpjaEdgeTest, LogicTupAnnotatedWidth) {
+  tpch::Database db = tpch::Generate(0.002);
+  auto q = tpch::MakeQ12(db);
+  auto res = SPJAExec(q, CaptureOptions::Mode(CaptureMode::kLogicTup));
+  // Denormalized width: output cols + all fact cols + all dim cols.
+  EXPECT_EQ(res.annotated.num_columns(),
+            res.output.num_columns() + db.lineitem.num_columns() +
+                db.orders.num_columns());
+}
+
+// ---- nested-loop joins over strings ----
+
+TEST(NljEdgeTest, StringThetaCondition) {
+  Schema s;
+  s.AddField("name", DataType::kString);
+  Table a(s), b(s);
+  for (const char* v : {"apple", "mango"}) a.AppendRow({std::string(v)});
+  for (const char* v : {"banana", "kiwi", "apple"}) b.AppendRow({std::string(v)});
+  NljSpec spec;
+  spec.conds = {{0, CmpOp::kLt, 0}};  // a.name < b.name lexicographically
+  auto res = NestedLoopJoinExec(a, "a", b, "b", spec,
+                                CaptureOptions::Inject());
+  // apple < banana, apple < kiwi; mango < nothing except none.
+  EXPECT_EQ(res.output_cardinality, 2u);
+}
+
+// ---- provenance over three inputs ----
+
+TEST(ProvenanceEdgeTest, ThreeTableMonomials) {
+  tpch::Database db = tpch::Generate(0.002);
+  auto q = tpch::MakeQ3(db);
+  auto res = SPJAExec(q, CaptureOptions::Inject());
+  ASSERT_GT(res.output.num_rows(), 0u);
+  auto why = WhyProvenance(res.lineage, 0);
+  ASSERT_GT(why.size(), 0u);
+  EXPECT_EQ(why[0].rids.size(), 3u);  // lineitem, orders, customer
+  std::string how = HowProvenance(res.lineage, 0);
+  EXPECT_NE(how.find("lineitem["), std::string::npos);
+  EXPECT_NE(how.find("*orders["), std::string::npos);
+  EXPECT_NE(how.find("*customer["), std::string::npos);
+}
+
+// ---- dictionary fast path equivalence ----
+
+TEST(DictionaryEdgeTest, IntFastPathMatchesGenericPath) {
+  Table t = MakeZipfTable(500, 20, 1.0);
+  Dictionary fast = BuildDictionary(t, {zipf_table::kZ});
+  // Force the generic path by using two columns where the second is
+  // constant — partitions must coincide.
+  Schema s = t.schema();
+  s.AddField("konst", DataType::kString);
+  Table t2(s);
+  for (rid_t r = 0; r < t.num_rows(); ++r) {
+    t2.AppendRowFrom(t, r);
+    t2.mutable_column(3).AppendString("c");
+  }
+  Dictionary slow = BuildDictionary(t2, {zipf_table::kZ, 3});
+  ASSERT_EQ(fast.num_codes, slow.num_codes);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t r2 = 0; r2 < r; ++r2) {
+      ASSERT_EQ(fast.codes[r] == fast.codes[r2],
+                slow.codes[r] == slow.codes[r2]);
+    }
+    if (r > 50) break;  // pairwise check on a prefix is enough
+  }
+}
+
+// ---- zipf generator invariants used by TC hints ----
+
+TEST(TcHintsEdgeTest, CountPerKeySumsToTableSize) {
+  Table t = MakeZipfTable(3000, 17, 1.3);
+  auto counts = CountPerKey(t, zipf_table::kZ);
+  size_t total = 0;
+  for (const auto& [k, c] : counts) total += c;
+  EXPECT_EQ(total, t.num_rows());
+  EXPECT_LE(counts.size(), 17u);
+}
+
+// ---- engine facade: result object access & workload pruning by table ----
+
+TEST(EngineEdgeTest, ResultObjectExposesPushdownArtifacts) {
+  SmokeEngine eng;
+  ASSERT_TRUE(eng.CreateTable("zipf", MakeZipfTable(1000, 5, 1.0)).ok());
+  const Table* t = nullptr;
+  ASSERT_TRUE(eng.GetTable("zipf", &t).ok());
+  SPJAQuery q;
+  q.fact = t;
+  q.fact_name = "zipf";
+  q.group_by = {ColRef::Fact(zipf_table::kZ)};
+  q.aggs = {AggSpec::Count("cnt")};
+  Workload w;
+  w.pushdown.skip_cols = {zipf_table::kZ};
+  ASSERT_TRUE(eng.ExecuteQuery("v", q, CaptureMode::kInject, &w).ok());
+  const SPJAResult* res = nullptr;
+  ASSERT_TRUE(eng.GetResultObject("v", &res).ok());
+  EXPECT_GT(res->skip_dict.num_codes, 0u);
+  EXPECT_EQ(res->skip_index.num_outputs(), res->output.num_rows());
+}
+
+TEST(EngineEdgeTest, RelationPruningViaWorkload) {
+  tpch::Database db = tpch::Generate(0.002);
+  SmokeEngine eng;
+  SPJAQuery q3 = tpch::MakeQ3(db);
+  Workload w;
+  w.traced_relations = {"lineitem"};
+  ASSERT_TRUE(eng.ExecuteQuery("q3", q3, CaptureMode::kInject, &w).ok());
+  std::vector<rid_t> rids;
+  EXPECT_TRUE(eng.Backward("q3", "lineitem", {0}, &rids).ok());
+  EXPECT_FALSE(eng.Backward("q3", "orders", {0}, &rids).ok());
+}
+
+// ---- set-op output schemas follow the projection ----
+
+TEST(SetOpsEdgeTest, ProjectionColumnsOnly) {
+  Table a = MakeZipfTable(50, 5, 1.0, 61);
+  Table b = MakeZipfTable(50, 5, 1.0, 62);
+  auto res = SetUnionExec(a, "a", b, "b", {zipf_table::kZ},
+                          CaptureOptions::Inject());
+  EXPECT_EQ(res.output.num_columns(), 1u);
+  EXPECT_EQ(res.output.schema().field(0).name, "z");
+}
+
+// ---- TPC-H consuming-spec helpers ----
+
+TEST(TpchSpecsTest, Q1VariantsShape) {
+  tpch::Database db = tpch::Generate(0.002);
+  ConsumingSpec q1a = tpch::MakeQ1a(db);
+  EXPECT_EQ(q1a.group_by.size(), 2u);
+  EXPECT_TRUE(q1a.filters.empty());
+  EXPECT_EQ(q1a.aggs.size(), 8u);
+  ConsumingSpec q1b = tpch::MakeQ1b(db, "MAIL", "NONE");
+  EXPECT_EQ(q1b.filters.size(), 2u);
+  ConsumingSpec q1c = tpch::MakeQ1c(db, "MAIL", "NONE");
+  EXPECT_EQ(q1c.group_by.size(), 3u);
+  EXPECT_EQ(tpch::ShipModes().size(), 7u);
+  EXPECT_EQ(tpch::ShipInstructs().size(), 4u);
+}
+
+// ---- cross product lineage totals ----
+
+TEST(CrossEdgeTest, ForwardCoversAllOutputs) {
+  Table a = MakeZipfTable(5, 2, 0.0, 63);
+  Table b = MakeZipfTable(3, 2, 0.0, 64);
+  auto res = CrossProductExec(a, b, false);
+  std::set<rid_t> all;
+  std::vector<rid_t> buf;
+  for (rid_t r = 0; r < 5; ++r) {
+    buf.clear();
+    res.lineage.ForwardLeftInto(r, &buf);
+    all.insert(buf.begin(), buf.end());
+  }
+  EXPECT_EQ(all.size(), 15u);
+  all.clear();
+  for (rid_t r = 0; r < 3; ++r) {
+    buf.clear();
+    res.lineage.ForwardRightInto(r, &buf);
+    all.insert(buf.begin(), buf.end());
+  }
+  EXPECT_EQ(all.size(), 15u);
+}
+
+}  // namespace
+}  // namespace smoke

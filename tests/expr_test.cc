@@ -1,0 +1,139 @@
+#include "engine/expr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smoke {
+namespace {
+
+Table MakeTable() {
+  Schema s;
+  s.AddField("i", DataType::kInt64);
+  s.AddField("d", DataType::kFloat64);
+  s.AddField("s", DataType::kString);
+  s.AddField("i2", DataType::kInt64);
+  Table t(s);
+  t.AppendRow({int64_t{1}, 0.5, std::string("apple"), int64_t{10}});
+  t.AppendRow({int64_t{5}, 2.0, std::string("banana"), int64_t{5}});
+  t.AppendRow({int64_t{9}, -1.0, std::string("cherry"), int64_t{1}});
+  return t;
+}
+
+TEST(PredicateTest, IntComparisons) {
+  Table t = MakeTable();
+  auto eval = [&](Predicate p, rid_t r) {
+    return PredicateList(t, {std::move(p)}).Eval(r);
+  };
+  EXPECT_TRUE(eval(Predicate::Int(0, CmpOp::kLt, 5), 0));
+  EXPECT_FALSE(eval(Predicate::Int(0, CmpOp::kLt, 5), 1));
+  EXPECT_TRUE(eval(Predicate::Int(0, CmpOp::kLe, 5), 1));
+  EXPECT_TRUE(eval(Predicate::Int(0, CmpOp::kGt, 5), 2));
+  EXPECT_TRUE(eval(Predicate::Int(0, CmpOp::kGe, 9), 2));
+  EXPECT_TRUE(eval(Predicate::Int(0, CmpOp::kEq, 5), 1));
+  EXPECT_TRUE(eval(Predicate::Int(0, CmpOp::kNe, 5), 0));
+}
+
+TEST(PredicateTest, DoubleAndStringComparisons) {
+  Table t = MakeTable();
+  auto eval = [&](Predicate p, rid_t r) {
+    return PredicateList(t, {std::move(p)}).Eval(r);
+  };
+  EXPECT_TRUE(eval(Predicate::Double(1, CmpOp::kLt, 1.0), 0));
+  EXPECT_FALSE(eval(Predicate::Double(1, CmpOp::kGt, 1.0), 2));
+  EXPECT_TRUE(eval(Predicate::Str(2, CmpOp::kEq, "banana"), 1));
+  EXPECT_TRUE(eval(Predicate::Str(2, CmpOp::kLt, "b"), 0));
+}
+
+TEST(PredicateTest, InSets) {
+  Table t = MakeTable();
+  PredicateList pi(t, {Predicate::IntIn(0, {1, 9})});
+  EXPECT_TRUE(pi.Eval(0));
+  EXPECT_FALSE(pi.Eval(1));
+  EXPECT_TRUE(pi.Eval(2));
+  PredicateList ps(t, {Predicate::StrIn(2, {"banana", "cherry"})});
+  EXPECT_FALSE(ps.Eval(0));
+  EXPECT_TRUE(ps.Eval(1));
+}
+
+TEST(PredicateTest, ColumnToColumn) {
+  Table t = MakeTable();
+  PredicateList p(
+      t, {Predicate::ColCmp(0, CmpOp::kLt, 3, DataType::kInt64)});
+  EXPECT_TRUE(p.Eval(0));   // 1 < 10
+  EXPECT_FALSE(p.Eval(1));  // 5 < 5
+  EXPECT_FALSE(p.Eval(2));  // 9 < 1
+}
+
+TEST(PredicateTest, ConjunctionShortCircuits) {
+  Table t = MakeTable();
+  PredicateList p(t, {Predicate::Int(0, CmpOp::kGt, 0),
+                      Predicate::Str(2, CmpOp::kEq, "banana")});
+  EXPECT_FALSE(p.Eval(0));
+  EXPECT_TRUE(p.Eval(1));
+}
+
+TEST(PredicateTest, EmptyListAcceptsAll) {
+  Table t = MakeTable();
+  PredicateList p(t, {});
+  EXPECT_TRUE(p.Eval(0));
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(CompiledExprTest, ColumnAndConst) {
+  Table t = MakeTable();
+  CompiledExpr ci(t, ScalarExpr::Col(0));
+  EXPECT_DOUBLE_EQ(ci.Eval(1), 5.0);  // int col promoted to double
+  CompiledExpr cd(t, ScalarExpr::Col(1));
+  EXPECT_DOUBLE_EQ(cd.Eval(0), 0.5);
+  CompiledExpr cc(t, ScalarExpr::Const(3.25));
+  EXPECT_DOUBLE_EQ(cc.Eval(2), 3.25);
+}
+
+TEST(CompiledExprTest, Arithmetic) {
+  Table t = MakeTable();
+  using E = ScalarExpr;
+  // (i + d) * 2 - i2 / 10
+  CompiledExpr e(
+      t, E::Sub(E::Mul(E::Add(E::Col(0), E::Col(1)), E::Const(2.0)),
+                E::Div(E::Col(3), E::Const(10.0))));
+  EXPECT_DOUBLE_EQ(e.Eval(0), (1 + 0.5) * 2 - 10 / 10.0);
+  EXPECT_DOUBLE_EQ(e.Eval(1), (5 + 2.0) * 2 - 5 / 10.0);
+}
+
+TEST(CompiledExprTest, Sqrt) {
+  Table t = MakeTable();
+  CompiledExpr e(t, ScalarExpr::Sqrt(ScalarExpr::Col(3)));
+  EXPECT_DOUBLE_EQ(e.Eval(1), std::sqrt(5.0));
+}
+
+TEST(CompiledExprTest, IndicatorEvaluatesPredicate) {
+  Table t = MakeTable();
+  CompiledExpr e(
+      t, ScalarExpr::Indicator(Predicate::StrIn(2, {"apple", "cherry"})));
+  EXPECT_DOUBLE_EQ(e.Eval(0), 1.0);
+  EXPECT_DOUBLE_EQ(e.Eval(1), 0.0);
+  EXPECT_DOUBLE_EQ(e.Eval(2), 1.0);
+}
+
+TEST(CompiledExprTest, TpchRevenueShape) {
+  Table t = MakeTable();
+  using E = ScalarExpr;
+  // d * (1 - d) * (1 + d): nested like sum_charge.
+  CompiledExpr e(t, E::Mul(E::Mul(E::Col(1), E::Sub(E::Const(1), E::Col(1))),
+                           E::Add(E::Const(1), E::Col(1))));
+  double d = 2.0;
+  EXPECT_DOUBLE_EQ(e.Eval(1), d * (1 - d) * (1 + d));
+}
+
+TEST(ScalarExprTest, CopyIsDeep) {
+  using E = ScalarExpr;
+  ScalarExpr a = E::Add(E::Col(0), E::Const(1.0));
+  ScalarExpr b = a;  // copy
+  b.left->col = 3;
+  EXPECT_EQ(a.left->col, 0);
+  EXPECT_EQ(b.left->col, 3);
+}
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,89 @@
+#include "common/hash.h"
+
+#include <random>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+namespace smoke {
+namespace {
+
+TEST(Hash64Test, Deterministic) {
+  EXPECT_EQ(Hash64(42), Hash64(42));
+  EXPECT_NE(Hash64(42), Hash64(43));
+}
+
+TEST(HashBytesTest, EmptyAndContent) {
+  EXPECT_EQ(HashBytes("", 0), HashBytes("", 0));
+  EXPECT_NE(HashBytes("a", 1), HashBytes("b", 1));
+}
+
+TEST(IntKeyMapTest, FindOnEmpty) {
+  IntKeyMap m;
+  EXPECT_EQ(m.Find(5), IntKeyMap::kNotFound);
+}
+
+TEST(IntKeyMapTest, InsertAndFind) {
+  IntKeyMap m;
+  m.Insert(5, 100);
+  EXPECT_EQ(m.Find(5), 100u);
+  EXPECT_EQ(m.Find(6), IntKeyMap::kNotFound);
+}
+
+TEST(IntKeyMapTest, FindOrInsertReturnsExisting) {
+  IntKeyMap m;
+  EXPECT_EQ(m.FindOrInsert(7, 1), IntKeyMap::kNotFound);  // fresh
+  EXPECT_EQ(m.FindOrInsert(7, 2), 1u);                    // existing
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(IntKeyMapTest, NegativeAndExtremeKeys) {
+  IntKeyMap m;
+  m.Insert(-1, 1);
+  m.Insert(INT64_MIN, 2);
+  m.Insert(INT64_MAX, 3);
+  m.Insert(0, 4);
+  EXPECT_EQ(m.Find(-1), 1u);
+  EXPECT_EQ(m.Find(INT64_MIN), 2u);
+  EXPECT_EQ(m.Find(INT64_MAX), 3u);
+  EXPECT_EQ(m.Find(0), 4u);
+}
+
+TEST(IntKeyMapTest, RehashPreservesEntries) {
+  IntKeyMap m(4);
+  for (int64_t k = 0; k < 1000; ++k) {
+    m.Insert(k * 131, static_cast<uint32_t>(k));
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(m.Find(k * 131), static_cast<uint32_t>(k));
+  }
+}
+
+class IntKeyMapRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntKeyMapRandomSweep, MatchesStdUnorderedMap) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int64_t> keys(-5000, 5000);
+  IntKeyMap m;
+  std::unordered_map<int64_t, uint32_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t k = keys(rng);
+    uint32_t fresh = static_cast<uint32_t>(ref.size());
+    auto [it, inserted] = ref.emplace(k, fresh);
+    uint32_t got = m.FindOrInsert(k, fresh);
+    if (inserted) {
+      ASSERT_EQ(got, IntKeyMap::kNotFound);
+    } else {
+      ASSERT_EQ(got, it->second);
+    }
+  }
+  ASSERT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) ASSERT_EQ(m.Find(k), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntKeyMapRandomSweep,
+                         ::testing::Values(1, 2, 3, 1234, 99999));
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,138 @@
+#include "engine/nested_loop_join.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+TEST(NljTest, ThetaLessThanMatchesOracle) {
+  Table a = MakeZipfTable(20, 5, 1.0, 1);
+  Table b = MakeZipfTable(30, 5, 1.0, 2);
+  NljSpec spec;
+  spec.conds = {{zipf_table::kZ, CmpOp::kLt, zipf_table::kZ}};
+  auto res = NestedLoopJoinExec(a, "a", b, "b", spec,
+                                CaptureOptions::Inject());
+  const auto& az = a.column(zipf_table::kZ).ints();
+  const auto& bz = b.column(zipf_table::kZ).ints();
+  size_t expect = 0;
+  for (rid_t i = 0; i < 20; ++i) {
+    for (rid_t j = 0; j < 30; ++j) expect += az[i] < bz[j];
+  }
+  EXPECT_EQ(res.output_cardinality, expect);
+  // Backward arrays hold consistent witnesses.
+  const auto& a_bw = res.lineage.input(0).backward.array();
+  const auto& b_bw = res.lineage.input(1).backward.array();
+  for (size_t o = 0; o < a_bw.size(); ++o) {
+    ASSERT_LT(az[a_bw[o]], bz[b_bw[o]]);
+  }
+  EXPECT_TRUE(testing::AreInverse(res.lineage.input(0).backward,
+                                  res.lineage.input(0).forward));
+}
+
+TEST(NljTest, EqualityThetaMatchesHashJoinCardinality) {
+  Table a = MakeZipfTable(25, 4, 1.0, 3);
+  Table b = MakeZipfTable(40, 4, 1.0, 4);
+  NljSpec spec;
+  spec.conds = {{zipf_table::kZ, CmpOp::kEq, zipf_table::kZ}};
+  auto res = NestedLoopJoinExec(a, "a", b, "b", spec,
+                                CaptureOptions::Inject());
+  const auto& az = a.column(zipf_table::kZ).ints();
+  const auto& bz = b.column(zipf_table::kZ).ints();
+  size_t expect = 0;
+  for (rid_t i = 0; i < 25; ++i) {
+    for (rid_t j = 0; j < 40; ++j) expect += az[i] == bz[j];
+  }
+  EXPECT_EQ(res.output_cardinality, expect);
+}
+
+TEST(NljTest, ConjunctionOfConditions) {
+  Table a = MakeZipfTable(15, 5, 1.0, 5);
+  Table b = MakeZipfTable(15, 5, 1.0, 6);
+  NljSpec spec;
+  spec.conds = {{zipf_table::kZ, CmpOp::kLe, zipf_table::kZ},
+                {zipf_table::kV, CmpOp::kGt, zipf_table::kV}};
+  auto res = NestedLoopJoinExec(a, "a", b, "b", spec,
+                                CaptureOptions::Inject());
+  const auto& az = a.column(zipf_table::kZ).ints();
+  const auto& bz = b.column(zipf_table::kZ).ints();
+  const auto& av = a.column(zipf_table::kV).doubles();
+  const auto& bv = b.column(zipf_table::kV).doubles();
+  size_t expect = 0;
+  for (rid_t i = 0; i < 15; ++i) {
+    for (rid_t j = 0; j < 15; ++j) {
+      expect += az[i] <= bz[j] && av[i] > bv[j];
+    }
+  }
+  EXPECT_EQ(res.output_cardinality, expect);
+}
+
+TEST(NljTest, CondensedLeftForwardRunEncoding) {
+  Table a = MakeZipfTable(10, 3, 1.0, 7);
+  Table b = MakeZipfTable(25, 3, 1.0, 8);
+  NljSpec full_spec;
+  full_spec.conds = {{zipf_table::kZ, CmpOp::kEq, zipf_table::kZ}};
+  auto full = NestedLoopJoinExec(a, "a", b, "b", full_spec,
+                                 CaptureOptions::Inject());
+  NljSpec cond_spec = full_spec;
+  cond_spec.condense_left_forward = true;
+  auto cond = NestedLoopJoinExec(a, "a", b, "b", cond_spec,
+                                 CaptureOptions::Inject());
+  // The (run_start, run_len) encoding expands to the full forward lists.
+  const RidIndex& fw = full.lineage.input(0).forward.index();
+  for (rid_t i = 0; i < 10; ++i) {
+    std::vector<rid_t> expanded;
+    if (cond.left_run_start[i] != kInvalidRid) {
+      for (uint32_t k = 0; k < cond.left_run_len[i]; ++k) {
+        expanded.push_back(cond.left_run_start[i] + k);
+      }
+    }
+    ASSERT_EQ(expanded, testing::Sorted(fw.list(i)));
+  }
+}
+
+TEST(NljTest, EmptyConditionIsCrossProduct) {
+  Table a = MakeZipfTable(7, 2, 0.0, 9);
+  Table b = MakeZipfTable(11, 2, 0.0, 10);
+  NljSpec spec;  // no conditions
+  auto res = NestedLoopJoinExec(a, "a", b, "b", spec,
+                                CaptureOptions::Inject());
+  EXPECT_EQ(res.output_cardinality, 77u);
+}
+
+TEST(CrossProductTest, ComputedLineageArithmetic) {
+  Table a = MakeZipfTable(6, 2, 0.0, 11);
+  Table b = MakeZipfTable(4, 2, 0.0, 12);
+  auto res = CrossProductExec(a, b, /*materialize_output=*/true);
+  EXPECT_EQ(res.output.num_rows(), 24u);
+  // Backward arithmetic matches materialization order.
+  const auto& az = a.column(zipf_table::kZ).ints();
+  const auto& out_z = res.output.column(zipf_table::kZ).ints();
+  for (size_t o = 0; o < 24; ++o) {
+    EXPECT_EQ(out_z[o], az[res.lineage.BackwardLeft(o)]);
+  }
+  // Forward left of rid 1: outputs 4..7.
+  std::vector<rid_t> f;
+  res.lineage.ForwardLeftInto(1, &f);
+  EXPECT_EQ(f, (std::vector<rid_t>{4, 5, 6, 7}));
+  // Forward right of rid 2: outputs 2, 6, 10, ...
+  f.clear();
+  res.lineage.ForwardRightInto(2, &f);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_EQ(f[0], 2u);
+  EXPECT_EQ(f[1], 6u);
+}
+
+TEST(CrossProductTest, NoMaterialize) {
+  Table a = MakeZipfTable(1000, 2, 0.0, 13);
+  Table b = MakeZipfTable(1000, 2, 0.0, 14);
+  auto res = CrossProductExec(a, b, /*materialize_output=*/false);
+  EXPECT_EQ(res.output.num_rows(), 0u);
+  EXPECT_EQ(res.lineage.BackwardLeft(1000 * 999 + 5), 999u);
+  EXPECT_EQ(res.lineage.BackwardRight(1000 * 999 + 5), 5u);
+}
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,107 @@
+#include "apps/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/physician.h"
+
+namespace smoke {
+namespace {
+
+/// Normalizes a report into value -> sorted rid list for comparison.
+std::map<std::string, std::vector<rid_t>> Normalize(const FdReport& r) {
+  std::map<std::string, std::vector<rid_t>> m;
+  for (size_t i = 0; i < r.violating_values.size(); ++i) {
+    m[r.violating_values[i]] = testing::SortedList(r.bipartite, i);
+  }
+  return m;
+}
+
+TEST(ProfilerTest, KnownViolations) {
+  Schema s;
+  s.AddField("a", DataType::kString);
+  s.AddField("b", DataType::kString);
+  Table t(s);
+  t.AppendRow({std::string("x"), std::string("1")});
+  t.AppendRow({std::string("x"), std::string("1")});
+  t.AppendRow({std::string("y"), std::string("2")});
+  t.AppendRow({std::string("y"), std::string("3")});  // y violates
+  t.AppendRow({std::string("z"), std::string("4")});
+  FdSpec fd{0, 1, "a->b"};
+  FdReport r = ProfileCD(t, fd);
+  ASSERT_EQ(r.violating_values.size(), 1u);
+  EXPECT_EQ(r.violating_values[0], "y");
+  EXPECT_EQ(testing::SortedList(r.bipartite, 0), (std::vector<rid_t>{2, 3}));
+  EXPECT_EQ(r.num_groups, 3u);
+}
+
+TEST(ProfilerTest, NoViolations) {
+  Schema s;
+  s.AddField("a", DataType::kInt64);
+  s.AddField("b", DataType::kString);
+  Table t(s);
+  t.AppendRow({int64_t{1}, std::string("p")});
+  t.AppendRow({int64_t{1}, std::string("p")});
+  t.AppendRow({int64_t{2}, std::string("q")});
+  FdSpec fd{0, 1, "a->b"};
+  EXPECT_TRUE(ProfileCD(t, fd).violating_values.empty());
+  EXPECT_TRUE(ProfileUG(t, fd).violating_values.empty());
+  EXPECT_TRUE(ProfileMetanomeUG(t, fd).violating_values.empty());
+}
+
+TEST(ProfilerTest, IntRhsColumn) {
+  Schema s;
+  s.AddField("a", DataType::kString);
+  s.AddField("b", DataType::kInt64);
+  Table t(s);
+  t.AppendRow({std::string("x"), int64_t{1}});
+  t.AppendRow({std::string("x"), int64_t{2}});
+  FdSpec fd{0, 1, "a->b"};
+  FdReport r = ProfileCD(t, fd);
+  ASSERT_EQ(r.violating_values.size(), 1u);
+  EXPECT_EQ(r.violating_values[0], "x");
+}
+
+class ProfilerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfilerEquivalence, ThreeTechniquesAgreeOnPhysicianFds) {
+  Table t = physician::Generate(20000, 42);
+  const FdSpec fds[] = {
+      {physician::kNpi, physician::kPacId, "NPI->PAC_ID"},
+      {physician::kZip, physician::kState, "Zip->State"},
+      {physician::kZip, physician::kCity, "Zip->City"},
+      {physician::kLbn1, physician::kCcn1, "LBN1->CCN1"},
+  };
+  const FdSpec& fd = fds[GetParam()];
+  FdReport cd = ProfileCD(t, fd);
+  FdReport ug = ProfileUG(t, fd);
+  FdReport mg = ProfileMetanomeUG(t, fd);
+  EXPECT_EQ(Normalize(cd), Normalize(ug)) << fd.name;
+  EXPECT_EQ(Normalize(cd), Normalize(mg)) << fd.name;
+  EXPECT_EQ(cd.num_groups, ug.num_groups);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fds, ProfilerEquivalence,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(ProfilerTest, PhysicianDataHasInjectedViolations) {
+  Table t = physician::Generate(50000, 7);
+  FdSpec zip_city{physician::kZip, physician::kCity, "Zip->City"};
+  FdReport r = ProfileCD(t, zip_city);
+  // 2% violation rate: plenty of violating zips.
+  EXPECT_GT(r.violating_values.size(), 50u);
+  // Each bipartite list contains every tuple of that zip.
+  const auto& zips = t.column(physician::kZip).strings();
+  for (size_t i = 0; i < std::min<size_t>(r.violating_values.size(), 10); ++i) {
+    for (rid_t rid : r.bipartite.list(i)) {
+      ASSERT_EQ(zips[rid], r.violating_values[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smoke

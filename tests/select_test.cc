@@ -1,0 +1,193 @@
+#include "engine/select.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bdb_sim.h"
+#include "baselines/phys_mem.h"
+#include "test_util.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+using testing::AreInverse;
+using testing::RowSet;
+
+std::vector<Predicate> VLess(double cut) {
+  return {Predicate::Double(zipf_table::kV, CmpOp::kLt, cut)};
+}
+
+TEST(SelectTest, FiltersRows) {
+  Table t = MakeZipfTable(1000, 10, 1.0);
+  auto res = SelectExec(t, "zipf", VLess(50.0), CaptureOptions::None());
+  const auto& vs = t.column(zipf_table::kV).doubles();
+  size_t expect = 0;
+  for (double v : vs) expect += v < 50.0;
+  EXPECT_EQ(res.output.num_rows(), expect);
+  EXPECT_EQ(res.lineage.num_inputs(), 0u);  // Baseline captures nothing
+}
+
+TEST(SelectTest, InjectLineageMatchesOracle) {
+  Table t = MakeZipfTable(500, 10, 1.0);
+  auto res = SelectExec(t, "zipf", VLess(30.0), CaptureOptions::Inject());
+  const auto& vs = t.column(zipf_table::kV).doubles();
+  const auto& bw = res.lineage.input(0).backward.array();
+  const auto& fw = res.lineage.input(0).forward.array();
+  ASSERT_EQ(fw.size(), 500u);
+  rid_t o = 0;
+  for (rid_t r = 0; r < 500; ++r) {
+    if (vs[r] < 30.0) {
+      ASSERT_EQ(bw[o], r);
+      ASSERT_EQ(fw[r], o);
+      ++o;
+    } else {
+      ASSERT_EQ(fw[r], kInvalidRid);
+    }
+  }
+  EXPECT_EQ(bw.size(), o);
+  EXPECT_TRUE(AreInverse(res.lineage.input(0).backward,
+                         res.lineage.input(0).forward));
+}
+
+TEST(SelectTest, SelectivityEstimatePreallocates) {
+  Table t = MakeZipfTable(2000, 10, 1.0);
+  CardinalityHints hints;
+  hints.selection_selectivity = 0.4;
+  CaptureOptions opts = CaptureOptions::Inject();
+  opts.hints = &hints;
+  auto with = SelectExec(t, "zipf", VLess(30.0), opts);
+  auto without = SelectExec(t, "zipf", VLess(30.0), CaptureOptions::Inject());
+  EXPECT_EQ(RowSet(with.output), RowSet(without.output));
+  EXPECT_EQ(testing::Edges(with.lineage.input(0).backward),
+            testing::Edges(without.lineage.input(0).backward));
+}
+
+TEST(SelectTest, LogicRidAnnotatesOutput) {
+  Table t = MakeZipfTable(100, 5, 0.5);
+  auto res = SelectExec(t, "zipf", VLess(50.0),
+                        CaptureOptions::Mode(CaptureMode::kLogicRid));
+  int ann = res.output.ColumnIndex("prov_rid");
+  ASSERT_GE(ann, 0);
+  const auto& rids = res.output.column(static_cast<size_t>(ann)).ints();
+  const auto& vs = t.column(zipf_table::kV).doubles();
+  for (size_t i = 0; i < rids.size(); ++i) {
+    ASSERT_LT(vs[static_cast<size_t>(rids[i])], 50.0);
+  }
+}
+
+TEST(SelectTest, LogicTupDuplicatesInputColumns) {
+  Table t = MakeZipfTable(50, 5, 0.5);
+  auto res = SelectExec(t, "zipf", VLess(50.0),
+                        CaptureOptions::Mode(CaptureMode::kLogicTup));
+  EXPECT_EQ(res.output.num_columns(), 6u);  // 3 data + 3 annotation
+  EXPECT_GE(res.output.ColumnIndex("prov_v"), 0);
+}
+
+TEST(SelectTest, LogicIdxBuildsSameIndexesAsInject) {
+  Table t = MakeZipfTable(300, 8, 1.0);
+  auto inj = SelectExec(t, "zipf", VLess(42.0), CaptureOptions::Inject());
+  auto idx = SelectExec(t, "zipf", VLess(42.0),
+                        CaptureOptions::Mode(CaptureMode::kLogicIdx));
+  EXPECT_EQ(testing::Edges(inj.lineage.input(0).backward),
+            testing::Edges(idx.lineage.input(0).backward));
+  EXPECT_EQ(testing::Edges(inj.lineage.input(0).forward),
+            testing::Edges(idx.lineage.input(0).forward));
+}
+
+TEST(SelectTest, PhysMemCapturesSameEdges) {
+  Table t = MakeZipfTable(300, 8, 1.0);
+  auto inj = SelectExec(t, "zipf", VLess(42.0), CaptureOptions::Inject());
+  PhysMemWriter writer;
+  CaptureOptions opts = CaptureOptions::Mode(CaptureMode::kPhysMem);
+  opts.writer = &writer;
+  auto phys = SelectExec(t, "zipf", VLess(42.0), opts);
+  EXPECT_EQ(RowSet(inj.output), RowSet(phys.output));
+  RidIndex bw = writer.ExportBackward();
+  LineageIndex bw_idx = LineageIndex::FromIndex(std::move(bw));
+  EXPECT_EQ(testing::Edges(inj.lineage.input(0).backward),
+            testing::Edges(bw_idx));
+}
+
+TEST(SelectTest, PhysBdbCapturesSameEdges) {
+  Table t = MakeZipfTable(300, 8, 1.0);
+  auto inj = SelectExec(t, "zipf", VLess(42.0), CaptureOptions::Inject());
+  BdbWriter writer;
+  CaptureOptions opts = CaptureOptions::Mode(CaptureMode::kPhysBdb);
+  opts.writer = &writer;
+  SelectExec(t, "zipf", VLess(42.0), opts);
+  const auto& bw = inj.lineage.input(0).backward.array();
+  for (rid_t o = 0; o < bw.size(); ++o) {
+    std::vector<rid_t> got;
+    writer.FetchBackward(o, &got);
+    ASSERT_EQ(got.size(), 1u);
+    ASSERT_EQ(got[0], bw[o]);
+  }
+}
+
+TEST(SelectTest, DirectionPruning) {
+  Table t = MakeZipfTable(100, 5, 0.5);
+  CaptureOptions opts = CaptureOptions::Inject();
+  opts.capture_forward = false;
+  auto res = SelectExec(t, "zipf", VLess(50.0), opts);
+  EXPECT_FALSE(res.lineage.input(0).backward.empty());
+  EXPECT_TRUE(res.lineage.input(0).forward.empty());
+}
+
+TEST(SelectTest, EmptyResult) {
+  Table t = MakeZipfTable(100, 5, 0.5);
+  auto res = SelectExec(t, "zipf", VLess(-1.0), CaptureOptions::Inject());
+  EXPECT_EQ(res.output.num_rows(), 0u);
+  EXPECT_EQ(res.lineage.input(0).backward.array().size(), 0u);
+}
+
+TEST(SelectTest, AllPass) {
+  Table t = MakeZipfTable(100, 5, 0.5);
+  auto res = SelectExec(t, "zipf", VLess(1000.0), CaptureOptions::Inject());
+  EXPECT_EQ(res.output.num_rows(), 100u);
+  const auto& fw = res.lineage.input(0).forward.array();
+  for (rid_t r = 0; r < 100; ++r) ASSERT_EQ(fw[r], r);
+}
+
+struct SelectSweepParam {
+  size_t n;
+  double cut;
+  CaptureMode mode;
+};
+
+class SelectModeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(SelectModeSweep, AllModesAgreeOnOutput) {
+  auto [n, cut] = GetParam();
+  Table t = MakeZipfTable(n, 16, 1.0);
+  auto base = SelectExec(t, "zipf", VLess(cut), CaptureOptions::None());
+  // Logic modes append annotation columns; compare only the data columns.
+  auto data_rows = [&](const Table& out) {
+    std::multiset<std::string> rows;
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      std::string s;
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        s += ValueToString(out.GetValue(static_cast<rid_t>(r), c)) + "|";
+      }
+      rows.insert(std::move(s));
+    }
+    return rows;
+  };
+  for (CaptureMode m : {CaptureMode::kInject, CaptureMode::kDefer,
+                        CaptureMode::kLogicIdx}) {
+    auto res = SelectExec(t, "zipf", VLess(cut), CaptureOptions::Mode(m));
+    ASSERT_EQ(data_rows(base.output), data_rows(res.output))
+        << CaptureModeName(m);
+    ASSERT_TRUE(AreInverse(res.lineage.input(0).backward,
+                           res.lineage.input(0).forward))
+        << CaptureModeName(m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectModeSweep,
+    ::testing::Combine(::testing::Values(1, 10, 1000),
+                       ::testing::Values(0.0, 25.0, 100.0)));
+
+}  // namespace
+}  // namespace smoke

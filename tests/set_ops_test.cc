@@ -1,0 +1,214 @@
+#include "engine/set_ops.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace smoke {
+namespace {
+
+using testing::Edges;
+using testing::RowSet;
+
+Table IntTable(std::vector<int64_t> vals) {
+  Schema s;
+  s.AddField("k", DataType::kInt64);
+  Table t(s);
+  for (int64_t v : vals) t.AppendRow({v});
+  return t;
+}
+
+TEST(SetUnionTest, DistinctValues) {
+  Table a = IntTable({1, 2, 2, 3});
+  Table b = IntTable({3, 4, 4});
+  auto res = SetUnionExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  std::set<int64_t> got(res.output.column(0).ints().begin(),
+                        res.output.column(0).ints().end());
+  EXPECT_EQ(got, (std::set<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(res.output.num_rows(), 4u);
+}
+
+TEST(SetUnionTest, LineageCoversAllInputs) {
+  Table a = IntTable({1, 2, 2, 3});
+  Table b = IntTable({3, 4, 4});
+  auto res = SetUnionExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  // Every a rid appears in exactly one output's backward list.
+  const auto& a_bw = res.lineage.input(0).backward.index();
+  std::vector<int> seen(a.num_rows(), 0);
+  for (size_t o = 0; o < a_bw.size(); ++o) {
+    for (rid_t r : a_bw.list(o)) ++seen[r];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+  EXPECT_TRUE(testing::AreInverse(res.lineage.input(0).backward,
+                                  res.lineage.input(0).forward));
+  EXPECT_TRUE(testing::AreInverse(res.lineage.input(1).backward,
+                                  res.lineage.input(1).forward));
+}
+
+TEST(SetUnionTest, DeferMatchesInject) {
+  Table a = IntTable({5, 1, 5, 2, 9});
+  Table b = IntTable({2, 2, 7, 9});
+  auto inj = SetUnionExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  auto def = SetUnionExec(a, "a", b, "b", {0}, CaptureOptions::Defer());
+  EXPECT_EQ(RowSet(inj.output), RowSet(def.output));
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_EQ(Edges(inj.lineage.input(t).backward),
+              Edges(def.lineage.input(t).backward));
+    EXPECT_EQ(Edges(inj.lineage.input(t).forward),
+              Edges(def.lineage.input(t).forward));
+  }
+}
+
+TEST(BagUnionTest, ConcatenatesWithOffsetLineage) {
+  Table a = IntTable({1, 2});
+  Table b = IntTable({3});
+  auto res = BagUnionExec(a, "a", b, "b", CaptureOptions::Inject());
+  ASSERT_EQ(res.output.num_rows(), 3u);
+  EXPECT_EQ(res.output.column(0).ints(), (std::vector<int64_t>{1, 2, 3}));
+  const auto& b_bw = res.lineage.input(1).backward.index();
+  EXPECT_EQ(b_bw.list(2)[0], 0u);  // output 2 came from b rid 0
+  EXPECT_EQ(res.lineage.input(0).forward.array()[1], 1u);
+  EXPECT_EQ(res.lineage.input(1).forward.array()[0], 2u);
+}
+
+TEST(SetIntersectTest, Values) {
+  Table a = IntTable({1, 2, 2, 3, 5});
+  Table b = IntTable({2, 3, 3, 9});
+  auto res = SetIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  std::set<int64_t> got(res.output.column(0).ints().begin(),
+                        res.output.column(0).ints().end());
+  EXPECT_EQ(got, (std::set<int64_t>{2, 3}));
+}
+
+TEST(SetIntersectTest, LineageBothSides) {
+  Table a = IntTable({1, 2, 2, 3, 5});
+  Table b = IntTable({2, 3, 3, 9});
+  auto res = SetIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  const auto& keys = res.output.column(0).ints();
+  const auto& a_vals = a.column(0).ints();
+  const auto& b_vals = b.column(0).ints();
+  const auto& a_bw = res.lineage.input(0).backward.index();
+  const auto& b_bw = res.lineage.input(1).backward.index();
+  for (size_t o = 0; o < keys.size(); ++o) {
+    for (rid_t r : a_bw.list(o)) ASSERT_EQ(a_vals[r], keys[o]);
+    for (rid_t r : b_bw.list(o)) ASSERT_EQ(b_vals[r], keys[o]);
+    ASSERT_GT(a_bw.list(o).size(), 0u);
+    ASSERT_GT(b_bw.list(o).size(), 0u);
+  }
+}
+
+TEST(SetIntersectTest, DeferMatchesInject) {
+  Table a = IntTable({1, 2, 2, 3, 5, 5, 5});
+  Table b = IntTable({2, 3, 3, 9, 5});
+  auto inj = SetIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  auto def = SetIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Defer());
+  EXPECT_EQ(RowSet(inj.output), RowSet(def.output));
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_EQ(Edges(inj.lineage.input(t).backward),
+              Edges(def.lineage.input(t).backward));
+  }
+}
+
+TEST(BagIntersectTest, MultiplicitiesMultiply) {
+  Table a = IntTable({2, 2, 3});
+  Table b = IntTable({2, 2, 2, 3});
+  auto res = BagIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  // value 2: 2*3 = 6 rows; value 3: 1*1 = 1 row.
+  std::map<int64_t, int> counts;
+  for (int64_t v : res.output.column(0).ints()) ++counts[v];
+  EXPECT_EQ(counts[2], 6);
+  EXPECT_EQ(counts[3], 1);
+}
+
+TEST(BagIntersectTest, BackwardIsOneToOne) {
+  Table a = IntTable({2, 2, 3});
+  Table b = IntTable({2, 2, 2, 3});
+  auto res = BagIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  ASSERT_EQ(res.lineage.input(0).backward.kind(),
+            LineageIndex::Kind::kArray);
+  const auto& a_bw = res.lineage.input(0).backward.array();
+  const auto& b_bw = res.lineage.input(1).backward.array();
+  const auto& a_vals = a.column(0).ints();
+  const auto& b_vals = b.column(0).ints();
+  for (size_t o = 0; o < a_bw.size(); ++o) {
+    ASSERT_EQ(a_vals[a_bw[o]], b_vals[b_bw[o]]);
+  }
+  // Witness pairs are unique: each (a dup, b dup) combination once.
+  std::set<std::pair<rid_t, rid_t>> pairs;
+  for (size_t o = 0; o < a_bw.size(); ++o) {
+    ASSERT_TRUE(pairs.emplace(a_bw[o], b_bw[o]).second);
+  }
+}
+
+TEST(BagIntersectTest, DeferMatchesInject) {
+  Table a = IntTable({2, 2, 3, 7, 7});
+  Table b = IntTable({2, 2, 2, 3, 7});
+  auto inj = BagIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  auto def = BagIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Defer());
+  EXPECT_EQ(RowSet(inj.output), RowSet(def.output));
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_EQ(Edges(inj.lineage.input(t).backward),
+              Edges(def.lineage.input(t).backward));
+    EXPECT_EQ(Edges(inj.lineage.input(t).forward),
+              Edges(def.lineage.input(t).forward));
+  }
+}
+
+TEST(SetDifferenceTest, Values) {
+  Table a = IntTable({1, 2, 2, 3, 5});
+  Table b = IntTable({2, 9});
+  auto res = SetDifferenceExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  std::set<int64_t> got(res.output.column(0).ints().begin(),
+                        res.output.column(0).ints().end());
+  EXPECT_EQ(got, (std::set<int64_t>{1, 3, 5}));
+}
+
+TEST(SetDifferenceTest, LineageOnlyForOuterRelation) {
+  Table a = IntTable({1, 2, 2, 3, 5});
+  Table b = IntTable({2, 9});
+  auto res = SetDifferenceExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  ASSERT_EQ(res.lineage.num_inputs(), 1u);  // B is not captured
+  EXPECT_EQ(res.lineage.input(0).table_name, "a");
+  const auto& bw = res.lineage.input(0).backward.index();
+  const auto& keys = res.output.column(0).ints();
+  const auto& a_vals = a.column(0).ints();
+  for (size_t o = 0; o < keys.size(); ++o) {
+    for (rid_t r : bw.list(o)) ASSERT_EQ(a_vals[r], keys[o]);
+  }
+}
+
+TEST(SetOpsTest, StringColumns) {
+  Schema s;
+  s.AddField("name", DataType::kString);
+  Table a(s), b(s);
+  for (const char* v : {"x", "y", "x"}) a.AppendRow({std::string(v)});
+  for (const char* v : {"y", "z"}) b.AppendRow({std::string(v)});
+  auto uni = SetUnionExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  EXPECT_EQ(uni.output.num_rows(), 3u);
+  auto inter = SetIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  EXPECT_EQ(inter.output.num_rows(), 1u);
+  EXPECT_EQ(inter.output.column(0).strings()[0], "y");
+  auto diff = SetDifferenceExec(a, "a", b, "b", {0}, CaptureOptions::Inject());
+  EXPECT_EQ(diff.output.num_rows(), 1u);
+  EXPECT_EQ(diff.output.column(0).strings()[0], "x");
+}
+
+TEST(SetOpsTest, EmptyInputs) {
+  Table a = IntTable({});
+  Table b = IntTable({1});
+  EXPECT_EQ(SetUnionExec(a, "a", b, "b", {0}, CaptureOptions::Inject())
+                .output.num_rows(),
+            1u);
+  EXPECT_EQ(SetIntersectExec(a, "a", b, "b", {0}, CaptureOptions::Inject())
+                .output.num_rows(),
+            0u);
+  EXPECT_EQ(SetDifferenceExec(b, "b", a, "a", {0}, CaptureOptions::Inject())
+                .output.num_rows(),
+            1u);
+}
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,198 @@
+#include "core/smoke_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/tpch.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+class SmokeEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.CreateTable("zipf", MakeZipfTable(5000, 10, 1.0)).ok());
+    ASSERT_TRUE(engine_.GetTable("zipf", &zipf_).ok());
+    query_.fact = zipf_;
+    query_.fact_name = "zipf";
+    query_.group_by = {ColRef::Fact(zipf_table::kZ)};
+    query_.aggs = {AggSpec::Count("cnt"),
+                   AggSpec::Sum(ScalarExpr::Col(zipf_table::kV), "sum_v")};
+  }
+
+  SmokeEngine engine_;
+  const Table* zipf_ = nullptr;
+  SPJAQuery query_;
+};
+
+TEST_F(SmokeEngineTest, CreateTableRejectsDuplicates) {
+  EXPECT_FALSE(engine_.CreateTable("zipf", MakeZipfTable(10, 2, 0.0)).ok());
+}
+
+TEST_F(SmokeEngineTest, ExecuteAndFetch) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+  const Table* out = nullptr;
+  ASSERT_TRUE(engine_.GetResult("v1", &out).ok());
+  EXPECT_EQ(out->num_rows(), 10u);
+  EXPECT_FALSE(engine_.ExecuteQuery("v1", query_).ok());  // duplicate name
+  EXPECT_FALSE(engine_.GetResult("nope", &out).ok());
+}
+
+TEST_F(SmokeEngineTest, BackwardForwardRoundTrip) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+  std::vector<rid_t> back;
+  ASSERT_TRUE(engine_.Backward("v1", "zipf", {0}, &back).ok());
+  EXPECT_GT(back.size(), 0u);
+  // Every backward rid forward-traces to output 0.
+  std::vector<rid_t> fwd;
+  ASSERT_TRUE(engine_.Forward("v1", "zipf", {back[0]}, &fwd).ok());
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0], 0u);
+}
+
+TEST_F(SmokeEngineTest, BackwardRowsMaterializes) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+  Table rows;
+  ASSERT_TRUE(engine_.BackwardRows("v1", "zipf", {1}, &rows).ok());
+  EXPECT_GT(rows.num_rows(), 0u);
+  EXPECT_EQ(rows.num_columns(), zipf_->num_columns());
+  // All rows carry the group's key.
+  const Table* out = nullptr;
+  ASSERT_TRUE(engine_.GetResult("v1", &out).ok());
+  int64_t key = out->column(0).ints()[1];
+  for (int64_t z : rows.column(1).ints()) EXPECT_EQ(z, key);
+}
+
+TEST_F(SmokeEngineTest, ErrorsOnOutOfRange) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+  std::vector<rid_t> rids;
+  EXPECT_FALSE(engine_.Backward("v1", "zipf", {99999}, &rids).ok());
+  EXPECT_FALSE(engine_.Forward("v1", "zipf", {99999999}, &rids).ok());
+  EXPECT_FALSE(engine_.Backward("v1", "unknown_rel", {0}, &rids).ok());
+  EXPECT_FALSE(engine_.Backward("unknown_query", "zipf", {0}, &rids).ok());
+}
+
+TEST_F(SmokeEngineTest, WorkloadPruningIsEnforced) {
+  Workload w;
+  w.needs_forward = false;  // only backward queries declared
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_, CaptureMode::kInject, &w).ok());
+  std::vector<rid_t> rids;
+  EXPECT_TRUE(engine_.Backward("v1", "zipf", {0}, &rids).ok());
+  EXPECT_FALSE(engine_.Forward("v1", "zipf", {0}, &rids).ok());
+}
+
+TEST_F(SmokeEngineTest, PhysicalModesRejected) {
+  EXPECT_EQ(engine_.ExecuteQuery("v1", query_, CaptureMode::kPhysBdb).code(),
+            Status::Code::kUnsupported);
+}
+
+TEST_F(SmokeEngineTest, ConsumingQueryAndChain) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+  // Drill into group 0 by the id column (raw int key).
+  ConsumingSpec spec;
+  spec.group_by = {GroupExpr::Raw(zipf_table::kZ, "z")};
+  spec.aggs = {AggSpec::Count("cnt")};
+  ASSERT_TRUE(engine_.ExecuteConsuming("drill", "v1", 0, spec).ok());
+  const Table* drill = nullptr;
+  ASSERT_TRUE(engine_.GetConsumingResult("drill", &drill).ok());
+  ASSERT_EQ(drill->num_rows(), 1u);  // group 0 has a single z value
+  // Chain one more level.
+  ConsumingSpec spec2;
+  spec2.group_by = {GroupExpr::Raw(zipf_table::kId, "id")};
+  spec2.aggs = {AggSpec::Count("cnt")};
+  ASSERT_TRUE(engine_.ExecuteConsumingChained("drill2", "drill", 0, spec2).ok());
+  const Table* drill2 = nullptr;
+  ASSERT_TRUE(engine_.GetConsumingResult("drill2", &drill2).ok());
+  // One output row per input row of group 0 (id is unique).
+  EXPECT_EQ(drill2->num_rows(),
+            static_cast<size_t>(drill->column(1).ints()[0]));
+}
+
+TEST_F(SmokeEngineTest, DropResult) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+  EXPECT_EQ(engine_.QueryNames().size(), 1u);
+  ASSERT_TRUE(engine_.DropResult("v1").ok());
+  EXPECT_TRUE(engine_.QueryNames().empty());
+  EXPECT_FALSE(engine_.DropResult("v1").ok());
+}
+
+TEST_F(SmokeEngineTest, TpchEndToEnd) {
+  tpch::Database db = tpch::Generate(0.005);
+  SmokeEngine eng;
+  ASSERT_TRUE(eng.CreateTable("lineitem", std::move(db.lineitem)).ok());
+  const Table* lineitem = nullptr;
+  ASSERT_TRUE(eng.GetTable("lineitem", &lineitem).ok());
+  tpch::Database view;  // only lineitem needed for Q1
+  SPJAQuery q1;
+  q1.fact = lineitem;
+  q1.fact_name = "lineitem";
+  q1.fact_filters = {Predicate::Int(tpch::kLShipdate, CmpOp::kLe, 19980902)};
+  q1.group_by = {ColRef::Fact(tpch::kLReturnflag),
+                 ColRef::Fact(tpch::kLLinestatus)};
+  q1.aggs = {AggSpec::Count("count_order")};
+  ASSERT_TRUE(eng.ExecuteQuery("q1", q1).ok());
+  const Table* out = nullptr;
+  ASSERT_TRUE(eng.GetResult("q1", &out).ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+}
+
+}  // namespace
+}  // namespace smoke
+
+namespace smoke {
+namespace {
+
+class LinkedBrushingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        engine_.CreateTable("x", MakeZipfTable(2000, 6, 1.0, 71)).ok());
+    const Table* x = nullptr;
+    ASSERT_TRUE(engine_.GetTable("x", &x).ok());
+    // V1 groups by z; V2 groups by id % — approximate with z as well but
+    // different aggregation so outputs differ in shape.
+    SPJAQuery v1;
+    v1.fact = x;
+    v1.fact_name = "x";
+    v1.group_by = {ColRef::Fact(zipf_table::kZ)};
+    v1.aggs = {AggSpec::Count("n")};
+    ASSERT_TRUE(engine_.ExecuteQuery("v1", v1).ok());
+    SPJAQuery v2;
+    v2.fact = x;
+    v2.fact_name = "x";
+    v2.group_by = {ColRef::Fact(zipf_table::kId)};  // one bar per row
+    v2.aggs = {AggSpec::Count("n")};
+    ASSERT_TRUE(engine_.ExecuteQuery("v2", v2).ok());
+  }
+  SmokeEngine engine_;
+};
+
+TEST_F(LinkedBrushingTest, TraceAcrossMatchesManualComposition) {
+  std::vector<rid_t> linked;
+  ASSERT_TRUE(engine_.TraceAcross("v1", {0, 1}, "x", "v2", &linked).ok());
+  std::vector<rid_t> shared;
+  ASSERT_TRUE(engine_.Backward("v1", "x", {0, 1}, &shared).ok());
+  std::vector<rid_t> manual;
+  ASSERT_TRUE(engine_.Forward("v2", "x", shared, &manual).ok());
+  EXPECT_EQ(linked, manual);
+  EXPECT_EQ(linked.size(), shared.size());  // v2 has one bar per input row
+}
+
+TEST_F(LinkedBrushingTest, UnknownQueryFails) {
+  std::vector<rid_t> linked;
+  EXPECT_FALSE(engine_.TraceAcross("v1", {0}, "x", "nope", &linked).ok());
+  EXPECT_FALSE(engine_.TraceAcross("nope", {0}, "x", "v2", &linked).ok());
+}
+
+TEST_F(LinkedBrushingTest, BrushAllBarsCoversAllOfV2) {
+  const Table* v1 = nullptr;
+  ASSERT_TRUE(engine_.GetResult("v1", &v1).ok());
+  std::vector<rid_t> all_bars;
+  for (rid_t g = 0; g < v1->num_rows(); ++g) all_bars.push_back(g);
+  std::vector<rid_t> linked;
+  ASSERT_TRUE(engine_.TraceAcross("v1", all_bars, "x", "v2", &linked).ok());
+  EXPECT_EQ(linked.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace smoke

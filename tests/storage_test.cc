@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "common/zipf.h"
+#include "storage/catalog.h"
+#include "storage/dictionary.h"
+#include "storage/table.h"
+
+namespace smoke {
+namespace {
+
+Table SmallTable() {
+  Schema s;
+  s.AddField("a", DataType::kInt64);
+  s.AddField("b", DataType::kFloat64);
+  s.AddField("c", DataType::kString);
+  Table t(s);
+  t.AppendRow({int64_t{1}, 1.5, std::string("x")});
+  t.AppendRow({int64_t{2}, 2.5, std::string("y")});
+  t.AppendRow({int64_t{1}, 3.5, std::string("x")});
+  return t;
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s;
+  s.AddField("a", DataType::kInt64);
+  s.AddField("b", DataType::kString);
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("nope"), -1);
+  EXPECT_EQ(s.num_fields(), 2u);
+}
+
+TEST(TableTest, AppendAndGet) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(std::get<int64_t>(t.GetValue(0, 0)), 1);
+  EXPECT_EQ(std::get<double>(t.GetValue(1, 1)), 2.5);
+  EXPECT_EQ(std::get<std::string>(t.GetValue(2, 2)), "x");
+}
+
+TEST(TableTest, AppendRowFrom) {
+  Table t = SmallTable();
+  Table u(t.schema());
+  u.AppendRowFrom(t, 1);
+  EXPECT_EQ(u.num_rows(), 1u);
+  EXPECT_EQ(std::get<std::string>(u.GetValue(0, 2)), "y");
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.column("a").type(), DataType::kInt64);
+  EXPECT_EQ(t.ColumnIndex("c"), 2);
+}
+
+TEST(TableTest, ToStringRendersRows) {
+  Table t = SmallTable();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("a | b | c"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(CatalogTest, AddGetAndDuplicates) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable("t", SmallTable()).ok());
+  const Table* t = nullptr;
+  ASSERT_TRUE(cat.GetTable("t", &t).ok());
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_FALSE(cat.AddTable("t", SmallTable()).ok());
+  EXPECT_EQ(cat.AddTable("t", SmallTable()).code(),
+            Status::Code::kAlreadyExists);
+  EXPECT_FALSE(cat.GetTable("missing", &t).ok());
+  EXPECT_TRUE(cat.HasTable("t"));
+  EXPECT_EQ(cat.TableNames().size(), 1u);
+}
+
+TEST(DictionaryTest, SingleIntColumn) {
+  Table t = SmallTable();
+  Dictionary d = BuildDictionary(t, {0});
+  EXPECT_EQ(d.num_codes, 2u);
+  EXPECT_EQ(d.codes[0], d.codes[2]);  // both a=1
+  EXPECT_NE(d.codes[0], d.codes[1]);
+  EXPECT_EQ(d.CodeForInt(1), d.codes[0]);
+  EXPECT_EQ(d.CodeForInt(2), d.codes[1]);
+  EXPECT_EQ(d.CodeForInt(99), UINT32_MAX);
+}
+
+TEST(DictionaryTest, MultiColumn) {
+  Table t = SmallTable();
+  Dictionary d = BuildDictionary(t, {0, 2});
+  EXPECT_EQ(d.num_codes, 2u);  // (1,x) and (2,y); row 2 repeats (1,x)
+  EXPECT_EQ(d.codes[0], d.codes[2]);
+  std::string key = DictKeyOfRow(t, {0, 2}, 0);
+  EXPECT_EQ(d.CodeForString(key), d.codes[0]);
+}
+
+TEST(StatusTest, Formatting) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  EXPECT_EQ(Status::NotFound("x").ToString(), "Not found: x");
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(DateTest, RoundTrip) {
+  for (int64_t ymd : {19920101L, 19950617L, 19981231L, 20000229L}) {
+    EXPECT_EQ(YmdFromDays(DaysFromYmd(ymd)), ymd);
+  }
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT(DaysFromYmd(19941231), DaysFromYmd(19950101));
+  EXPECT_EQ(DaysFromYmd(19950102) - DaysFromYmd(19950101), 1);
+}
+
+TEST(ZipfTest, BoundsAndDeterminism) {
+  ZipfGenerator g1(100, 1.0, 5);
+  ZipfGenerator g2(100, 1.0, 5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = g1.Next();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+    EXPECT_EQ(v, g2.Next());
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  // With theta=1.2, value 1 should be far more frequent than under theta=0.
+  auto frac_ones = [](double theta) {
+    ZipfGenerator g(100, theta, 11);
+    int ones = 0;
+    for (int i = 0; i < 20000; ++i) ones += g.Next() == 1;
+    return ones / 20000.0;
+  };
+  EXPECT_GT(frac_ones(1.2), 0.15);
+  EXPECT_LT(frac_ones(0.0), 0.03);
+}
+
+TEST(ZipfTest, UniformCoversRange) {
+  ZipfGenerator g(10, 0.0, 3);
+  std::vector<int> seen(11, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[static_cast<size_t>(g.Next())];
+  for (int v = 1; v <= 10; ++v) EXPECT_GT(seen[static_cast<size_t>(v)], 300);
+}
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,146 @@
+#include "workloads/tpch.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/ontime.h"
+#include "workloads/physician.h"
+
+namespace smoke {
+namespace {
+
+class TpchGenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new tpch::Database(tpch::Generate(0.01));
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static tpch::Database* db_;
+};
+tpch::Database* TpchGenTest::db_ = nullptr;
+
+TEST_F(TpchGenTest, RowCountsScale) {
+  EXPECT_EQ(db_->nation.num_rows(), 25u);
+  EXPECT_NEAR(static_cast<double>(db_->customer.num_rows()), 1500, 2);
+  EXPECT_EQ(db_->orders.num_rows(), db_->customer.num_rows() * 10);
+  // ~4 lineitems per order.
+  double ratio = static_cast<double>(db_->lineitem.num_rows()) /
+                 static_cast<double>(db_->orders.num_rows());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST_F(TpchGenTest, DatesWellFormed) {
+  for (int64_t d : db_->orders.column(tpch::kOOrderdate).ints()) {
+    ASSERT_GE(d, 19920101);
+    ASSERT_LE(d, 19980802);
+    int64_t m = (d / 100) % 100, day = d % 100;
+    ASSERT_GE(m, 1);
+    ASSERT_LE(m, 12);
+    ASSERT_GE(day, 1);
+    ASSERT_LE(day, 31);
+  }
+}
+
+TEST_F(TpchGenTest, LineitemDateOrdering) {
+  const auto& ship = db_->lineitem.column(tpch::kLShipdate).ints();
+  const auto& receipt = db_->lineitem.column(tpch::kLReceiptdate).ints();
+  for (size_t i = 0; i < ship.size(); ++i) {
+    ASSERT_LT(ship[i], receipt[i]);  // receipt strictly after ship
+  }
+}
+
+TEST_F(TpchGenTest, ReturnflagLinestatusGroups) {
+  std::set<std::string> groups;
+  const auto& rf = db_->lineitem.column(tpch::kLReturnflag).strings();
+  const auto& ls = db_->lineitem.column(tpch::kLLinestatus).strings();
+  size_t nf = 0;
+  for (size_t i = 0; i < rf.size(); ++i) {
+    groups.insert(rf[i] + ls[i]);
+    nf += rf[i] == "N" && ls[i] == "F";
+  }
+  // The four Q1 groups, with (N, F) rare.
+  EXPECT_EQ(groups, (std::set<std::string>{"AF", "NF", "NO", "RF"}));
+  EXPECT_LT(static_cast<double>(nf) / static_cast<double>(rf.size()), 0.02);
+}
+
+TEST_F(TpchGenTest, CategoricalDomains) {
+  std::set<std::string> modes, instrs, prios, segs;
+  for (const auto& v : db_->lineitem.column(tpch::kLShipmode).strings()) {
+    modes.insert(v);
+  }
+  for (const auto& v : db_->lineitem.column(tpch::kLShipinstruct).strings()) {
+    instrs.insert(v);
+  }
+  for (const auto& v : db_->orders.column(tpch::kOOrderpriority).strings()) {
+    prios.insert(v);
+  }
+  for (const auto& v : db_->customer.column(tpch::kCMktsegment).strings()) {
+    segs.insert(v);
+  }
+  EXPECT_EQ(modes.size(), 7u);
+  EXPECT_EQ(instrs.size(), 4u);
+  EXPECT_EQ(prios.size(), 5u);
+  EXPECT_EQ(segs.size(), 5u);
+}
+
+TEST_F(TpchGenTest, ForeignKeysResolve) {
+  std::set<int64_t> custkeys(db_->customer.column(tpch::kCCustkey).ints().begin(),
+                             db_->customer.column(tpch::kCCustkey).ints().end());
+  for (int64_t ck : db_->orders.column(tpch::kOCustkey).ints()) {
+    ASSERT_TRUE(custkeys.count(ck));
+  }
+  std::set<int64_t> orderkeys(db_->orders.column(tpch::kOOrderkey).ints().begin(),
+                              db_->orders.column(tpch::kOOrderkey).ints().end());
+  for (int64_t ok : db_->lineitem.column(tpch::kLOrderkey).ints()) {
+    ASSERT_TRUE(orderkeys.count(ok));
+  }
+}
+
+TEST_F(TpchGenTest, Deterministic) {
+  tpch::Database db2 = tpch::Generate(0.01);
+  ASSERT_EQ(db2.lineitem.num_rows(), db_->lineitem.num_rows());
+  EXPECT_EQ(db2.lineitem.column(tpch::kLExtendedprice).doubles()[5],
+            db_->lineitem.column(tpch::kLExtendedprice).doubles()[5]);
+}
+
+TEST(OntimeGenTest, BinDomains) {
+  Table t = ontime::Generate(10000, 3);
+  std::set<int64_t> latlon, dates, delays, carriers;
+  for (int64_t v : t.column(ontime::kLatLonBin).ints()) latlon.insert(v);
+  for (int64_t v : t.column(ontime::kDateBin).ints()) dates.insert(v);
+  for (int64_t v : t.column(ontime::kDelayBin).ints()) delays.insert(v);
+  for (int64_t v : t.column(ontime::kCarrier).ints()) carriers.insert(v);
+  EXPECT_LE(latlon.size(), static_cast<size_t>(ontime::kNumAirports));
+  EXPECT_LE(dates.size(), static_cast<size_t>(ontime::kNumDateBins));
+  EXPECT_LE(delays.size(), 8u);
+  EXPECT_LE(carriers.size(), 29u);
+  for (int64_t v : latlon) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, ontime::kNumLatLonBins);
+  }
+}
+
+TEST(OntimeGenTest, SkewedAirports) {
+  Table t = ontime::Generate(50000, 4);
+  std::map<int64_t, int> counts;
+  for (int64_t v : t.column(ontime::kLatLonBin).ints()) ++counts[v];
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // Zipf(1.0): the most popular airport dominates the mean.
+  EXPECT_GT(max_count, 50000 / 300 * 10);
+}
+
+TEST(PhysicianGenTest, SchemaAndNpiType) {
+  Table t = physician::Generate(1000, 5);
+  EXPECT_EQ(t.num_rows(), 1000u);
+  EXPECT_EQ(t.column(physician::kNpi).type(), DataType::kInt64);
+  EXPECT_EQ(t.column(physician::kZip).type(), DataType::kString);
+  for (int64_t npi : t.column(physician::kNpi).ints()) {
+    EXPECT_GE(npi, 1000000000);
+  }
+}
+
+}  // namespace
+}  // namespace smoke
