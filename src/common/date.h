@@ -33,8 +33,8 @@ constexpr void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
 
 /// yyyymmdd encoding of a day number.
 constexpr int64_t YmdFromDays(int64_t days) {
-  int64_t y;
-  unsigned m, d;
+  int64_t y = 0;
+  unsigned m = 0, d = 0;
   CivilFromDays(days, &y, &m, &d);
   return y * 10000 + static_cast<int64_t>(m) * 100 + d;
 }

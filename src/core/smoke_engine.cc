@@ -13,10 +13,65 @@ Status SmokeEngine::GetTable(const std::string& name,
   return catalog_.GetTable(name, out);
 }
 
+Status SmokeEngine::ReplaceTable(const std::string& name, Table table) {
+  const Table* existing = nullptr;
+  SMOKE_RETURN_NOT_OK(catalog_.GetTable(name, &existing));
+  if (TableInUse(existing)) {
+    return Status::InvalidArgument(
+        "table '" + name +
+        "' is referenced by retained query results; drop them before "
+        "replacing the table");
+  }
+  return catalog_.ReplaceTable(name, std::move(table));
+}
+
+Status SmokeEngine::DropTable(const std::string& name) {
+  const Table* existing = nullptr;
+  SMOKE_RETURN_NOT_OK(catalog_.GetTable(name, &existing));
+  if (TableInUse(existing)) {
+    return Status::InvalidArgument(
+        "table '" + name +
+        "' is referenced by retained query results; drop them before "
+        "dropping the table");
+  }
+  return catalog_.DropTable(name);
+}
+
+bool SmokeEngine::TableInUse(const Table* table) const {
+  for (const auto& [name, rq] : queries_) {
+    (void)name;
+    if (rq->fact == table || rq->query.fact == table) return true;
+    for (const SPJADim& d : rq->query.dims) {
+      if (d.table == table) return true;
+    }
+    const QueryLineage& lin = rq->result.lineage;
+    for (size_t i = 0; i < lin.num_inputs(); ++i) {
+      if (lin.input(i).table == table) return true;
+    }
+  }
+  for (const auto& [name, rp] : plans_) {
+    (void)name;
+    const QueryLineage& lin = rp->result.lineage;
+    for (size_t i = 0; i < lin.num_inputs(); ++i) {
+      if (lin.input(i).table == table) return true;
+    }
+  }
+  for (const auto& [name, rc] : consuming_) {
+    (void)name;
+    if (rc->fact == table) return true;
+  }
+  return false;
+}
+
+bool SmokeEngine::IsRetainedName(const std::string& name) const {
+  return queries_.count(name) > 0 || plans_.count(name) > 0 ||
+         consuming_.count(name) > 0;
+}
+
 Status SmokeEngine::ExecuteQuery(const std::string& query_name,
                                  const SPJAQuery& query, CaptureMode mode,
                                  const Workload* workload) {
-  if (queries_.count(query_name)) {
+  if (IsRetainedName(query_name)) {
     return Status::AlreadyExists("query '" + query_name + "'");
   }
   if (query.fact == nullptr) {
@@ -41,22 +96,51 @@ Status SmokeEngine::ExecuteQuery(const std::string& query_name,
   retained->query = query;
   retained->fact = query.fact;
   retained->result = SPJAExec(query, opts, push);
-  if (mode == CaptureMode::kDefer) {
-    // The facade finalizes eagerly; callers wanting think-time scheduling
-    // use SPJAExec directly. (SPJA Defer finalizes inside SPJAExec.)
-  }
   queries_[query_name] = std::move(retained);
+  return Status::OK();
+}
+
+Status SmokeEngine::ExecutePlan(const std::string& query_name,
+                                const LogicalPlan& plan, CaptureMode mode,
+                                const Workload* workload) {
+  if (IsRetainedName(query_name)) {
+    return Status::AlreadyExists("query '" + query_name + "'");
+  }
+  if (mode == CaptureMode::kPhysMem || mode == CaptureMode::kPhysBdb) {
+    return Status::Unsupported(
+        "physical baselines are exercised per-operator, not via the engine "
+        "facade");
+  }
+
+  CaptureOptions opts = CaptureOptions::Mode(mode);
+  if (workload != nullptr) {
+    if (!workload->pushdown.empty()) {
+      return Status::InvalidArgument(
+          "workload push-downs do not apply to plan queries; attach them to "
+          "the plan's SpjaBlock node instead");
+    }
+    opts.only_relations = workload->traced_relations;
+    opts.capture_backward = workload->needs_backward;
+    opts.capture_forward = workload->needs_forward;
+  }
+
+  auto retained = std::make_unique<RetainedPlan>();
+  SMOKE_RETURN_NOT_OK(smoke::ExecutePlan(plan, opts, &retained->result));
+  plans_[query_name] = std::move(retained);
   return Status::OK();
 }
 
 Status SmokeEngine::GetResult(const std::string& query_name,
                               const Table** out) const {
-  auto it = queries_.find(query_name);
-  if (it == queries_.end()) {
-    return Status::NotFound("query '" + query_name + "'");
+  if (auto it = queries_.find(query_name); it != queries_.end()) {
+    *out = &it->second->result.output;
+    return Status::OK();
   }
-  *out = &it->second->result.output;
-  return Status::OK();
+  if (auto it = plans_.find(query_name); it != plans_.end()) {
+    *out = &it->second->result.output;
+    return Status::OK();
+  }
+  return Status::NotFound("query '" + query_name + "'");
 }
 
 Status SmokeEngine::GetResultObject(const std::string& query_name,
@@ -69,30 +153,50 @@ Status SmokeEngine::GetResultObject(const std::string& query_name,
   return Status::OK();
 }
 
+Status SmokeEngine::GetPlanResult(const std::string& query_name,
+                                  const PlanResult** out) const {
+  auto it = plans_.find(query_name);
+  if (it == plans_.end()) {
+    return Status::NotFound("plan query '" + query_name + "'");
+  }
+  *out = &it->second->result;
+  return Status::OK();
+}
+
+Status SmokeEngine::FindLineage(const std::string& query_name,
+                                const QueryLineage** out) const {
+  if (auto it = queries_.find(query_name); it != queries_.end()) {
+    *out = &it->second->result.lineage;
+    return Status::OK();
+  }
+  if (auto it = plans_.find(query_name); it != plans_.end()) {
+    *out = &it->second->result.lineage;
+    return Status::OK();
+  }
+  return Status::NotFound("query '" + query_name + "'");
+}
+
 Status SmokeEngine::Backward(const std::string& query_name,
                              const std::string& relation,
                              const std::vector<rid_t>& out_rids,
                              std::vector<rid_t>* rids, bool dedup) const {
-  auto it = queries_.find(query_name);
-  if (it == queries_.end()) {
-    return Status::NotFound("query '" + query_name + "'");
-  }
-  const QueryLineage& lineage = it->second->result.lineage;
-  int idx = lineage.FindInput(relation);
+  const QueryLineage* lineage = nullptr;
+  SMOKE_RETURN_NOT_OK(FindLineage(query_name, &lineage));
+  int idx = lineage->FindInput(relation);
   if (idx < 0) {
     return Status::NotFound("relation '" + relation + "' in query lineage");
   }
-  if (lineage.input(static_cast<size_t>(idx)).backward.empty()) {
+  if (lineage->input(static_cast<size_t>(idx)).backward.empty()) {
     return Status::InvalidArgument(
         "backward lineage for '" + relation +
         "' was not captured (pruned or mode without indexes)");
   }
   for (rid_t o : out_rids) {
-    if (o >= lineage.output_cardinality()) {
+    if (o >= lineage->output_cardinality()) {
       return Status::InvalidArgument("output rid out of range");
     }
   }
-  *rids = BackwardRids(lineage, relation, out_rids, dedup);
+  *rids = BackwardRids(*lineage, relation, out_rids, dedup);
   return Status::OK();
 }
 
@@ -100,16 +204,13 @@ Status SmokeEngine::Forward(const std::string& query_name,
                             const std::string& relation,
                             const std::vector<rid_t>& in_rids,
                             std::vector<rid_t>* rids) const {
-  auto it = queries_.find(query_name);
-  if (it == queries_.end()) {
-    return Status::NotFound("query '" + query_name + "'");
-  }
-  const QueryLineage& lineage = it->second->result.lineage;
-  int idx = lineage.FindInput(relation);
+  const QueryLineage* lineage = nullptr;
+  SMOKE_RETURN_NOT_OK(FindLineage(query_name, &lineage));
+  int idx = lineage->FindInput(relation);
   if (idx < 0) {
     return Status::NotFound("relation '" + relation + "' in query lineage");
   }
-  const TableLineage& tl = lineage.input(static_cast<size_t>(idx));
+  const TableLineage& tl = lineage->input(static_cast<size_t>(idx));
   if (tl.forward.empty()) {
     return Status::InvalidArgument(
         "forward lineage for '" + relation + "' was not captured");
@@ -119,7 +220,7 @@ Status SmokeEngine::Forward(const std::string& query_name,
       return Status::InvalidArgument("input rid out of range");
     }
   }
-  *rids = ForwardRids(lineage, relation, in_rids);
+  *rids = ForwardRids(*lineage, relation, in_rids);
   return Status::OK();
 }
 
@@ -129,10 +230,10 @@ Status SmokeEngine::BackwardRows(const std::string& query_name,
                                  Table* rows) const {
   std::vector<rid_t> rids;
   SMOKE_RETURN_NOT_OK(Backward(query_name, relation, out_rids, &rids));
-  auto it = queries_.find(query_name);
-  const QueryLineage& lineage = it->second->result.lineage;
-  int idx = lineage.FindInput(relation);
-  const Table* table = lineage.input(static_cast<size_t>(idx)).table;
+  const QueryLineage* lineage = nullptr;
+  SMOKE_RETURN_NOT_OK(FindLineage(query_name, &lineage));
+  int idx = lineage->FindInput(relation);
+  const Table* table = lineage->input(static_cast<size_t>(idx)).table;
   if (table == nullptr) {
     return Status::InvalidArgument("relation table not available");
   }
@@ -155,29 +256,61 @@ Status SmokeEngine::ExecuteConsuming(const std::string& result_name,
                                      const std::string& base_query,
                                      rid_t output_rid,
                                      const ConsumingSpec& spec) {
-  if (consuming_.count(result_name)) {
-    return Status::AlreadyExists("result '" + result_name + "'");
-  }
-  auto it = queries_.find(base_query);
-  if (it == queries_.end()) {
+  // Default traced relation: the SPJA fact table, or a plan's first input.
+  std::string relation;
+  if (auto it = queries_.find(base_query); it != queries_.end()) {
+    relation = it->second->query.fact_name;
+  } else if (auto it = plans_.find(base_query); it != plans_.end()) {
+    const QueryLineage& lin = it->second->result.lineage;
+    if (lin.num_inputs() == 0) {
+      return Status::InvalidArgument("plan query '" + base_query +
+                                     "' has no captured lineage");
+    }
+    relation = lin.input(0).table_name;
+  } else {
     return Status::NotFound("query '" + base_query + "'");
   }
-  const SPJAResult& base = it->second->result;
-  const QueryLineage& lineage = base.lineage;
-  if (output_rid >= base.output_cardinality) {
+  return ExecuteConsumingOn(result_name, base_query, relation, output_rid,
+                            spec);
+}
+
+Status SmokeEngine::ExecuteConsumingOn(const std::string& result_name,
+                                       const std::string& base_query,
+                                       const std::string& relation,
+                                       rid_t output_rid,
+                                       const ConsumingSpec& spec) {
+  if (IsRetainedName(result_name)) {
+    return Status::AlreadyExists("result '" + result_name + "'");
+  }
+  const QueryLineage* lineage = nullptr;
+  SMOKE_RETURN_NOT_OK(FindLineage(base_query, &lineage));
+  if (output_rid >= lineage->output_cardinality()) {
     return Status::InvalidArgument("output rid out of range");
   }
-  int idx = lineage.FindInput(it->second->query.fact_name);
-  if (idx < 0 || lineage.input(static_cast<size_t>(idx)).backward.kind() !=
-                     LineageIndex::Kind::kIndex) {
-    return Status::InvalidArgument(
-        "base query has no fact backward index (pruned or skip-partitioned)");
+  int idx = lineage->FindInput(relation);
+  if (idx < 0) {
+    return Status::NotFound("relation '" + relation + "' in query lineage");
   }
-  const RidVec& rids =
-      lineage.input(static_cast<size_t>(idx)).backward.index().list(output_rid);
+  const TableLineage& tl = lineage->input(static_cast<size_t>(idx));
+  if (tl.backward.empty()) {
+    return Status::InvalidArgument(
+        "base query has no backward index for '" + relation +
+        "' (pruned or skip-partitioned)");
+  }
+  if (tl.table == nullptr) {
+    return Status::InvalidArgument("relation table not available");
+  }
+
   auto retained = std::make_unique<RetainedConsuming>();
-  retained->fact = it->second->fact;
-  retained->result = ConsumingOverRids(*it->second->fact, spec, rids);
+  retained->fact = tl.table;
+  if (tl.backward.kind() == LineageIndex::Kind::kIndex) {
+    retained->result = ConsumingOverRids(
+        *tl.table, spec, tl.backward.index().list(output_rid));
+  } else {
+    std::vector<rid_t> rids;
+    tl.backward.TraceInto(output_rid, &rids);
+    retained->result = ConsumingOverRids(*tl.table, spec, rids);
+  }
   consuming_[result_name] = std::move(retained);
   return Status::OK();
 }
@@ -186,7 +319,7 @@ Status SmokeEngine::ExecuteConsumingChained(const std::string& result_name,
                                             const std::string& base_consuming,
                                             rid_t output_rid,
                                             const ConsumingSpec& spec) {
-  if (consuming_.count(result_name)) {
+  if (IsRetainedName(result_name)) {
     return Status::AlreadyExists("result '" + result_name + "'");
   }
   auto it = consuming_.find(base_consuming);
@@ -216,6 +349,7 @@ Status SmokeEngine::GetConsumingResult(const std::string& result_name,
 
 Status SmokeEngine::DropResult(const std::string& query_name) {
   if (queries_.erase(query_name) > 0) return Status::OK();
+  if (plans_.erase(query_name) > 0) return Status::OK();
   if (consuming_.erase(query_name) > 0) return Status::OK();
   return Status::NotFound("query '" + query_name + "'");
 }
@@ -223,6 +357,7 @@ Status SmokeEngine::DropResult(const std::string& query_name) {
 std::vector<std::string> SmokeEngine::QueryNames() const {
   std::vector<std::string> names;
   for (const auto& [k, v] : queries_) names.push_back(k);
+  for (const auto& [k, v] : plans_) names.push_back(k);
   for (const auto& [k, v] : consuming_) names.push_back(k);
   return names;
 }

@@ -4,9 +4,11 @@
 // registers base relations, submits base queries Q (optionally with a
 // declared lineage-consuming workload W that configures pruning and
 // push-down), and then issues backward / forward / consuming lineage
-// queries against the retained lineage indexes. Query results and their
-// lineage are retained under client-chosen names so consuming queries can
-// chain (C over C' over Q).
+// queries against the retained lineage indexes. Base queries come in two
+// forms: the legacy SPJA block (ExecuteQuery) and arbitrary composable
+// operator DAGs built with PlanBuilder (ExecutePlan). Query results and
+// their lineage are retained under client-chosen names so consuming queries
+// can chain (C over C' over Q) and lineage can be traced across queries.
 #ifndef SMOKE_CORE_SMOKE_ENGINE_H_
 #define SMOKE_CORE_SMOKE_ENGINE_H_
 
@@ -17,6 +19,8 @@
 
 #include "common/status.h"
 #include "engine/spja.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
 #include "query/consuming.h"
 #include "storage/catalog.h"
 
@@ -30,7 +34,9 @@ struct Workload {
   std::vector<std::string> traced_relations;
   bool needs_backward = true;
   bool needs_forward = true;
-  /// Push-down configuration (selection / data skipping / cube).
+  /// Push-down configuration (selection / data skipping / cube). Applies to
+  /// SPJA base queries; plan base queries attach push-downs to their
+  /// SpjaBlock nodes instead.
   SPJAPushdown pushdown;
 };
 
@@ -42,11 +48,25 @@ class SmokeEngine {
 
   // ---- data definition ----
 
-  /// Registers a base relation.
+  /// Registers a base relation. Fails with AlreadyExists if the name is
+  /// taken — re-registering under a live name would dangle the borrowed
+  /// table pointers inside retained queries (use ReplaceTable / DropTable,
+  /// which check for that).
   Status CreateTable(const std::string& name, Table table);
 
   /// Looks up a base relation.
   Status GetTable(const std::string& name, const Table** out) const;
+
+  /// Swaps in new contents for a registered relation. Refused while any
+  /// retained query still references the table: retained lineage stores
+  /// rids into the old rows, so replacing them underneath would silently
+  /// corrupt every subsequent lineage query. Drop the dependent results
+  /// first.
+  Status ReplaceTable(const std::string& name, Table table);
+
+  /// Unregisters a relation. Refused while any retained query references
+  /// the table (same hazard as ReplaceTable).
+  Status DropTable(const std::string& name);
 
   // ---- base queries ----
 
@@ -57,12 +77,27 @@ class SmokeEngine {
                       CaptureMode mode = CaptureMode::kInject,
                       const Workload* workload = nullptr);
 
-  /// The output relation of a retained query.
+  /// Executes a composable operator DAG (plan/plan.h) and retains its
+  /// result and composed end-to-end lineage under `query_name`. All lineage
+  /// queries (Backward / Forward / BackwardRows / TraceAcross) and
+  /// consuming queries work over retained plans exactly as over SPJA
+  /// queries. The workload's traced_relations / directions configure
+  /// pruning; its pushdown field is ignored (attach push-downs to SpjaBlock
+  /// nodes when building the plan).
+  Status ExecutePlan(const std::string& query_name, const LogicalPlan& plan,
+                     CaptureMode mode = CaptureMode::kInject,
+                     const Workload* workload = nullptr);
+
+  /// The output relation of a retained query (SPJA or plan).
   Status GetResult(const std::string& query_name, const Table** out) const;
 
-  /// The full result object (lineage, push-down artifacts).
+  /// The full SPJA result object (lineage, push-down artifacts).
   Status GetResultObject(const std::string& query_name,
                          const SPJAResult** out) const;
+
+  /// The full plan result object (composed lineage, block artifacts).
+  Status GetPlanResult(const std::string& query_name,
+                       const PlanResult** out) const;
 
   // ---- lineage queries ----
 
@@ -86,7 +121,8 @@ class SmokeEngine {
   /// Linked brushing (paper Figure 1): Lf(Lb(out_rids ⊆ V1, relation), V2) —
   /// backward from `from_query`'s outputs to the shared input relation,
   /// then forward into `to_query`'s outputs. Both queries must have lineage
-  /// on `relation` (backward on from, forward on to).
+  /// on `relation` (backward on from, forward on to). Works across any mix
+  /// of retained SPJA and plan queries.
   Status TraceAcross(const std::string& from_query,
                      const std::vector<rid_t>& out_rids,
                      const std::string& relation,
@@ -98,10 +134,17 @@ class SmokeEngine {
   /// Evaluates a consuming query over the backward lineage of one output of
   /// a retained base query (secondary index scan), retaining the consuming
   /// result under `result_name` for further chaining. The traced relation
-  /// is the base query's fact table.
+  /// defaults to the base query's fact table (SPJA) or first lineage input
+  /// (plan).
   Status ExecuteConsuming(const std::string& result_name,
                           const std::string& base_query, rid_t output_rid,
                           const ConsumingSpec& spec);
+
+  /// Same, tracing an explicit input `relation` of the base query.
+  Status ExecuteConsumingOn(const std::string& result_name,
+                            const std::string& base_query,
+                            const std::string& relation, rid_t output_rid,
+                            const ConsumingSpec& spec);
 
   /// Evaluates a consuming query over one output of a retained *consuming*
   /// result (the Q1b -> Q1c chain).
@@ -124,13 +167,27 @@ class SmokeEngine {
     SPJAResult result;
     const Table* fact = nullptr;
   };
+  struct RetainedPlan {
+    PlanResult result;
+  };
   struct RetainedConsuming {
     ConsumingResult result;
     const Table* fact = nullptr;
   };
 
+  /// Unified lookup over retained SPJA queries and plans.
+  Status FindLineage(const std::string& query_name,
+                     const QueryLineage** out) const;
+
+  /// True when `name` is already retained in any namespace.
+  bool IsRetainedName(const std::string& name) const;
+
+  /// True when any retained result still borrows `table`.
+  bool TableInUse(const Table* table) const;
+
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<RetainedQuery>> queries_;
+  std::map<std::string, std::unique_ptr<RetainedPlan>> plans_;
   std::map<std::string, std::unique_ptr<RetainedConsuming>> consuming_;
 };
 

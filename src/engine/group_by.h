@@ -18,6 +18,9 @@
 //  - Logic-Idx: additionally scans the annotated relation to build the same
 //    end-to-end rid indexes Smoke emits.
 //  - Phys-Mem / Phys-Bdb: one virtual writer->Emit(out, in) per lineage edge.
+//
+// In composable plans this kernel backs the kGroupBy node (plan/operator.h);
+// plans finalize deferred capture eagerly while the input batch is alive.
 #ifndef SMOKE_ENGINE_GROUP_BY_H_
 #define SMOKE_ENGINE_GROUP_BY_H_
 

@@ -24,6 +24,10 @@
 //  - Phys-Mem / Phys-Bdb: one virtual Emit per (output, input) edge — two
 //    per output row — via CaptureOptions::writer (A side) and
 //    JoinSpec::writer_right (B side).
+//
+// In composable plans this kernel backs the kHashJoin node
+// (plan/operator.h): the left child is the build side, the right the probe
+// side, and the four indexes become the node's two lineage fragments.
 #ifndef SMOKE_ENGINE_HASH_JOIN_H_
 #define SMOKE_ENGINE_HASH_JOIN_H_
 

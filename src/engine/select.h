@@ -7,6 +7,9 @@
 // (Smoke-I+EC; overestimating beats resizing — paper Appendix G.1).
 // Defer is strictly inferior to Inject for selection and is mapped to
 // Inject, as in the paper.
+//
+// In composable plans this kernel backs the kSelect node (plan/operator.h);
+// its rid arrays become the node's lineage fragment.
 #ifndef SMOKE_ENGINE_SELECT_H_
 #define SMOKE_ENGINE_SELECT_H_
 

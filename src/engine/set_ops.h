@@ -14,6 +14,8 @@
 // Inject populates indexes during the build/probe/scan phases; Defer stores
 // only an oid per hash entry and constructs exactly-sized indexes afterwards
 // by re-probing the reused hash table (operators ⋈'∪ / ⋈'∩ in the paper).
+//
+// In composable plans these kernels back the kSetOp node (plan/operator.h).
 #ifndef SMOKE_ENGINE_SET_OPS_H_
 #define SMOKE_ENGINE_SET_OPS_H_
 

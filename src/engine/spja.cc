@@ -5,6 +5,8 @@
 #include "common/hash.h"
 #include "common/macros.h"
 #include "engine/key_encode.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
 
 namespace smoke {
 
@@ -75,6 +77,27 @@ struct KeyBinder {
 
 SPJAResult SPJAExec(const SPJAQuery& q, const CaptureOptions& opts,
                     const SPJAPushdown* push) {
+  // Canonical plan form: one SpjaBlock node over scans of the fact and
+  // dimension tables, executed through the composable plan API.
+  PlanBuilder builder;
+  int root = builder.SpjaBlock(q, push != nullptr ? *push : SPJAPushdown{});
+  LogicalPlan plan;
+  Status st = builder.Build(root, &plan);
+  SMOKE_CHECK(st.ok());
+  PlanResult pr;
+  st = ExecutePlan(plan, opts, &pr);
+  SMOKE_CHECK(st.ok());
+  SMOKE_CHECK(pr.spja_artifacts != nullptr);
+  SPJAResult result = std::move(*pr.spja_artifacts);
+  result.output = std::move(pr.output);
+  result.lineage = std::move(pr.lineage);
+  return result;
+}
+
+namespace internal {
+
+SPJAResult SPJAExecFused(const SPJAQuery& q, const CaptureOptions& opts,
+                         const SPJAPushdown* push) {
   SMOKE_CHECK(q.fact != nullptr);
   SMOKE_CHECK(q.dims.size() <= kMaxDims);
   const Table& fact = *q.fact;
@@ -457,5 +480,7 @@ SPJAResult SPJAExec(const SPJAQuery& q, const CaptureOptions& opts,
 
   return result;
 }
+
+}  // namespace internal
 
 }  // namespace smoke

@@ -109,8 +109,24 @@ struct SPJAResult {
 /// push-downs. Supported modes: kNone, kInject, kDefer, kLogicRid,
 /// kLogicTup, kLogicIdx (the physical baselines are evaluated on single
 /// operators, as in the paper).
+///
+/// This entry point is a thin compatibility wrapper: it builds the canonical
+/// single-block plan with PlanBuilder (plan/plan.h) and runs it through the
+/// plan executor. Arbitrary plan shapes — rollups, joins of aggregated
+/// subplans, select-over-aggregate — compose the same block and the other
+/// operators freely through that API.
 SPJAResult SPJAExec(const SPJAQuery& q, const CaptureOptions& opts,
                     const SPJAPushdown* push = nullptr);
+
+namespace internal {
+
+/// The fused SPJA block kernel (the instrumented multi-operator pipeline
+/// described in the header comment). Invoked by the plan layer's SpjaBlock
+/// operator; callers should go through SPJAExec or PlanBuilder.
+SPJAResult SPJAExecFused(const SPJAQuery& q, const CaptureOptions& opts,
+                         const SPJAPushdown* push = nullptr);
+
+}  // namespace internal
 
 }  // namespace smoke
 

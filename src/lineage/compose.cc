@@ -1,0 +1,147 @@
+#include "lineage/compose.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+namespace {
+
+/// Appends every input rid that intermediate position `mid` maps to under
+/// `inner` onto `list`.
+inline void AppendInner(const LineageIndex& inner, rid_t mid, RidVec* list) {
+  if (inner.kind() == LineageIndex::Kind::kArray) {
+    rid_t r = inner.array()[mid];
+    if (r != kInvalidRid) list->PushBack(r);
+  } else {
+    const RidVec& l = inner.index().list(mid);
+    for (rid_t r : l) list->PushBack(r);
+  }
+}
+
+/// Sorts and deduplicates `scratch` into `list` (forward set semantics).
+inline void SortedUniqueInto(std::vector<rid_t>* scratch, RidVec* list) {
+  std::sort(scratch->begin(), scratch->end());
+  scratch->erase(std::unique(scratch->begin(), scratch->end()),
+                 scratch->end());
+  list->Reserve(scratch->size());
+  for (rid_t r : *scratch) list->PushBack(r);
+}
+
+}  // namespace
+
+LineageIndex ComposeBackward(const LineageIndex& outer,
+                             const LineageIndex& inner) {
+  if (outer.empty() || inner.empty()) return LineageIndex();
+  const size_t n = outer.size();
+
+  if (outer.kind() == LineageIndex::Kind::kArray &&
+      inner.kind() == LineageIndex::Kind::kArray) {
+    RidArray out(n, kInvalidRid);
+    const RidArray& oa = outer.array();
+    const RidArray& ia = inner.array();
+    for (size_t o = 0; o < n; ++o) {
+      if (oa[o] != kInvalidRid) out[o] = ia[oa[o]];
+    }
+    return LineageIndex::FromArray(std::move(out));
+  }
+
+  RidIndex out(n);
+  for (size_t o = 0; o < n; ++o) {
+    RidVec& list = out.list(o);
+    if (outer.kind() == LineageIndex::Kind::kArray) {
+      rid_t mid = outer.array()[o];
+      if (mid != kInvalidRid) AppendInner(inner, mid, &list);
+    } else {
+      const RidVec& mids = outer.index().list(o);
+      for (rid_t mid : mids) AppendInner(inner, mid, &list);
+    }
+  }
+  return LineageIndex::FromIndex(std::move(out));
+}
+
+LineageIndex ComposeForward(const LineageIndex& inner,
+                            const LineageIndex& outer) {
+  if (inner.empty() || outer.empty()) return LineageIndex();
+  const size_t n = inner.size();
+
+  if (inner.kind() == LineageIndex::Kind::kArray &&
+      outer.kind() == LineageIndex::Kind::kArray) {
+    RidArray out(n, kInvalidRid);
+    const RidArray& ia = inner.array();
+    const RidArray& oa = outer.array();
+    for (size_t i = 0; i < n; ++i) {
+      if (ia[i] != kInvalidRid) out[i] = oa[ia[i]];
+    }
+    return LineageIndex::FromArray(std::move(out));
+  }
+
+  RidIndex out(n);
+  std::vector<rid_t> scratch;
+  for (size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    if (inner.kind() == LineageIndex::Kind::kArray) {
+      rid_t mid = inner.array()[i];
+      if (mid != kInvalidRid) outer.TraceInto(mid, &scratch);
+    } else {
+      for (rid_t mid : inner.index().list(i)) outer.TraceInto(mid, &scratch);
+    }
+    SortedUniqueInto(&scratch, &out.list(i));
+  }
+  return LineageIndex::FromIndex(std::move(out));
+}
+
+void MergeBackwardInto(LineageIndex* dst, LineageIndex src) {
+  if (src.empty()) return;
+  if (dst->empty()) {
+    *dst = std::move(src);
+    return;
+  }
+  SMOKE_CHECK(dst->size() == src.size());
+  const size_t n = dst->size();
+  // Promote to the 1-to-N form: merged outputs can have multiple ancestors.
+  if (dst->kind() == LineageIndex::Kind::kArray) {
+    RidIndex promoted(n);
+    const RidArray& a = dst->array();
+    for (size_t o = 0; o < n; ++o) {
+      if (a[o] != kInvalidRid) promoted.Append(o, a[o]);
+    }
+    *dst = LineageIndex::FromIndex(std::move(promoted));
+  }
+  RidIndex& di = dst->mutable_index();
+  std::vector<rid_t> tmp;
+  for (size_t o = 0; o < n; ++o) {
+    tmp.clear();
+    src.TraceInto(static_cast<rid_t>(o), &tmp);
+    for (rid_t r : tmp) di.Append(o, r);
+  }
+}
+
+void MergeForwardInto(LineageIndex* dst, LineageIndex src) {
+  if (src.empty()) return;
+  if (dst->empty()) {
+    *dst = std::move(src);
+    return;
+  }
+  SMOKE_CHECK(dst->size() == src.size());
+  const size_t n = dst->size();
+  RidIndex merged(n);
+  std::vector<rid_t> scratch;
+  for (size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    dst->TraceInto(static_cast<rid_t>(i), &scratch);
+    src.TraceInto(static_cast<rid_t>(i), &scratch);
+    SortedUniqueInto(&scratch, &merged.list(i));
+  }
+  *dst = LineageIndex::FromIndex(std::move(merged));
+}
+
+LineageIndex IdentityIndex(size_t n) {
+  RidArray ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<rid_t>(i);
+  return LineageIndex::FromArray(std::move(ids));
+}
+
+}  // namespace smoke

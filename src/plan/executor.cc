@@ -1,0 +1,221 @@
+#include "plan/executor.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "lineage/compose.h"
+
+namespace smoke {
+
+namespace {
+
+/// Root-to-node accumulated lineage during composition: maps root output
+/// positions to this node's output positions (backward) and vice versa
+/// (forward). The root itself is the identity.
+struct PathLineage {
+  LineageIndex backward;
+  LineageIndex forward;
+  bool identity = false;
+  bool reached = false;
+};
+
+/// Replaces an identity accumulator with explicit 1:1 arrays (needed when a
+/// DAG merge combines an identity path with a materialized one).
+void MaterializeIdentity(PathLineage* acc, size_t cardinality) {
+  if (!acc->identity) return;
+  acc->backward = IdentityIndex(cardinality);
+  acc->forward = IdentityIndex(cardinality);
+  acc->identity = false;
+}
+
+bool IsLogicOrPhys(CaptureMode m) {
+  return m == CaptureMode::kLogicRid || m == CaptureMode::kLogicTup ||
+         m == CaptureMode::kLogicIdx || m == CaptureMode::kPhysMem ||
+         m == CaptureMode::kPhysBdb;
+}
+
+}  // namespace
+
+Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
+                   PlanResult* out) {
+  if (plan.root() < 0) return Status::InvalidArgument("plan has no root");
+  const size_t n = plan.num_nodes();
+  const int root = plan.root();
+
+  // ---- reachability from the root ----
+  std::vector<uint8_t> reachable(n, 0);
+  {
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      int id = stack.back();
+      stack.pop_back();
+      if (reachable[static_cast<size_t>(id)]) continue;
+      reachable[static_cast<size_t>(id)] = 1;
+      for (int c : plan.node(id).children) stack.push_back(c);
+    }
+  }
+
+  // Logic / physical baseline modes do not compose across operators: they
+  // are only accepted on single-block plans (every reachable node is either
+  // the root or one of its scan children).
+  if (IsLogicOrPhys(opts.mode)) {
+    if (opts.mode == CaptureMode::kPhysMem ||
+        opts.mode == CaptureMode::kPhysBdb) {
+      return Status::Unsupported(
+          "physical baselines are exercised per-operator, not via plans");
+    }
+    for (size_t id = 0; id < n; ++id) {
+      if (!reachable[id] || static_cast<int>(id) == root) continue;
+      if (plan.node(static_cast<int>(id)).kind != PlanOpKind::kScan) {
+        return Status::Unsupported(
+            "logic capture modes require a single-block plan");
+      }
+    }
+  }
+
+  // ---- relation pruning: which subtrees lead to traced base relations ----
+  const bool prune = !opts.only_relations.empty();
+  std::vector<uint8_t> traced(n, 1);
+  if (prune) {
+    for (size_t id = 0; id < n; ++id) {  // children precede parents
+      const PlanNode& node = plan.node(static_cast<int>(id));
+      if (node.kind == PlanOpKind::kScan) {
+        traced[id] = opts.WantsTable(node.label);
+      } else {
+        traced[id] = 0;
+        for (int c : node.children) traced[id] |= traced[static_cast<size_t>(c)];
+      }
+    }
+  }
+
+  // ---- execute reachable operators in topological (id) order ----
+  std::vector<OperatorResult> results(n);
+  for (size_t id = 0; id < n; ++id) {
+    if (!reachable[id]) continue;
+    const PlanNode& node = plan.node(static_cast<int>(id));
+    if (node.kind == PlanOpKind::kScan) continue;
+
+    std::vector<OperatorInput> inputs;
+    inputs.reserve(node.children.size());
+    for (int c : node.children) {
+      const PlanNode& child = plan.node(c);
+      if (child.kind == PlanOpKind::kScan) {
+        inputs.push_back(OperatorInput{child.table, child.label});
+      } else {
+        inputs.push_back(
+            OperatorInput{&results[static_cast<size_t>(c)].output,
+                          child.label});
+      }
+    }
+
+    CaptureOptions node_opts = opts;
+    if (prune) {
+      node_opts.only_relations.clear();
+      if (!traced[id]) {
+        // No traced relation below this node: skip capture entirely.
+        node_opts.mode = CaptureMode::kNone;
+      } else if (node.kind == PlanOpKind::kSpjaBlock) {
+        // The fused block prunes internally by base-relation name.
+        node_opts.only_relations = opts.only_relations;
+      } else {
+        bool all = true;
+        for (int c : node.children) all &= traced[static_cast<size_t>(c)];
+        if (!all) {
+          for (int c : node.children) {
+            if (traced[static_cast<size_t>(c)]) {
+              node_opts.only_relations.push_back(plan.node(c).label);
+            }
+          }
+        }
+      }
+    }
+
+    std::unique_ptr<Operator> op = MakeOperator(node);
+    SMOKE_CHECK(op != nullptr);
+    SMOKE_RETURN_NOT_OK(op->Execute(inputs, node_opts, &results[id]));
+  }
+
+  OperatorResult& root_result = results[static_cast<size_t>(root)];
+  if (plan.node(root).kind == PlanOpKind::kScan) {
+    return Status::InvalidArgument("plan root must be an operator, not a scan");
+  }
+  const size_t root_rows = root_result.output.num_rows();
+
+  // ---- compose per-operator fragments into end-to-end indexes ----
+  // Walk parents before children (descending id is reverse-topological);
+  // acc[id] accumulates the root-to-node composition, merging when a DAG
+  // node is reached through multiple paths. Fragments are consumed (moved)
+  // — each (parent, child-slot) fragment is used exactly once.
+  if (opts.mode != CaptureMode::kNone) {
+    std::vector<PathLineage> acc(n);
+    acc[static_cast<size_t>(root)].identity = true;
+    acc[static_cast<size_t>(root)].reached = true;
+
+    for (int id = root; id >= 0; --id) {
+      const size_t uid = static_cast<size_t>(id);
+      if (!reachable[uid] || !acc[uid].reached) continue;
+      const PlanNode& node = plan.node(id);
+      if (node.kind == PlanOpKind::kScan) continue;
+
+      for (size_t k = 0; k < node.children.size(); ++k) {
+        const size_t child = static_cast<size_t>(node.children[k]);
+        LineageFragment frag;
+        if (k < results[uid].fragments.size()) {
+          frag = std::move(results[uid].fragments[k]);
+        }
+
+        PathLineage down;
+        down.reached = true;
+        if (frag.identity) {
+          // Pipelined 1:1 operator: pass the accumulator through. The last
+          // child slot is the accumulator's final use, so it can be moved.
+          down.identity = acc[uid].identity;
+          if (k + 1 == node.children.size()) {
+            down.backward = std::move(acc[uid].backward);
+            down.forward = std::move(acc[uid].forward);
+          } else {
+            down.backward = acc[uid].backward;
+            down.forward = acc[uid].forward;
+          }
+        } else if (acc[uid].identity) {
+          down.backward = std::move(frag.backward);
+          down.forward = std::move(frag.forward);
+        } else {
+          down.backward = ComposeBackward(acc[uid].backward, frag.backward);
+          down.forward = ComposeForward(frag.forward, acc[uid].forward);
+        }
+
+        PathLineage& dst = acc[child];
+        if (!dst.reached) {
+          dst = std::move(down);
+        } else {
+          MaterializeIdentity(&dst, root_rows);
+          MaterializeIdentity(&down, root_rows);
+          MergeBackwardInto(&dst.backward, std::move(down.backward));
+          MergeForwardInto(&dst.forward, std::move(down.forward));
+        }
+      }
+    }
+
+    // Emit one lineage input per reachable scan, in scan-creation order.
+    for (size_t id = 0; id < n; ++id) {
+      const PlanNode& node = plan.node(static_cast<int>(id));
+      if (!reachable[id] || node.kind != PlanOpKind::kScan) continue;
+      TableLineage& tl = out->lineage.AddInput(node.label, node.table);
+      PathLineage& a = acc[id];
+      if (!a.reached) continue;
+      MaterializeIdentity(&a, root_rows);
+      tl.backward = std::move(a.backward);
+      tl.forward = std::move(a.forward);
+    }
+  }
+
+  out->output = std::move(root_result.output);
+  out->output_cardinality = root_result.output_cardinality;
+  out->lineage.set_output_cardinality(out->output_cardinality);
+  out->spja_artifacts = std::move(root_result.spja_artifacts);
+  return Status::OK();
+}
+
+}  // namespace smoke

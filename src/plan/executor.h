@@ -1,0 +1,49 @@
+// Plan execution with end-to-end lineage composition (paper Figure 2: a
+// base query runs through an instrumented plan; the plan emits lineage
+// indexes connecting its output to every base relation).
+#ifndef SMOKE_PLAN_EXECUTOR_H_
+#define SMOKE_PLAN_EXECUTOR_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "engine/capture.h"
+#include "lineage/query_lineage.h"
+#include "plan/operator.h"
+#include "plan/plan.h"
+
+namespace smoke {
+
+/// Result of executing a LogicalPlan: the root output plus one composed
+/// end-to-end backward/forward index pair per reachable base-table scan
+/// (in scan-creation order; for SpjaBlock plans that is fact first, then
+/// dimensions in join order). Base tables are borrowed and must outlive the
+/// result for lineage queries to dereference rows.
+struct PlanResult {
+  Table output;
+  QueryLineage lineage;
+  size_t output_cardinality = 0;
+  /// Set when the plan root is an SPJA block: the block-level artifacts
+  /// (annotated relation, group counts, push-down index/cube).
+  std::shared_ptr<SPJAResult> spja_artifacts;
+};
+
+/// Executes `plan` with the capture technique in `opts` and composes the
+/// per-operator lineage fragments into `out->lineage`.
+///
+/// Supported modes for multi-operator plans: kNone, kInject, kDefer (defer
+/// finalization is eager, per operator). The logic/physical baseline modes
+/// are only accepted when the plan is a single block over scans (the
+/// SPJAExec compatibility path) — they produce annotated relations or
+/// external writes that do not compose across operators.
+///
+/// Workload pruning (Section 4.1): opts.capture_backward/forward apply to
+/// every operator; opts.only_relations names base relations (scan labels) —
+/// subtrees containing no traced relation run with capture disabled, and
+/// multi-input operators capture only the sides leading to traced scans.
+Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
+                   PlanResult* out);
+
+}  // namespace smoke
+
+#endif  // SMOKE_PLAN_EXECUTOR_H_

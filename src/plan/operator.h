@@ -1,0 +1,86 @@
+// The uniform physical-operator capture contract (paper Section 3.3).
+//
+// Every operator in an instrumented plan implements the same interface:
+//   (input batch(es), CaptureOptions) -> (output batch, one lineage
+//   fragment per input)
+// A fragment is the operator-local backward/forward mapping between the
+// operator's output positions and one input's positions, in one of the two
+// physical index forms (rid array / rid index). The executor composes
+// adjacent fragments (lineage/compose.h) into end-to-end indexes — the
+// operators themselves never see more than their own inputs, which is what
+// makes the plan API composable.
+//
+// The concrete implementations delegate to the instrumented kernels in
+// src/engine/ (SelectExec, HashJoinExec, GroupByExec, the set operators and
+// the fused SPJA block), preserving their inject/defer fast paths and
+// hash-table rid reuse unchanged.
+#ifndef SMOKE_PLAN_OPERATOR_H_
+#define SMOKE_PLAN_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/capture.h"
+#include "lineage/rid_index.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// The lineage fragment of one operator execution with respect to one of
+/// its inputs.
+struct LineageFragment {
+  LineageIndex backward;  ///< output position -> input positions
+  LineageIndex forward;   ///< input position -> output positions
+  /// Pure pipelined 1:1 operators (projection) mark their fragment as
+  /// identity instead of materializing an index; composition passes the
+  /// accumulated lineage through unchanged.
+  bool identity = false;
+};
+
+/// One bound operator input: a borrowed batch plus the label used for
+/// relation pruning (base-relation name for scans, node label otherwise).
+struct OperatorInput {
+  const Table* table = nullptr;
+  std::string name;
+};
+
+/// What an operator execution produces under the uniform contract.
+struct OperatorResult {
+  Table output;
+  size_t output_cardinality = 0;
+  /// Parallel to the inputs. Individual fragment indexes are empty when the
+  /// mode captures nothing (kNone) or the input was pruned.
+  std::vector<LineageFragment> fragments;
+  /// SPJA block only: the block-level retained artifacts (annotated
+  /// relation, group counts, push-down skip index / cube) that the
+  /// SPJAExec compatibility wrapper re-exposes.
+  std::shared_ptr<SPJAResult> spja_artifacts;
+};
+
+/// \brief A physical operator bound to a plan node.
+///
+/// The bound node must outlive the operator. Execution is const — one
+/// operator may be executed repeatedly (e.g. by benches).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Runs the operator over `inputs` with the capture technique in `opts`,
+  /// filling `*out`. Inputs arrive in the node's child order.
+  virtual Status Execute(const std::vector<OperatorInput>& inputs,
+                         const CaptureOptions& opts,
+                         OperatorResult* out) const = 0;
+};
+
+/// Creates the physical operator for a non-scan plan node. The node must
+/// outlive the returned operator.
+std::unique_ptr<Operator> MakeOperator(const PlanNode& node);
+
+}  // namespace smoke
+
+#endif  // SMOKE_PLAN_OPERATOR_H_

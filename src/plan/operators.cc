@@ -1,0 +1,251 @@
+// Physical operator implementations for the plan API. Each delegates to the
+// instrumented kernel in src/engine/, then repackages that kernel's
+// QueryLineage into per-input fragments for composition.
+#include "plan/operator.h"
+
+#include <utility>
+
+#include "engine/group_by.h"
+#include "engine/hash_join.h"
+#include "engine/select.h"
+#include "engine/set_ops.h"
+#include "engine/spja.h"
+
+namespace smoke {
+
+namespace {
+
+/// Moves the i-th input's indexes out of a kernel's QueryLineage. Missing
+/// inputs (mode kNone, pruned relations) yield an empty fragment.
+LineageFragment TakeFragment(QueryLineage* lineage, size_t i) {
+  LineageFragment f;
+  if (i < lineage->num_inputs()) {
+    TableLineage& tl = lineage->mutable_input(i);
+    f.backward = std::move(tl.backward);
+    f.forward = std::move(tl.forward);
+  }
+  return f;
+}
+
+class SelectOperator : public Operator {
+ public:
+  explicit SelectOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "select"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    SelectResult r = SelectExec(*inputs[0].table, inputs[0].name,
+                                node_.predicates, opts);
+    out->output = std::move(r.output);
+    out->output_cardinality = out->output.num_rows();
+    out->fragments.push_back(TakeFragment(&r.lineage, 0));
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
+class ProjectOperator : public Operator {
+ public:
+  explicit ProjectOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "project"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    (void)opts;  // projection is a pure pipeline: identity lineage
+    const Table& in = *inputs[0].table;
+    Schema s;
+    for (int c : node_.columns) {
+      if (c < 0 || static_cast<size_t>(c) >= in.num_columns()) {
+        return Status::InvalidArgument("projection column " +
+                                       std::to_string(c) + " out of range");
+      }
+      s.AddField(in.schema().field(static_cast<size_t>(c)).name,
+                 in.schema().field(static_cast<size_t>(c)).type);
+    }
+    Table output(s);
+    for (size_t i = 0; i < node_.columns.size(); ++i) {
+      output.mutable_column(i) =
+          in.column(static_cast<size_t>(node_.columns[i]));
+    }
+    out->output = std::move(output);
+    out->output_cardinality = out->output.num_rows();
+    LineageFragment f;
+    f.identity = true;
+    out->fragments.push_back(std::move(f));
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
+class HashJoinOperator : public Operator {
+ public:
+  explicit HashJoinOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "hash_join"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    if (node_.join.left_key < 0 ||
+        static_cast<size_t>(node_.join.left_key) >=
+            inputs[0].table->num_columns() ||
+        node_.join.right_key < 0 ||
+        static_cast<size_t>(node_.join.right_key) >=
+            inputs[1].table->num_columns()) {
+      return Status::InvalidArgument("hash-join key column out of range");
+    }
+    const Column& lk =
+        inputs[0].table->column(static_cast<size_t>(node_.join.left_key));
+    const Column& rk =
+        inputs[1].table->column(static_cast<size_t>(node_.join.right_key));
+    if (lk.type() != DataType::kInt64 || rk.type() != DataType::kInt64) {
+      return Status::InvalidArgument("hash-join keys must be int64 columns");
+    }
+    JoinResult r =
+        HashJoinExec(*inputs[0].table, inputs[0].name, *inputs[1].table,
+                     inputs[1].name, node_.join, opts);
+    out->output = std::move(r.output);
+    out->output_cardinality = r.output_cardinality;
+    out->fragments.push_back(TakeFragment(&r.lineage, 0));
+    out->fragments.push_back(TakeFragment(&r.lineage, 1));
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
+class GroupByOperator : public Operator {
+ public:
+  explicit GroupByOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "group_by"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    const Table& in = *inputs[0].table;
+    for (int k : node_.group_by.keys) {
+      if (k < 0 || static_cast<size_t>(k) >= in.num_columns()) {
+        return Status::InvalidArgument("group-by key column " +
+                                       std::to_string(k) + " out of range");
+      }
+    }
+    GroupByResult r = GroupByExec(in, inputs[0].name, node_.group_by, opts);
+    // Plans finalize deferred capture eagerly, while the input batch is
+    // still alive (think-time scheduling stays available through the
+    // free-function kernels).
+    if (opts.mode == CaptureMode::kDefer) {
+      FinalizeDeferredGroupBy(&r, in, opts);
+    }
+    out->output = std::move(r.output);
+    out->output_cardinality = out->output.num_rows();
+    out->fragments.push_back(TakeFragment(&r.lineage, 0));
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
+class SetOpOperator : public Operator {
+ public:
+  explicit SetOpOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "set_op"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    const Table& a = *inputs[0].table;
+    const Table& b = *inputs[1].table;
+    const std::string& an = inputs[0].name;
+    const std::string& bn = inputs[1].name;
+    for (int c : node_.set_cols) {
+      if (c < 0 || static_cast<size_t>(c) >= a.num_columns() ||
+          static_cast<size_t>(c) >= b.num_columns()) {
+        return Status::InvalidArgument("set-op column " + std::to_string(c) +
+                                       " out of range");
+      }
+    }
+    SetOpResult r;
+    switch (node_.set_op) {
+      case SetOpKind::kSetUnion:
+        r = SetUnionExec(a, an, b, bn, node_.set_cols, opts);
+        break;
+      case SetOpKind::kBagUnion:
+        r = BagUnionExec(a, an, b, bn, opts);
+        break;
+      case SetOpKind::kSetIntersect:
+        r = SetIntersectExec(a, an, b, bn, node_.set_cols, opts);
+        break;
+      case SetOpKind::kBagIntersect:
+        r = BagIntersectExec(a, an, b, bn, node_.set_cols, opts);
+        break;
+      case SetOpKind::kSetDifference:
+        r = SetDifferenceExec(a, an, b, bn, node_.set_cols, opts);
+        break;
+    }
+    out->output = std::move(r.output);
+    out->output_cardinality = out->output.num_rows();
+    out->fragments.push_back(TakeFragment(&r.lineage, 0));
+    // Set difference has no B-side lineage (an output depends on the whole
+    // inner relation); the fragment stays empty.
+    out->fragments.push_back(TakeFragment(&r.lineage, 1));
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
+class SpjaBlockOperator : public Operator {
+ public:
+  explicit SpjaBlockOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "spja_block"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    // Rebind the block's table pointers to the bound inputs so a plan can
+    // be replayed against refreshed scans.
+    SPJAQuery q = node_.spja;
+    q.fact = inputs[0].table;
+    for (size_t j = 0; j < q.dims.size(); ++j) {
+      q.dims[j].table = inputs[1 + j].table;
+    }
+    auto artifacts = std::make_shared<SPJAResult>(internal::SPJAExecFused(
+        q, opts, node_.pushdown.empty() ? nullptr : &node_.pushdown));
+    out->output = std::move(artifacts->output);
+    out->output_cardinality = artifacts->output_cardinality;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      out->fragments.push_back(TakeFragment(&artifacts->lineage, i));
+    }
+    out->spja_artifacts = std::move(artifacts);
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> MakeOperator(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanOpKind::kScan:
+      return nullptr;  // scans are resolved by the executor
+    case PlanOpKind::kSelect:
+      return std::make_unique<SelectOperator>(node);
+    case PlanOpKind::kProject:
+      return std::make_unique<ProjectOperator>(node);
+    case PlanOpKind::kHashJoin:
+      return std::make_unique<HashJoinOperator>(node);
+    case PlanOpKind::kGroupBy:
+      return std::make_unique<GroupByOperator>(node);
+    case PlanOpKind::kSetOp:
+      return std::make_unique<SetOpOperator>(node);
+    case PlanOpKind::kSpjaBlock:
+      return std::make_unique<SpjaBlockOperator>(node);
+  }
+  return nullptr;
+}
+
+}  // namespace smoke

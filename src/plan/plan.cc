@@ -1,0 +1,170 @@
+#include "plan/plan.h"
+
+namespace smoke {
+
+const char* PlanOpKindName(PlanOpKind k) {
+  switch (k) {
+    case PlanOpKind::kScan:      return "scan";
+    case PlanOpKind::kSelect:    return "select";
+    case PlanOpKind::kProject:   return "project";
+    case PlanOpKind::kHashJoin:  return "hash_join";
+    case PlanOpKind::kGroupBy:   return "group_by";
+    case PlanOpKind::kSetOp:     return "set_op";
+    case PlanOpKind::kSpjaBlock: return "spja_block";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendNodeString(const LogicalPlan& plan, int id, int depth,
+                      std::string* out) {
+  const PlanNode& n = plan.node(id);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += PlanOpKindName(n.kind);
+  *out += " [";
+  *out += n.label;
+  *out += "] #" + std::to_string(id) + "\n";
+  for (int c : n.children) AppendNodeString(plan, c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string LogicalPlan::ToString() const {
+  std::string s;
+  if (root_ >= 0) AppendNodeString(*this, root_, 0, &s);
+  return s;
+}
+
+int PlanBuilder::Add(PlanNode node) {
+  int id = static_cast<int>(nodes_.size());
+  if (node.label.empty()) {
+    node.label = std::string(PlanOpKindName(node.kind)) + "#" +
+                 std::to_string(id);
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+int PlanBuilder::Scan(const Table* table, std::string name) {
+  PlanNode n;
+  n.kind = PlanOpKind::kScan;
+  n.table = table;
+  n.label = std::move(name);
+  return Add(std::move(n));
+}
+
+int PlanBuilder::Select(int child, std::vector<Predicate> predicates) {
+  PlanNode n;
+  n.kind = PlanOpKind::kSelect;
+  n.children = {child};
+  n.predicates = std::move(predicates);
+  return Add(std::move(n));
+}
+
+int PlanBuilder::Project(int child, std::vector<int> columns) {
+  PlanNode n;
+  n.kind = PlanOpKind::kProject;
+  n.children = {child};
+  n.columns = std::move(columns);
+  return Add(std::move(n));
+}
+
+int PlanBuilder::HashJoin(int build, int probe, JoinSpec spec) {
+  PlanNode n;
+  n.kind = PlanOpKind::kHashJoin;
+  n.children = {build, probe};
+  n.join = spec;
+  return Add(std::move(n));
+}
+
+int PlanBuilder::GroupBy(int child, GroupBySpec spec) {
+  PlanNode n;
+  n.kind = PlanOpKind::kGroupBy;
+  n.children = {child};
+  n.group_by = std::move(spec);
+  return Add(std::move(n));
+}
+
+int PlanBuilder::SetOp(SetOpKind kind, int left, int right,
+                       std::vector<int> cols) {
+  PlanNode n;
+  n.kind = PlanOpKind::kSetOp;
+  n.children = {left, right};
+  n.set_op = kind;
+  n.set_cols = std::move(cols);
+  return Add(std::move(n));
+}
+
+int PlanBuilder::SpjaBlock(SPJAQuery query, SPJAPushdown pushdown) {
+  PlanNode n;
+  n.kind = PlanOpKind::kSpjaBlock;
+  n.children.push_back(Scan(query.fact, query.fact_name));
+  for (const SPJADim& d : query.dims) {
+    n.children.push_back(Scan(d.table, d.name));
+  }
+  n.spja = std::move(query);
+  n.pushdown = std::move(pushdown);
+  return Add(std::move(n));
+}
+
+void PlanBuilder::SetLabel(int node, std::string label) {
+  SMOKE_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size());
+  nodes_[static_cast<size_t>(node)].label = std::move(label);
+}
+
+Status PlanBuilder::Build(int root, LogicalPlan* out) {
+  if (root < 0 || static_cast<size_t>(root) >= nodes_.size()) {
+    return Status::InvalidArgument("plan root id out of range");
+  }
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const PlanNode& n = nodes_[id];
+    size_t arity = 0;
+    switch (n.kind) {
+      case PlanOpKind::kScan:      arity = 0; break;
+      case PlanOpKind::kSelect:
+      case PlanOpKind::kProject:
+      case PlanOpKind::kGroupBy:   arity = 1; break;
+      case PlanOpKind::kHashJoin:
+      case PlanOpKind::kSetOp:     arity = 2; break;
+      case PlanOpKind::kSpjaBlock: arity = 1 + n.spja.dims.size(); break;
+    }
+    if (n.children.size() != arity) {
+      return Status::InvalidArgument(
+          "node '" + n.label + "' expects " + std::to_string(arity) +
+          " children, got " + std::to_string(n.children.size()));
+    }
+    for (int c : n.children) {
+      // Children precede parents by construction; reject hand-crafted cycles.
+      if (c < 0 || static_cast<size_t>(c) >= id) {
+        return Status::InvalidArgument(
+            "node '" + n.label + "' has invalid child id " +
+            std::to_string(c));
+      }
+    }
+    if (n.kind == PlanOpKind::kScan && n.table == nullptr) {
+      return Status::InvalidArgument("scan '" + n.label + "' has no table");
+    }
+    if (n.kind == PlanOpKind::kSpjaBlock && n.spja.fact == nullptr) {
+      return Status::InvalidArgument("SPJA block '" + n.label +
+                                     "' has no fact table");
+    }
+    if (n.kind == PlanOpKind::kProject && n.columns.empty()) {
+      // A zero-column output has no row count, which would collapse the
+      // identity lineage to cardinality 0.
+      return Status::InvalidArgument("projection '" + n.label +
+                                     "' keeps no columns");
+    }
+    if (n.kind == PlanOpKind::kHashJoin && !n.join.materialize_output) {
+      return Status::InvalidArgument(
+          "plan joins must materialize their output (node '" + n.label +
+          "')");
+    }
+  }
+  out->nodes_ = std::move(nodes_);
+  out->root_ = root;
+  nodes_.clear();
+  return Status::OK();
+}
+
+}  // namespace smoke

@@ -1,0 +1,145 @@
+// Composable lineage-instrumented plans (paper Sections 3.3, Figure 2).
+//
+// A LogicalPlan is a DAG of relational operator nodes over base-table scans.
+// Every physical operator implements the uniform capture contract
+// (plan/operator.h): it consumes its input batch(es) together with
+// CaptureOptions and emits its output plus one lineage fragment per input.
+// The executor (plan/executor.h) runs the DAG and stitches adjacent
+// fragments (lineage/compose.h) into end-to-end backward/forward indexes per
+// base relation — exactly how the paper composes instrumented operators into
+// instrumented plans.
+//
+// Plans are built bottom-up with PlanBuilder; node ids are handed back so
+// subplans compose freely (aggregate-over-aggregate rollups, joins of
+// aggregated subplans, select-over-aggregate chains — shapes the monolithic
+// SPJA block cannot express). The fused SPJA block itself remains available
+// as a single multi-input node (SpjaBlock), which is how the legacy
+// SPJAExec entry point is now expressed.
+#ifndef SMOKE_PLAN_PLAN_H_
+#define SMOKE_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/expr.h"
+#include "engine/group_by.h"
+#include "engine/hash_join.h"
+#include "engine/spja.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+enum class PlanOpKind : uint8_t {
+  kScan,       ///< leaf: a borrowed base relation
+  kSelect,     ///< predicate filter (pipelined; rid-array lineage)
+  kProject,    ///< column projection (pure pipeline; identity lineage)
+  kHashJoin,   ///< hash equi-join (children: build side, probe side)
+  kGroupBy,    ///< hash aggregation
+  kSetOp,      ///< set/bag union, intersection, difference
+  kSpjaBlock,  ///< the fused SPJA block kernel as one multi-input operator
+};
+
+enum class SetOpKind : uint8_t {
+  kSetUnion,
+  kBagUnion,
+  kSetIntersect,
+  kBagIntersect,
+  kSetDifference,
+};
+
+const char* PlanOpKindName(PlanOpKind k);
+
+/// One node of the plan DAG. Exactly the payload fields for its kind are
+/// meaningful; the rest stay default-constructed.
+struct PlanNode {
+  PlanOpKind kind = PlanOpKind::kScan;
+  std::vector<int> children;
+  /// Scan: the base relation name (the lineage endpoint). Other nodes: a
+  /// label used for diagnostics and workload-pruning bookkeeping.
+  std::string label;
+
+  const Table* table = nullptr;         // kScan
+  std::vector<Predicate> predicates;    // kSelect
+  std::vector<int> columns;             // kProject
+  JoinSpec join;                        // kHashJoin
+  GroupBySpec group_by;                 // kGroupBy
+  SetOpKind set_op = SetOpKind::kSetUnion;  // kSetOp
+  std::vector<int> set_cols;                // kSetOp (ignored for bag union)
+  SPJAQuery spja;                       // kSpjaBlock (table pointers are
+                                        // rebound from the scan children)
+  SPJAPushdown pushdown;                // kSpjaBlock
+};
+
+/// \brief A validated operator DAG. Nodes are topologically ordered by id
+/// (every child id is smaller than its parent's), with a single root.
+class LogicalPlan {
+ public:
+  LogicalPlan() = default;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const PlanNode& node(int id) const {
+    SMOKE_DCHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+    return nodes_[static_cast<size_t>(id)];
+  }
+  int root() const { return root_; }
+
+  /// Indented rendering of the DAG for debugging and examples.
+  std::string ToString() const;
+
+ private:
+  friend class PlanBuilder;
+  std::vector<PlanNode> nodes_;
+  int root_ = -1;
+};
+
+/// \brief Bottom-up plan construction. Each method appends a node and
+/// returns its id for use as a later child. Build() validates and freezes
+/// the DAG. A node may be consumed by multiple parents (shared subplans);
+/// the executor merges lineage across the resulting paths.
+class PlanBuilder {
+ public:
+  PlanBuilder() = default;
+
+  /// Leaf scan of a borrowed base relation. `name` is the relation name used
+  /// as the lineage endpoint — give distinct names to distinct scans (two
+  /// scans sharing a name make QueryLineage::FindInput ambiguous).
+  int Scan(const Table* table, std::string name);
+
+  /// SELECT * FROM child WHERE preds.
+  int Select(int child, std::vector<Predicate> predicates);
+
+  /// Projection onto `columns` (indexes into the child's output schema).
+  int Project(int child, std::vector<int> columns);
+
+  /// build ⋈ probe. The left child is the build side (A in the paper's
+  /// ⋈ht/⋈probe decomposition), the right child the probe side.
+  int HashJoin(int build, int probe, JoinSpec spec);
+
+  int GroupBy(int child, GroupBySpec spec);
+
+  /// Binary set/bag operator over `cols` (same positions in both children;
+  /// ignored for bag union). Set difference captures lineage for the left
+  /// child only (paper Appendix F.5).
+  int SetOp(SetOpKind kind, int left, int right, std::vector<int> cols);
+
+  /// The fused SPJA block as a single node. Scan children for the fact and
+  /// dimension tables are added automatically from `query`.
+  int SpjaBlock(SPJAQuery query, SPJAPushdown pushdown = SPJAPushdown{});
+
+  /// Overrides the auto-generated label of `node`.
+  void SetLabel(int node, std::string label);
+
+  /// Validates the DAG rooted at `root` and moves it into `*out`. The
+  /// builder is left empty on success.
+  Status Build(int root, LogicalPlan* out);
+
+ private:
+  int Add(PlanNode node);
+
+  std::vector<PlanNode> nodes_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_PLAN_PLAN_H_

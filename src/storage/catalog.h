@@ -37,6 +37,28 @@ class Catalog {
 
   bool HasTable(const std::string& name) const { return tables_.count(name); }
 
+  /// Removes `name`. Callers must ensure nothing still borrows the table
+  /// pointer (SmokeEngine guards this against retained queries).
+  Status DropTable(const std::string& name) {
+    if (tables_.erase(name) == 0) {
+      return Status::NotFound("table '" + name + "'");
+    }
+    return Status::OK();
+  }
+
+  /// Replaces the contents of `name` in place. Pointer-stable: previously
+  /// handed-out Table pointers stay valid but observe the new rows — which
+  /// silently invalidates any retained lineage rids, so SmokeEngine refuses
+  /// this while retained queries reference the table.
+  Status ReplaceTable(const std::string& name, Table table) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table '" + name + "'");
+    }
+    *it->second = std::move(table);
+    return Status::OK();
+  }
+
   std::vector<std::string> TableNames() const {
     std::vector<std::string> names;
     names.reserve(tables_.size());

@@ -1,0 +1,241 @@
+// Property-style tests for lineage composition (lineage/compose.h): the
+// composed index of a chain of operators must equal the brute-force
+// relational join of the per-operator edge sets, and composed
+// backward/forward pairs must stay mutual inverses.
+#include "lineage/compose.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/group_by.h"
+#include "engine/select.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
+#include "test_util.h"
+
+namespace smoke {
+namespace {
+
+using testing::AreInverse;
+using testing::Edges;
+
+/// Deterministic LCG so the property tests are reproducible.
+struct Lcg {
+  uint64_t state;
+  explicit Lcg(uint64_t seed) : state(seed) {}
+  uint32_t Next(uint32_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>((state >> 33) % bound);
+  }
+};
+
+/// Random 1-to-N index: `n_src` entries over targets < n_dst.
+LineageIndex RandomIndex(Lcg* rng, size_t n_src, size_t n_dst,
+                         uint32_t max_fanout) {
+  RidIndex idx(n_src);
+  for (size_t i = 0; i < n_src; ++i) {
+    uint32_t fanout = rng->Next(max_fanout + 1);
+    for (uint32_t k = 0; k < fanout; ++k) {
+      idx.Append(i, rng->Next(static_cast<uint32_t>(n_dst)));
+    }
+  }
+  return LineageIndex::FromIndex(std::move(idx));
+}
+
+/// Random 1-to-1 array: `n_src` entries, ~1/5 unmapped.
+LineageIndex RandomArray(Lcg* rng, size_t n_src, size_t n_dst) {
+  RidArray arr(n_src, kInvalidRid);
+  for (size_t i = 0; i < n_src; ++i) {
+    if (rng->Next(5) != 0) arr[i] = rng->Next(static_cast<uint32_t>(n_dst));
+  }
+  return LineageIndex::FromArray(std::move(arr));
+}
+
+/// Brute-force composition: for each (s, m) edge of `outer` and (m, t) edge
+/// of `inner`, one (s, t) edge — multiset semantics.
+std::multiset<std::pair<rid_t, rid_t>> JoinEdges(const LineageIndex& outer,
+                                                 const LineageIndex& inner) {
+  std::multimap<rid_t, rid_t> inner_edges;
+  for (auto [m, t] : Edges(inner)) inner_edges.emplace(m, t);
+  std::multiset<std::pair<rid_t, rid_t>> out;
+  for (auto [s, m] : Edges(outer)) {
+    auto [lo, hi] = inner_edges.equal_range(m);
+    for (auto it = lo; it != hi; ++it) out.emplace(s, it->second);
+  }
+  return out;
+}
+
+TEST(ComposePropertyTest, BackwardEqualsBruteForceJoin) {
+  Lcg rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n_out = 1 + rng.Next(20);
+    size_t n_mid = 1 + rng.Next(30);
+    size_t n_in = 1 + rng.Next(40);
+    LineageIndex outer = trial % 2 == 0 ? RandomIndex(&rng, n_out, n_mid, 4)
+                                        : RandomArray(&rng, n_out, n_mid);
+    LineageIndex inner = trial % 3 == 0 ? RandomArray(&rng, n_mid, n_in)
+                                        : RandomIndex(&rng, n_mid, n_in, 3);
+    LineageIndex composed = ComposeBackward(outer, inner);
+    auto got = Edges(composed);
+    std::multiset<std::pair<rid_t, rid_t>> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, JoinEdges(outer, inner)) << "trial " << trial;
+    EXPECT_EQ(composed.size(), n_out);
+  }
+}
+
+TEST(ComposePropertyTest, ForwardEqualsDeduplicatedJoin) {
+  Lcg rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n_in = 1 + rng.Next(30);
+    size_t n_mid = 1 + rng.Next(20);
+    size_t n_out = 1 + rng.Next(25);
+    LineageIndex inner = trial % 2 == 0 ? RandomIndex(&rng, n_in, n_mid, 3)
+                                        : RandomArray(&rng, n_in, n_mid);
+    LineageIndex outer = trial % 3 == 0 ? RandomArray(&rng, n_mid, n_out)
+                                        : RandomIndex(&rng, n_mid, n_out, 4);
+    LineageIndex composed = ComposeForward(inner, outer);
+    // Forward is set-valued: compare deduplicated edge sets.
+    auto got = Edges(composed);
+    std::set<std::pair<rid_t, rid_t>> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set.size(), got.size()) << "duplicate forward edges";
+    auto joined = JoinEdges(inner, outer);
+    std::set<std::pair<rid_t, rid_t>> want(joined.begin(), joined.end());
+    EXPECT_EQ(got_set, want) << "trial " << trial;
+    EXPECT_EQ(composed.size(), n_in);
+  }
+}
+
+TEST(ComposePropertyTest, ComposedPairsStayInverse) {
+  // When outer/forward pairs are themselves inverses (as operator capture
+  // guarantees), the composed pair must be too.
+  Lcg rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n_out = 1 + rng.Next(10);
+    size_t n_mid = 1 + rng.Next(15);
+    size_t n_in = 1 + rng.Next(20);
+    LineageIndex outer_b = RandomIndex(&rng, n_out, n_mid, 3);
+    LineageIndex inner_b = RandomIndex(&rng, n_mid, n_in, 3);
+    // Build the forward inverses by transposing.
+    auto transpose = [](const LineageIndex& b, size_t n_targets) {
+      RidIndex f(n_targets);
+      for (auto [s, t] : Edges(b)) f.Append(t, s);
+      return LineageIndex::FromIndex(std::move(f));
+    };
+    LineageIndex outer_f = transpose(outer_b, n_mid);
+    LineageIndex inner_f = transpose(inner_b, n_in);
+
+    LineageIndex comp_b = ComposeBackward(outer_b, inner_b);
+    LineageIndex comp_f = ComposeForward(inner_f, outer_f);
+    EXPECT_TRUE(AreInverse(comp_b, comp_f)) << "trial " << trial;
+  }
+}
+
+TEST(ComposeTest, EmptySidesYieldEmpty) {
+  Lcg rng(1);
+  LineageIndex some = RandomIndex(&rng, 5, 5, 2);
+  EXPECT_TRUE(ComposeBackward(LineageIndex(), some).empty());
+  EXPECT_TRUE(ComposeBackward(some, LineageIndex()).empty());
+  EXPECT_TRUE(ComposeForward(LineageIndex(), some).empty());
+  EXPECT_TRUE(ComposeForward(some, LineageIndex()).empty());
+}
+
+TEST(ComposeTest, ArrayArrayStaysArray) {
+  RidArray outer = {2, kInvalidRid, 0};
+  RidArray inner = {7, 8, 9};
+  LineageIndex composed = ComposeBackward(LineageIndex::FromArray(outer),
+                                          LineageIndex::FromArray(inner));
+  ASSERT_EQ(composed.kind(), LineageIndex::Kind::kArray);
+  EXPECT_EQ(composed.array()[0], 9u);
+  EXPECT_EQ(composed.array()[1], kInvalidRid);
+  EXPECT_EQ(composed.array()[2], 7u);
+}
+
+TEST(ComposeTest, MergePreservesBackwardMultiplicity) {
+  RidIndex a(2), b(2);
+  a.Append(0, 5);
+  b.Append(0, 5);  // same edge through a second derivation path
+  b.Append(1, 6);
+  LineageIndex dst = LineageIndex::FromIndex(std::move(a));
+  MergeBackwardInto(&dst, LineageIndex::FromIndex(std::move(b)));
+  EXPECT_EQ(dst.index().list(0).size(), 2u);  // duplicates kept
+  EXPECT_EQ(dst.index().list(1).size(), 1u);
+
+  RidIndex c(2), d(2);
+  c.Append(0, 3);
+  d.Append(0, 3);
+  d.Append(0, 4);
+  LineageIndex fdst = LineageIndex::FromIndex(std::move(c));
+  MergeForwardInto(&fdst, LineageIndex::FromIndex(std::move(d)));
+  EXPECT_EQ(fdst.index().list(0).size(), 2u);  // {3, 4}: deduplicated
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end property over a real 3-operator chain: the plan executor's
+// composed indexes equal the brute-force join of independently captured
+// per-operator fragments.
+// ---------------------------------------------------------------------------
+
+TEST(ComposeChainTest, ThreeOperatorChainMatchesPerOperatorJoin) {
+  Schema s;
+  s.AddField("k", DataType::kInt64);
+  s.AddField("v", DataType::kInt64);
+  Table t(s);
+  Lcg rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({static_cast<int64_t>(rng.Next(12)),
+                 static_cast<int64_t>(rng.Next(100))});
+  }
+
+  // Chain: select(v < 60) -> group_by(k; count, sum v) -> select(count >= 5).
+  std::vector<Predicate> pre = {Predicate::Int(1, CmpOp::kLt, 60)};
+  GroupBySpec agg;
+  agg.keys = {0};
+  agg.aggs = {AggSpec::Count("cnt"), AggSpec::Sum(ScalarExpr::Col(1), "sum")};
+  std::vector<Predicate> post = {Predicate::Int(1, CmpOp::kGe, 5)};
+
+  PlanBuilder b;
+  int sel = b.Select(b.Scan(&t, "t"), pre);
+  int gb = b.GroupBy(sel, agg);
+  int root = b.Select(gb, post);
+  LogicalPlan plan;
+  ASSERT_TRUE(b.Build(root, &plan).ok());
+  PlanResult res;
+  ASSERT_TRUE(ExecutePlan(plan, CaptureOptions::Inject(), &res).ok());
+
+  // Independent per-operator execution with capture.
+  SelectResult r1 = SelectExec(t, "t", pre, CaptureOptions::Inject());
+  GroupByResult r2 =
+      GroupByExec(r1.output, "mid", agg, CaptureOptions::Inject());
+  SelectResult r3 =
+      SelectExec(r2.output, "mid2", post, CaptureOptions::Inject());
+
+  // Brute-force join of the three backward fragments.
+  auto composed_bw =
+      ComposeBackward(r3.lineage.input(0).backward,
+                      ComposeBackward(r2.lineage.input(0).backward,
+                                      r1.lineage.input(0).backward));
+  EXPECT_EQ(Edges(res.lineage.input(0).backward), Edges(composed_bw));
+
+  auto composed_fw =
+      ComposeForward(r1.lineage.input(0).forward,
+                     ComposeForward(r2.lineage.input(0).forward,
+                                    r3.lineage.input(0).forward));
+  EXPECT_EQ(Edges(res.lineage.input(0).forward), Edges(composed_fw));
+
+  // Round trip: the plan's composed pair must be mutual inverses.
+  EXPECT_TRUE(AreInverse(res.lineage.input(0).backward,
+                         res.lineage.input(0).forward));
+
+  // And composition must be associative: (r3 ∘ r2) ∘ r1 == r3 ∘ (r2 ∘ r1).
+  auto left_assoc =
+      ComposeBackward(ComposeBackward(r3.lineage.input(0).backward,
+                                      r2.lineage.input(0).backward),
+                      r1.lineage.input(0).backward);
+  EXPECT_EQ(Edges(left_assoc), Edges(composed_bw));
+}
+
+}  // namespace
+}  // namespace smoke

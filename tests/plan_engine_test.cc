@@ -1,0 +1,212 @@
+// SmokeEngine facade over composable plans: ExecutePlan retention, lineage
+// queries, TraceAcross across plan/SPJA retained queries, consuming queries
+// over plan lineage, and the table replace/drop lifetime guard.
+#include "core/smoke_engine.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace smoke {
+namespace {
+
+Table MakeSales() {
+  Schema s;
+  s.AddField("region_id", DataType::kInt64);
+  s.AddField("amount", DataType::kFloat64);
+  s.AddField("day", DataType::kInt64);
+  Table t(s);
+  const int64_t regions[] = {0, 1, 2, 0, 1, 2, 3, 0, 1, 0, 3, 2};
+  for (size_t i = 0; i < 12; ++i) {
+    t.AppendRow({regions[i], static_cast<double>(i + 1),
+                 static_cast<int64_t>(20240101 + (i % 3))});
+  }
+  return t;
+}
+
+GroupBySpec PerRegionAgg() {
+  GroupBySpec spec;
+  spec.keys = {0};
+  spec.aggs = {AggSpec::Count("cnt"), AggSpec::Sum(ScalarExpr::Col(1), "sum")};
+  return spec;
+}
+
+class PlanEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.CreateTable("sales", MakeSales()).ok());
+    ASSERT_TRUE(engine_.GetTable("sales", &sales_).ok());
+  }
+
+  LogicalPlan RegionPlan() {
+    PlanBuilder b;
+    int gb = b.GroupBy(b.Scan(sales_, "sales"), PerRegionAgg());
+    LogicalPlan plan;
+    EXPECT_TRUE(b.Build(gb, &plan).ok());
+    return plan;
+  }
+
+  SmokeEngine engine_;
+  const Table* sales_ = nullptr;
+};
+
+TEST_F(PlanEngineTest, ExecutePlanRetainsResultAndLineage) {
+  ASSERT_TRUE(engine_.ExecutePlan("by_region", RegionPlan()).ok());
+
+  const Table* out = nullptr;
+  ASSERT_TRUE(engine_.GetResult("by_region", &out).ok());
+  EXPECT_EQ(out->num_rows(), 4u);
+
+  const PlanResult* pr = nullptr;
+  ASSERT_TRUE(engine_.GetPlanResult("by_region", &pr).ok());
+  EXPECT_EQ(pr->lineage.num_inputs(), 1u);
+
+  // Backward from the region-0 output: rids 0, 3, 7, 9.
+  rid_t region0_out = kInvalidRid;
+  for (rid_t g = 0; g < out->num_rows(); ++g) {
+    if (out->column(0).ints()[g] == 0) region0_out = g;
+  }
+  ASSERT_NE(region0_out, kInvalidRid);
+  std::vector<rid_t> rids;
+  ASSERT_TRUE(engine_.Backward("by_region", "sales", {region0_out}, &rids).ok());
+  EXPECT_EQ(testing::Sorted(rids), (std::vector<rid_t>{0, 3, 7, 9}));
+
+  // Forward from rid 1 (region 1) reaches exactly the region-1 output.
+  std::vector<rid_t> outs;
+  ASSERT_TRUE(engine_.Forward("by_region", "sales", {1}, &outs).ok());
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(out->column(0).ints()[outs[0]], 1);
+
+  // BackwardRows materializes the traced base rows.
+  Table rows;
+  ASSERT_TRUE(
+      engine_.BackwardRows("by_region", "sales", {region0_out}, &rows).ok());
+  EXPECT_EQ(rows.num_rows(), 4u);
+
+  // Duplicate names are refused across namespaces.
+  EXPECT_FALSE(engine_.ExecutePlan("by_region", RegionPlan()).ok());
+  SPJAQuery q;
+  q.fact = sales_;
+  q.fact_name = "sales";
+  q.group_by = {ColRef::Fact(0)};
+  q.aggs = {AggSpec::Count("cnt")};
+  EXPECT_FALSE(engine_.ExecuteQuery("by_region", q).ok());
+}
+
+TEST_F(PlanEngineTest, TraceAcrossPlanAndSpjaQueries) {
+  // View 1: a plan (HAVING-style rollup); view 2: a legacy SPJA query over
+  // the same base relation — linked brushing must work across the mix.
+  PlanBuilder b;
+  int gb = b.GroupBy(b.Scan(sales_, "sales"), PerRegionAgg());
+  int root = b.Select(gb, {Predicate::Int(1, CmpOp::kGe, 3)});
+  LogicalPlan plan;
+  ASSERT_TRUE(b.Build(root, &plan).ok());
+  ASSERT_TRUE(engine_.ExecutePlan("big_regions", plan).ok());
+
+  SPJAQuery by_day;
+  by_day.fact = sales_;
+  by_day.fact_name = "sales";
+  by_day.group_by = {ColRef::Fact(2)};
+  by_day.aggs = {AggSpec::Count("cnt")};
+  ASSERT_TRUE(engine_.ExecuteQuery("by_day", by_day).ok());
+
+  const Table* big = nullptr;
+  ASSERT_TRUE(engine_.GetResult("big_regions", &big).ok());
+  ASSERT_GT(big->num_rows(), 0u);
+
+  std::vector<rid_t> linked;
+  ASSERT_TRUE(
+      engine_.TraceAcross("big_regions", {0}, "sales", "by_day", &linked).ok());
+  // Region 0 has sales on days spanning the whole cycle; brute-force check.
+  std::vector<rid_t> base;
+  ASSERT_TRUE(engine_.Backward("big_regions", "sales", {0}, &base).ok());
+  std::set<int64_t> days;
+  for (rid_t r : base) days.insert(sales_->column(2).ints()[r]);
+  const Table* day_out = nullptr;
+  ASSERT_TRUE(engine_.GetResult("by_day", &day_out).ok());
+  std::set<rid_t> expect;
+  for (rid_t g = 0; g < day_out->num_rows(); ++g) {
+    if (days.count(day_out->column(0).ints()[g])) expect.insert(g);
+  }
+  EXPECT_EQ(std::set<rid_t>(linked.begin(), linked.end()), expect);
+}
+
+TEST_F(PlanEngineTest, ConsumingQueryOverPlanLineage) {
+  ASSERT_TRUE(engine_.ExecutePlan("by_region", RegionPlan()).ok());
+  const Table* out = nullptr;
+  ASSERT_TRUE(engine_.GetResult("by_region", &out).ok());
+  rid_t region0_out = kInvalidRid;
+  for (rid_t g = 0; g < out->num_rows(); ++g) {
+    if (out->column(0).ints()[g] == 0) region0_out = g;
+  }
+  ASSERT_NE(region0_out, kInvalidRid);
+
+  // Drill down into region 0's lineage, regrouping by day.
+  ConsumingSpec spec;
+  spec.group_by = {GroupExpr::Raw(2, "day")};
+  spec.aggs = {AggSpec::Count("cnt")};
+  ASSERT_TRUE(
+      engine_.ExecuteConsuming("region0_by_day", "by_region", region0_out, spec)
+          .ok());
+  const Table* drill = nullptr;
+  ASSERT_TRUE(engine_.GetConsumingResult("region0_by_day", &drill).ok());
+  // Region-0 rids {0,3,7,9} fall on days 20240101 (0,3,9) and 20240102 (7).
+  EXPECT_EQ(drill->num_rows(), 2u);
+  int64_t total = 0;
+  for (rid_t g = 0; g < drill->num_rows(); ++g) {
+    total += drill->column("cnt").ints()[g];
+  }
+  EXPECT_EQ(total, 4);
+}
+
+TEST_F(PlanEngineTest, ReplaceAndDropGuardedByRetainedQueries) {
+  // Regression for the dangling-pointer hazard: retained lineage stores
+  // rids into the registered table, so re-registering or dropping it while
+  // referenced must be refused.
+  EXPECT_FALSE(engine_.CreateTable("sales", MakeSales()).ok());  // duplicate
+
+  ASSERT_TRUE(engine_.ExecutePlan("by_region", RegionPlan()).ok());
+  EXPECT_FALSE(engine_.ReplaceTable("sales", MakeSales()).ok());
+  EXPECT_FALSE(engine_.DropTable("sales").ok());
+
+  // Consuming results borrow the base table too.
+  const Table* out = nullptr;
+  ASSERT_TRUE(engine_.GetResult("by_region", &out).ok());
+  ConsumingSpec spec;
+  spec.group_by = {GroupExpr::Raw(2, "day")};
+  spec.aggs = {AggSpec::Count("cnt")};
+  ASSERT_TRUE(
+      engine_.ExecuteConsuming("drill", "by_region", 0, spec).ok());
+  ASSERT_TRUE(engine_.DropResult("by_region").ok());
+  EXPECT_FALSE(engine_.ReplaceTable("sales", MakeSales()).ok());
+
+  // Once nothing references the table, replace and drop succeed.
+  ASSERT_TRUE(engine_.DropResult("drill").ok());
+  EXPECT_TRUE(engine_.ReplaceTable("sales", MakeSales()).ok());
+  EXPECT_TRUE(engine_.DropTable("sales").ok());
+  EXPECT_FALSE(engine_.DropTable("sales").ok());  // already gone
+}
+
+TEST_F(PlanEngineTest, WorkloadPushdownRejectedForPlans) {
+  Workload w;
+  w.pushdown.skip_cols = {2};
+  EXPECT_FALSE(engine_.ExecutePlan("p", RegionPlan(), CaptureMode::kInject, &w)
+                   .ok());
+}
+
+TEST_F(PlanEngineTest, WorkloadPruningOnPlans) {
+  Workload w;
+  w.needs_forward = false;
+  ASSERT_TRUE(engine_.ExecutePlan("bw_only", RegionPlan(),
+                                  CaptureMode::kInject, &w)
+                  .ok());
+  std::vector<rid_t> rids;
+  EXPECT_TRUE(engine_.Backward("bw_only", "sales", {0}, &rids).ok());
+  std::vector<rid_t> outs;
+  EXPECT_FALSE(engine_.Forward("bw_only", "sales", {0}, &outs).ok());
+}
+
+}  // namespace
+}  // namespace smoke
