@@ -1,0 +1,135 @@
+// Capture-throughput scaling with morsel-driven parallelism: group-by and
+// pk-fk join capture (Smoke-I and baseline) at 1/2/4/8 threads.
+//
+// Beyond the usual harness rows, each series emits one machine-readable
+// JSON line (prefix "JSON ") so BENCH_*.json trajectories can track the
+// scaling curve across commits:
+//   JSON {"bench":"capture_scaling","series":"groupby_inject",...,
+//         "threads":[1,2,4,8],"ms":[...],"mrows_s":[...],"speedup":[...]}
+//
+// Results and lineage are bit-identical across thread counts
+// (tests/parallel_capture_test.cc); this bench measures only the wall-clock
+// effect. Speedups require physical cores — on a single-core host the
+// curve is flat and the series still serves as a regression anchor.
+#include "harness.h"
+
+#include <string>
+#include <vector>
+
+#include "engine/group_by.h"
+#include "engine/hash_join.h"
+#include "engine/select.h"
+#include "plan/scheduler.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+const std::vector<int> kThreadCounts = {1, 2, 4, 8};
+
+struct Series {
+  std::string name;
+  size_t rows = 0;  // input rows processed per run (throughput basis)
+  std::vector<double> ms;
+};
+
+void EmitJson(const Series& s, size_t n, uint64_t groups) {
+  std::string threads = "[";
+  std::string ms = "[";
+  std::string mrows = "[";
+  std::string speedup = "[";
+  for (size_t i = 0; i < kThreadCounts.size(); ++i) {
+    const char* sep = i == 0 ? "" : ",";
+    threads += sep + std::to_string(kThreadCounts[i]);
+    ms += sep + bench::F(s.ms[i]);
+    mrows += sep +
+             bench::F(static_cast<double>(s.rows) / s.ms[i] / 1000.0);
+    speedup += sep + bench::F(s.ms[0] / s.ms[i]);
+  }
+  std::printf(
+      "JSON {\"bench\":\"capture_scaling\",\"series\":\"%s\",\"n\":%zu,"
+      "\"groups\":%llu,\"threads\":%s],\"ms\":%s],\"mrows_s\":%s],"
+      "\"speedup\":%s]}\n",
+      s.name.c_str(), n, static_cast<unsigned long long>(groups),
+      threads.c_str(), ms.c_str(), mrows.c_str(), speedup.c_str());
+}
+
+void Run(const bench::Options& opts) {
+  const size_t n = opts.full ? 10000000 : 2000000;
+  const uint64_t groups = 10000;
+  bench::Banner("Capture scaling",
+                "Group-by / pk-fk join capture throughput vs thread count",
+                {CaptureMode::kNone, CaptureMode::kInject});
+
+  Table zipf = MakeZipfTable(n, groups, 1.0);
+
+  GroupBySpec spec;
+  spec.keys = {zipf_table::kZ};
+  spec.aggs = {AggSpec::Count("cnt"),
+               AggSpec::Sum(ScalarExpr::Col(zipf_table::kV), "sum_v")};
+
+  // gids(gid, payload): the unique build side of the pk-fk join.
+  Table gids;
+  {
+    Schema s;
+    s.AddField("gid", DataType::kInt64);
+    s.AddField("payload", DataType::kInt64);
+    Table t(s);
+    for (uint64_t g = 0; g < groups; ++g) {
+      t.AppendRow({static_cast<int64_t>(g), static_cast<int64_t>(g * 7)});
+    }
+    gids = std::move(t);
+  }
+  JoinSpec jspec;
+  jspec.left_key = 0;
+  jspec.right_key = zipf_table::kZ;
+  jspec.pk_build = true;
+
+  struct Workload {
+    std::string name;
+    CaptureMode mode;
+    int kind;  // 0 = group-by, 1 = pk-fk join
+  };
+  const std::vector<Workload> workloads = {
+      {"groupby_baseline", CaptureMode::kNone, 0},
+      {"groupby_inject", CaptureMode::kInject, 0},
+      {"pkfk_join_baseline", CaptureMode::kNone, 1},
+      {"pkfk_join_inject", CaptureMode::kInject, 1},
+  };
+
+  for (const Workload& w : workloads) {
+    Series series;
+    series.name = w.name;
+    series.rows = n;
+    for (int threads : kThreadCounts) {
+      // A persistent pool per thread count: operators reuse workers the
+      // same way plan execution does.
+      MorselScheduler sched(threads);
+      CaptureOptions co = CaptureOptions::Mode(w.mode);
+      co.num_threads = threads;
+      co.scheduler = &sched;
+      RunStats s = bench::Measure(opts, [&] {
+        if (w.kind == 0) {
+          GroupByExec(zipf, "zipf", spec, co);
+        } else {
+          HashJoinExec(gids, "gids", zipf, "zipf", jspec, co);
+        }
+      });
+      series.ms.push_back(s.mean_ms);
+      bench::Row("capture_scaling",
+                 "series=" + w.name + ",threads=" + std::to_string(threads) +
+                     ",ms=" + bench::F(s.mean_ms) + ",mrows_s=" +
+                     bench::F(static_cast<double>(n) / s.mean_ms / 1000.0));
+    }
+    EmitJson(series, n, groups);
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::bench::Options opts = smoke::bench::Options::Parse(argc, argv);
+  smoke::Run(opts);
+  return 0;
+}

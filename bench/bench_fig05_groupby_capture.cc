@@ -9,6 +9,7 @@
 #include "baselines/bdb_sim.h"
 #include "baselines/phys_mem.h"
 #include "engine/group_by.h"
+#include "plan/scheduler.h"
 #include "workloads/zipf_table.h"
 
 namespace smoke {
@@ -43,6 +44,9 @@ void Run(const bench::Options& opts) {
                 "Group-by aggregation lineage capture latency (zipf theta=1)",
                 modes);
   GroupBySpec spec = MicrobenchSpec();
+  // Persistent pool so --threads=N runs never pay thread spawn inside the
+  // timed region.
+  MorselScheduler sched(opts.threads);
 
   for (size_t n : sizes) {
     for (uint64_t g : group_counts) {
@@ -56,7 +60,9 @@ void Run(const bench::Options& opts) {
           local.warmups = 0;
         }
         RunStats s = bench::Measure(local, [&] {
-          CaptureOptions co = CaptureOptions::Mode(m);
+          // --threads=N engages morsel-parallel capture on the Smoke modes.
+          CaptureOptions co = opts.WithThreads(CaptureOptions::Mode(m));
+          co.scheduler = &sched;
           PhysMemWriter mem_writer;
           BdbWriter bdb_writer;
           if (m == CaptureMode::kPhysMem) co.writer = &mem_writer;

@@ -4,6 +4,7 @@
 #include "harness.h"
 
 #include "engine/hash_join.h"
+#include "plan/scheduler.h"
 #include "workloads/zipf_table.h"
 
 namespace smoke {
@@ -17,6 +18,9 @@ void Run(const bench::Options& opts) {
   bench::Banner("Figure 6",
                 "Pk-fk join capture: Baseline vs Logic-Idx vs Smoke-I vs "
                 "Smoke-I+TC (Smoke-D == Smoke-I for pk-fk)");
+  // Persistent pool so --threads=N runs never pay thread spawn inside the
+  // timed region.
+  MorselScheduler sched(opts.threads);
 
   for (uint64_t g : group_counts) {
     Table gids = MakeGidsTable(g);
@@ -42,7 +46,9 @@ void Run(const bench::Options& opts) {
                                   {"Smoke-I+TC", CaptureMode::kInject, true}};
       double baseline_ms = 0;
       for (const Variant& v : variants) {
-        CaptureOptions co = CaptureOptions::Mode(v.mode);
+        // --threads=N engages the morsel-parallel probe on the Smoke modes.
+        CaptureOptions co = opts.WithThreads(CaptureOptions::Mode(v.mode));
+        co.scheduler = &sched;
         if (v.tc) co.hints = &hints;
         RunStats s = bench::Measure(opts, [&] {
           HashJoinExec(gids, "gids", zipf, "zipf", spec, co);

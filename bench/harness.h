@@ -36,6 +36,7 @@ struct Options {
   int warmups = 1;      // paper: 3
   int runs = 3;         // paper: 15
   double scale = -1;    // TPC-H scale-factor override
+  int threads = 1;      // morsel-parallel capture (CaptureOptions::num_threads)
 
   static Options Parse(int argc, char** argv) {
     StabilizeAllocator();
@@ -51,13 +52,25 @@ struct Options {
         o.warmups = std::atoi(argv[i] + 10);
       } else if (!std::strncmp(argv[i], "--sf=", 5)) {
         o.scale = std::atof(argv[i] + 5);
+      } else if (!std::strncmp(argv[i], "--threads=", 10)) {
+        o.threads = std::atoi(argv[i] + 10);
+        if (o.threads < 1) o.threads = 1;
       } else if (!std::strcmp(argv[i], "--help")) {
-        std::printf("usage: %s [--full] [--runs=N] [--warmups=N] [--sf=F]\n",
-                    argv[0]);
+        std::printf(
+            "usage: %s [--full] [--runs=N] [--warmups=N] [--sf=F] "
+            "[--threads=N]\n",
+            argv[0]);
         std::exit(0);
       }
     }
     return o;
+  }
+
+  /// Applies the --threads flag to a capture configuration (the parallel
+  /// path only engages for the morsel-parallel kernels and Smoke modes).
+  CaptureOptions WithThreads(CaptureOptions c) const {
+    c.num_threads = threads;
+    return c;
   }
 };
 

@@ -69,6 +69,15 @@ class RidVec {
     data_[size_++] = rid;
   }
 
+  /// Appends `n` rids in one step (fragment merging). Allocates exactly —
+  /// merge sites know the final size, so growth slack would be waste.
+  void PushBackAll(const rid_t* src, size_t n) {
+    if (n == 0) return;
+    Reserve(size_ + n);
+    std::memcpy(data_ + size_, src, n * sizeof(rid_t));
+    size_ += n;
+  }
+
   /// Ensures room for at least `capacity` elements (exact allocation; no
   /// growth slack). Used when cardinalities are known up-front.
   void Reserve(size_t capacity) {

@@ -103,16 +103,24 @@ Status SmokeEngine::ExecuteQuery(const std::string& query_name,
 Status SmokeEngine::ExecutePlan(const std::string& query_name,
                                 const LogicalPlan& plan, CaptureMode mode,
                                 const Workload* workload) {
+  return ExecutePlan(query_name, plan, CaptureOptions::Mode(mode), workload);
+}
+
+Status SmokeEngine::ExecutePlan(const std::string& query_name,
+                                const LogicalPlan& plan,
+                                const CaptureOptions& options,
+                                const Workload* workload) {
   if (IsRetainedName(query_name)) {
     return Status::AlreadyExists("query '" + query_name + "'");
   }
-  if (mode == CaptureMode::kPhysMem || mode == CaptureMode::kPhysBdb) {
+  if (options.mode == CaptureMode::kPhysMem ||
+      options.mode == CaptureMode::kPhysBdb) {
     return Status::Unsupported(
         "physical baselines are exercised per-operator, not via the engine "
         "facade");
   }
 
-  CaptureOptions opts = CaptureOptions::Mode(mode);
+  CaptureOptions opts = options;
   if (workload != nullptr) {
     if (!workload->pushdown.empty()) {
       return Status::InvalidArgument(
@@ -128,6 +136,14 @@ Status SmokeEngine::ExecutePlan(const std::string& query_name,
   SMOKE_RETURN_NOT_OK(smoke::ExecutePlan(plan, opts, &retained->result));
   plans_[query_name] = std::move(retained);
   return Status::OK();
+}
+
+Status SmokeEngine::FinalizePlan(const std::string& query_name) {
+  auto it = plans_.find(query_name);
+  if (it == plans_.end()) {
+    return Status::NotFound("plan query '" + query_name + "'");
+  }
+  return it->second->result.FinalizeDeferred();
 }
 
 Status SmokeEngine::GetResult(const std::string& query_name,

@@ -88,6 +88,21 @@ class SmokeEngine {
                      CaptureMode mode = CaptureMode::kInject,
                      const Workload* workload = nullptr);
 
+  /// Full-options variant: `opts` additionally carries the parallel-capture
+  /// knobs (num_threads, morsel_rows — results and lineage are identical to
+  /// single-threaded execution) and defer_plan_finalize (think-time
+  /// finalization via FinalizePlan). A non-null workload overrides the
+  /// pruning fields of `opts` as in the CaptureMode variant.
+  Status ExecutePlan(const std::string& query_name, const LogicalPlan& plan,
+                     const CaptureOptions& opts,
+                     const Workload* workload = nullptr);
+
+  /// Finalizes deferred capture of a retained plan executed with
+  /// defer_plan_finalize (the paper's think-time Zγ at plan granularity).
+  /// Lineage queries against the plan only see indexes after this runs.
+  /// No-op for plans with nothing pending.
+  Status FinalizePlan(const std::string& query_name);
+
   /// The output relation of a retained query (SPJA or plan).
   Status GetResult(const std::string& query_name, const Table** out) const;
 

@@ -14,6 +14,8 @@
 
 namespace smoke {
 
+class MorselScheduler;  // plan/scheduler.h: fixed thread pool + morsel queue
+
 /// Capture technique taxonomy — paper Table 1.
 enum class CaptureMode : uint8_t {
   kNone = 0,   ///< Baseline: run the base query without capturing lineage.
@@ -123,6 +125,38 @@ struct CaptureOptions {
 
   /// Edge sink for kPhysMem / kPhysBdb. Borrowed, must outlive the operator.
   LineageWriter* writer = nullptr;
+
+  /// Morsel-driven parallel capture. With num_threads > 1 the parallelizable
+  /// kernels (select, group-by, hash-join probe) partition their input into
+  /// morsels, capture into thread-local fragment buffers, and merge the
+  /// per-morsel fragments deterministically (lineage/fragment_merge.h) —
+  /// results and lineage are bit-identical to num_threads == 1. Modes other
+  /// than kNone/kInject/kDefer, and kernels without a parallel path, fall
+  /// back to the sequential implementation. Default 1 preserves the exact
+  /// single-threaded code paths.
+  int num_threads = 1;
+
+  /// Shared worker pool (borrowed; plan/executor.cc owns one per ExecutePlan
+  /// so all operators of a plan reuse threads). Kernels called directly with
+  /// num_threads > 1 and no scheduler spin up a transient pool.
+  MorselScheduler* scheduler = nullptr;
+
+  /// Rows per morsel for the row-partitioned kernels; 0 = default
+  /// (MorselScheduler::kDefaultMorselRows).
+  size_t morsel_rows = 0;
+
+  /// Plan-level defer scheduling: when true (and mode == kDefer), plan
+  /// execution leaves deferred group-by capture unfinalized and skips
+  /// lineage composition; PlanResult::FinalizeDeferred() completes both at
+  /// think-time. Ignored by the standalone kernels.
+  bool defer_plan_finalize = false;
+
+  /// True when this operator execution should take a parallel path.
+  bool WantsParallel() const {
+    return num_threads > 1 &&
+           (mode == CaptureMode::kNone || mode == CaptureMode::kInject ||
+            mode == CaptureMode::kDefer);
+  }
 
   bool WantsTable(const std::string& name) const {
     if (only_relations.empty()) return true;

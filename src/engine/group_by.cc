@@ -1,10 +1,12 @@
 #include "engine/group_by.h"
 
 #include <cstring>
+#include <memory>
 
 #include "common/macros.h"
 #include "engine/key_encode.h"
 #include "engine/refresh.h"
+#include "plan/scheduler.h"
 
 namespace smoke {
 
@@ -119,6 +121,20 @@ struct GroupByInternals {
     return h->key_cols_;
   }
 
+  // Parallel-merge access: the partition-merge step inserts merged groups
+  // into the handle's key maps directly (engine/group_by.cc,
+  // ParallelGroupBy below).
+  static IntKeyMap& int_map(GroupByHandle* h) { return h->int_map_; }
+  static std::unordered_map<std::string, uint32_t>& str_map(GroupByHandle* h) {
+    return h->str_map_;
+  }
+  static std::vector<double>& agg_state(GroupByHandle* h) {
+    return h->agg_state_;
+  }
+  static std::vector<rid_t>& first_rids(GroupByHandle* h) {
+    return h->first_rid_;
+  }
+
   static double* MutableAggState(GroupByHandle* h, uint32_t slot) {
     return &h->agg_state_[slot * h->layout_.stride()];
   }
@@ -159,11 +175,203 @@ Schema NormalOutputSchema(const Table& input, const GroupBySpec& spec,
   return s;
 }
 
+/// γ'agg output scan: one row per group slot, keys from each group's
+/// representative rid, aggregates finalized from the handle's state arena.
+void EmitGroupByOutput(GroupByResult* result, const Table& input,
+                       const GroupBySpec& spec, GroupByHandle* h) {
+  const size_t num_groups = h->num_groups();
+  const size_t num_keys = spec.keys.size();
+  result->output = Table(NormalOutputSchema(input, spec, h->layout()));
+  result->output.Reserve(num_groups);
+  std::vector<Column*> agg_cols;
+  for (size_t i = 0; i < h->layout().num_aggs(); ++i) {
+    agg_cols.push_back(&result->output.mutable_column(num_keys + i));
+  }
+  const auto& state = h->agg_state();
+  const size_t stride = h->layout().stride();
+  for (size_t g = 0; g < num_groups; ++g) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      result->output.mutable_column(k).AppendFrom(
+          input.column(static_cast<size_t>(spec.keys[k])),
+          GroupByInternals::FirstRid(h, g));
+    }
+    h->layout().Finalize(&state[g * stride], &agg_cols);
+  }
+}
+
+/// Partition-parallel group-by (kNone / kInject / kDefer).
+///
+/// The input splits into one contiguous partition per worker; each worker
+/// runs a private γ'ht over its partition (thread-local hash table, agg
+/// state, i_rids lineage buffers — absolute input rids). The partials then
+/// merge into the retained global handle IN PARTITION ORDER: because
+/// partitions are ordered, contiguous row ranges, first-encounter order over
+/// the merge equals first-encounter order of the sequential scan, so group
+/// slots — and with them the output rows and every lineage index — come out
+/// identical to num_threads == 1. Per-group backward lists concatenate
+/// partition contributions in partition order, preserving increasing-rid
+/// order. Under kDefer only the merged hash table is built;
+/// FinalizeDeferredGroupBy later probes it exactly as in the sequential
+/// path.
+GroupByResult GroupByExecParallel(const Table& input,
+                                  const std::string& input_name,
+                                  const GroupBySpec& spec,
+                                  const CaptureOptions& opts,
+                                  MorselScheduler* sched) {
+  GroupByResult result;
+  result.handle = GroupByInternals::MakeHandle(input, spec, opts);
+  GroupByHandle* h = result.handle.get();
+  const size_t n = input.num_rows();
+  const bool inject = opts.mode == CaptureMode::kInject;
+  const bool want_b = inject && opts.capture_backward;
+  const bool want_f = inject && opts.capture_forward;
+  const AggLayout& layout = h->layout();
+  const size_t stride = layout.stride();
+  const bool int_key = GroupByInternals::IsIntKey(*h);
+  const std::vector<int>& key_cols = GroupByInternals::KeyCols(h);
+  const int64_t* keys =
+      int_key ? input.column(static_cast<size_t>(key_cols[0])).ints().data()
+              : nullptr;
+
+  const std::vector<Morsel> parts =
+      MakePartitions(n, static_cast<size_t>(sched->num_threads()));
+  const size_t np = parts.size();
+
+  struct Partial {
+    IntKeyMap int_map{64};
+    std::unordered_map<std::string, uint32_t> str_map;
+    std::vector<double> agg_state;
+    std::vector<rid_t> first_rid;
+    std::vector<uint32_t> counts;
+    std::vector<RidVec> i_rids;       // want_b: absolute input rids
+    std::vector<uint32_t> local_fw;   // want_f: partition row -> local slot
+    std::vector<uint32_t> to_global;  // local slot -> merged slot
+  };
+  std::vector<Partial> partials(np);
+
+  // ---- phase 1: per-partition γ'ht builds (parallel) ----
+  sched->ParallelFor(np, [&](size_t p, size_t) {
+    Partial& part = partials[p];
+    const Morsel span = parts[p];
+    if (want_f) part.local_fw.resize(span.rows());
+    for (rid_t r = span.begin; r < span.end; ++r) {
+      uint32_t fresh = static_cast<uint32_t>(part.counts.size());
+      uint32_t slot;
+      bool created = false;
+      if (int_key) {
+        slot = part.int_map.FindOrInsert(keys[r], fresh);
+        if (slot == IntKeyMap::kNotFound) {
+          slot = fresh;
+          created = true;
+        }
+      } else {
+        auto [it, inserted] =
+            part.str_map.emplace(EncodeKey(input, key_cols, r), fresh);
+        slot = it->second;
+        created = inserted;
+      }
+      if (created) {
+        part.agg_state.resize(part.agg_state.size() + stride);
+        layout.Init(&part.agg_state[part.agg_state.size() - stride]);
+        part.first_rid.push_back(r);
+        part.counts.push_back(0);
+        if (want_b) part.i_rids.emplace_back();
+      }
+      layout.Update(&part.agg_state[slot * stride], r);
+      ++part.counts[slot];
+      if (want_b) part.i_rids[slot].PushBack(r);
+      if (want_f) part.local_fw[r - span.begin] = slot;
+    }
+  });
+
+  // ---- phase 2: partition-order merge into the global handle ----
+  auto& g_agg = GroupByInternals::agg_state(h);
+  auto& g_first = GroupByInternals::first_rids(h);
+  auto& g_counts = GroupByInternals::counts(h);
+  auto& g_lists = GroupByInternals::i_rids(h);
+  for (size_t p = 0; p < np; ++p) {
+    Partial& part = partials[p];
+    const size_t local_groups = part.counts.size();
+    part.to_global.resize(local_groups);
+    for (uint32_t ls = 0; ls < local_groups; ++ls) {
+      const rid_t fr = part.first_rid[ls];
+      uint32_t fresh = static_cast<uint32_t>(g_counts.size());
+      uint32_t slot;
+      bool created = false;
+      if (int_key) {
+        slot = GroupByInternals::int_map(h).FindOrInsert(keys[fr], fresh);
+        if (slot == IntKeyMap::kNotFound) {
+          slot = fresh;
+          created = true;
+        }
+      } else {
+        auto [it, inserted] = GroupByInternals::str_map(h).emplace(
+            EncodeKey(input, key_cols, fr), fresh);
+        slot = it->second;
+        created = inserted;
+      }
+      if (created) {
+        g_agg.insert(g_agg.end(),
+                     part.agg_state.begin() +
+                         static_cast<ptrdiff_t>(ls * stride),
+                     part.agg_state.begin() +
+                         static_cast<ptrdiff_t>((ls + 1) * stride));
+        g_first.push_back(fr);
+        g_counts.push_back(part.counts[ls]);
+        if (want_b) g_lists.push_back(std::move(part.i_rids[ls]));
+      } else {
+        layout.Merge(&g_agg[slot * stride], &part.agg_state[ls * stride]);
+        g_counts[slot] += part.counts[ls];
+        if (want_b) {
+          g_lists[slot].PushBackAll(part.i_rids[ls].data(),
+                                    part.i_rids[ls].size());
+        }
+      }
+      part.to_global[ls] = slot;
+    }
+  }
+
+  // ---- phase 3: remap thread-local forward buffers to merged slots ----
+  RidArray forward;
+  if (want_f) {
+    forward.assign(n, kInvalidRid);
+    sched->ParallelFor(np, [&](size_t p, size_t) {
+      Partial& part = partials[p];
+      const Morsel span = parts[p];
+      for (size_t i = 0; i < span.rows(); ++i) {
+        forward[span.begin + i] = part.to_global[part.local_fw[i]];
+      }
+    });
+  }
+
+  // ---- γ'agg scan + lineage emission ----
+  EmitGroupByOutput(&result, input, spec, h);
+  if (opts.mode != CaptureMode::kNone) {
+    TableLineage& lin = result.lineage.AddInput(input_name, &input);
+    if (want_b) {
+      lin.backward =
+          LineageIndex::FromIndex(RidIndex::FromLists(std::move(g_lists)));
+    }
+    if (want_f) lin.forward = LineageIndex::FromArray(std::move(forward));
+  }
+  result.lineage.set_output_cardinality(h->num_groups());
+  return result;
+}
+
 }  // namespace
 
 GroupByResult GroupByExec(const Table& input, const std::string& input_name,
                           const GroupBySpec& spec,
                           const CaptureOptions& opts) {
+  if (opts.WantsParallel()) {
+    if (opts.scheduler != nullptr) {
+      return GroupByExecParallel(input, input_name, spec, opts,
+                                 opts.scheduler);
+    }
+    MorselScheduler local(opts.num_threads);
+    return GroupByExecParallel(input, input_name, spec, opts, &local);
+  }
+
   GroupByResult result;
   result.handle = GroupByInternals::MakeHandle(input, spec, opts);
   GroupByHandle* h = result.handle.get();
@@ -225,27 +433,7 @@ GroupByResult GroupByExec(const Table& input, const std::string& input_name,
 
   // ---- γ'agg scan phase ----
   const size_t num_groups = h->num_groups();
-  const size_t num_keys = spec.keys.size();
-  result.output = Table(NormalOutputSchema(input, spec, h->layout()));
-  {
-    result.output.Reserve(num_groups);
-    std::vector<Column*> agg_cols;
-    for (size_t i = 0; i < h->layout().num_aggs(); ++i) {
-      agg_cols.push_back(&result.output.mutable_column(num_keys + i));
-    }
-    const auto& state = h->agg_state();
-    const size_t stride = h->layout().stride();
-    // first_rid_ is private; expose via counts-parallel access through
-    // Probe-free friend accessor.
-    for (size_t g = 0; g < num_groups; ++g) {
-      for (size_t k = 0; k < num_keys; ++k) {
-        result.output.mutable_column(k).AppendFrom(
-            input.column(static_cast<size_t>(spec.keys[k])),
-            GroupByInternals::FirstRid(h, g));
-      }
-      h->layout().Finalize(&state[g * stride], &agg_cols);
-    }
-  }
+  EmitGroupByOutput(&result, input, spec, h);
 
   if (phys) opts.writer->FinishCapture(num_groups);
 

@@ -1,6 +1,10 @@
 #include "engine/hash_join.h"
 
+#include <memory>
+
 #include "common/macros.h"
+#include "lineage/fragment_merge.h"
+#include "plan/scheduler.h"
 
 namespace smoke {
 
@@ -34,6 +38,156 @@ struct JoinHashTable {
 
   explicit JoinHashTable(size_t expected) : map(expected) {}
 };
+
+/// Morsel-driven parallel ⋈'probe (kNone, kInject, and pk-fk kDefer — the
+/// modes whose probe loop is stateless given the read-only build table).
+/// B is split into morsels; each morsel probes the shared hash table into a
+/// thread-local output chunk plus per-morsel lineage fragments: A/B backward
+/// rids are absolute, output rids morsel-local. Fragments merge in morsel
+/// order; A's forward index is rebuilt exactly-sized by inverting the merged
+/// A-backward array (per-morsel forward fragments would overlap on A rows).
+JoinResult HashJoinProbeParallel(const Table& left,
+                                 const std::string& left_name,
+                                 const Table& right,
+                                 const std::string& right_name,
+                                 const JoinSpec& spec,
+                                 const CaptureOptions& opts,
+                                 const JoinHashTable& ht,
+                                 MorselScheduler* sched) {
+  const size_t na = left.num_rows();
+  const size_t nb = right.num_rows();
+  const int64_t* rkeys =
+      right.column(static_cast<size_t>(spec.right_key)).ints().data();
+  const CaptureMode mode = opts.mode;
+  const bool pk = spec.pk_build;
+  const bool smoke = mode != CaptureMode::kNone;
+  const bool want_a = smoke && opts.WantsTable(left_name);
+  const bool want_b_side = smoke && opts.WantsTable(right_name);
+  const bool want_bw = opts.capture_backward;
+  const bool want_fw = opts.capture_forward;
+  // A's forward index is derived from the merged backward array, so the
+  // backward fragments are collected whenever either A-side direction is on.
+  const bool need_a_bw = want_a && (want_bw || want_fw);
+  const bool need_b_bw = want_b_side && want_bw;
+  const bool need_b_fw = want_b_side && want_fw;
+
+  const size_t morsel_rows = opts.morsel_rows > 0
+                                 ? opts.morsel_rows
+                                 : MorselScheduler::kDefaultMorselRows;
+  const std::vector<Morsel> morsels = MakeMorsels(nb, morsel_rows);
+  const size_t nm = morsels.size();
+
+  const Schema out_schema = OutputSchema(left, right, right_name, mode);
+  const size_t left_cols = left.num_columns();
+  const size_t right_cols = right.num_columns();
+
+  std::vector<Table> chunks(nm);
+  std::vector<RidArray> a_bw_parts(nm);
+  std::vector<RidArray> b_bw_parts(nm);
+  std::vector<RidArray> b_fw_arr_parts(nm);   // pk: B row -> one local out
+  std::vector<RidIndex> b_fw_idx_parts(nm);   // M:N: B row -> local outs
+  std::vector<size_t> counts(nm, 0);
+
+  sched->ParallelFor(nm, [&](size_t m, size_t) {
+    const Morsel span = morsels[m];
+    Table chunk(out_schema);
+    RidArray a_bw;
+    RidArray b_bw;
+    RidArray b_fw_arr;
+    RidIndex b_fw_idx;
+    if (need_b_fw) {
+      if (pk) b_fw_arr.assign(span.rows(), kInvalidRid);
+      else b_fw_idx.Resize(span.rows());
+    }
+    if (pk) {
+      // Per-morsel join cardinality is bounded by the morsel's B rows.
+      if (spec.materialize_output) chunk.Reserve(span.rows());
+      if (need_a_bw) a_bw.reserve(span.rows());
+      if (need_b_bw) b_bw.reserve(span.rows());
+    }
+    rid_t local_o = 0;
+    for (rid_t b = span.begin; b < span.end; ++b) {
+      uint32_t slot = ht.map.Find(rkeys[b]);
+      if (slot == IntKeyMap::kNotFound) continue;
+      const rid_t* match_begin;
+      size_t match_count;
+      rid_t single;
+      if (pk) {
+        single = ht.single_rid[slot];
+        match_begin = &single;
+        match_count = 1;
+      } else {
+        match_begin = ht.i_rids[slot].data();
+        match_count = ht.i_rids[slot].size();
+      }
+      for (size_t i = 0; i < match_count; ++i) {
+        rid_t a = match_begin[i];
+        if (spec.materialize_output) {
+          chunk.AppendRowFrom(left, a);
+          for (size_t c = 0; c < right_cols; ++c) {
+            chunk.mutable_column(left_cols + c).AppendFrom(right.column(c), b);
+          }
+        }
+        if (need_a_bw) a_bw.push_back(a);
+        if (need_b_bw) b_bw.push_back(b);
+        if (need_b_fw) {
+          if (pk) b_fw_arr[b - span.begin] = local_o;
+          else b_fw_idx.Append(b - span.begin, local_o);
+        }
+        ++local_o;
+      }
+    }
+    counts[m] = local_o;
+    chunks[m] = std::move(chunk);
+    a_bw_parts[m] = std::move(a_bw);
+    b_bw_parts[m] = std::move(b_bw);
+    b_fw_arr_parts[m] = std::move(b_fw_arr);
+    b_fw_idx_parts[m] = std::move(b_fw_idx);
+  });
+
+  // ---- deterministic merge in morsel order ----
+  const std::vector<rid_t> offsets = ExclusiveOffsets(counts);
+  const rid_t total = offsets[nm];
+
+  JoinResult result;
+  result.output = Table(out_schema);
+  result.output_cardinality = total;
+  if (spec.materialize_output) {
+    result.output.Reserve(total);
+    for (size_t m = 0; m < nm; ++m) {
+      result.output.AppendAllRows(std::move(chunks[m]));
+    }
+  }
+
+  if (mode != CaptureMode::kNone) {
+    TableLineage& la = result.lineage.AddInput(left_name, &left);
+    TableLineage& lb = result.lineage.AddInput(right_name, &right);
+    result.lineage.set_output_cardinality(total);
+    if (need_a_bw) {
+      RidArray a_bw = ConcatBackwardArrays(std::move(a_bw_parts));
+      if (want_fw) {
+        la.forward = LineageIndex::FromIndex(InvertBackwardArray(a_bw, na));
+      }
+      if (want_bw) la.backward = LineageIndex::FromArray(std::move(a_bw));
+    }
+    if (need_b_bw) {
+      lb.backward = LineageIndex::FromArray(
+          ConcatBackwardArrays(std::move(b_bw_parts)));
+    }
+    if (need_b_fw) {
+      if (pk) {
+        std::vector<rid_t> in_begins(nm);
+        for (size_t m = 0; m < nm; ++m) in_begins[m] = morsels[m].begin;
+        lb.forward = LineageIndex::FromArray(
+            ScatterForwardArrays(nb, b_fw_arr_parts, in_begins, offsets));
+      } else {
+        lb.forward = LineageIndex::FromIndex(
+            ConcatIndexParts(std::move(b_fw_idx_parts), offsets));
+      }
+    }
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -71,14 +225,20 @@ JoinResult HashJoinExec(const Table& left, const std::string& left_name,
   const bool want_bw = opts.capture_backward;
   const bool want_fw = opts.capture_forward;
 
+  // Morsel-parallel probe path: kNone, kInject, and pk-fk kDefer (≡ Inject).
+  // Non-pk kDefer keeps the sequential probe — its o_rids bookkeeping and
+  // scanht pass already amortize capture off the critical path.
+  const bool parallel = opts.WantsParallel() && !defer;
+
   // ---- ⋈'ht: build phase on A ----
   JoinHashTable ht(na);
   const CardinalityHints* hints = opts.hints;
   const bool tc = hints != nullptr && hints->have_per_key_counts;
 
-  // Forward index for A (rid index: one A row joins many outputs).
+  // Forward index for A (rid index: one A row joins many outputs). The
+  // parallel probe derives it from the merged backward fragments instead.
   RidIndex a_fw;
-  if (want_a && want_fw) a_fw.Resize(na);
+  if (!parallel && want_a && want_fw) a_fw.Resize(na);
 
   for (rid_t a = 0; a < na; ++a) {
     uint32_t fresh = static_cast<uint32_t>(pk ? ht.single_rid.size()
@@ -98,10 +258,20 @@ JoinResult HashJoinExec(const Table& left, const std::string& left_name,
     if (!pk) ht.i_rids[slot].PushBack(a);
     // Smoke-I+TC: pre-size this A row's forward list with the known number
     // of B matches for its key.
-    if (tc && want_a && want_fw) {
+    if (!parallel && tc && want_a && want_fw) {
       auto it = hints->per_key_counts.find(lkeys[a]);
       if (it != hints->per_key_counts.end()) a_fw.list(a).Reserve(it->second);
     }
+  }
+
+  if (parallel) {
+    if (opts.scheduler != nullptr) {
+      return HashJoinProbeParallel(left, left_name, right, right_name, spec,
+                                   opts, ht, opts.scheduler);
+    }
+    MorselScheduler local(opts.num_threads);
+    return HashJoinProbeParallel(left, left_name, right, right_name, spec,
+                                 opts, ht, &local);
   }
 
   // ---- ⋈'probe: probe phase with B ----

@@ -1,6 +1,10 @@
 #include "engine/select.h"
 
+#include <memory>
+
 #include "common/macros.h"
+#include "lineage/fragment_merge.h"
+#include "plan/scheduler.h"
 
 namespace smoke {
 
@@ -18,29 +22,109 @@ Schema OutputSchema(const Table& input, CaptureMode mode) {
   return s;
 }
 
+/// Morsel-driven parallel selection (Smoke modes only; kDefer maps to
+/// kInject for selection as in the sequential path). Each morsel filters its
+/// row range into a thread-local output chunk and emits a per-morsel lineage
+/// fragment — backward holds absolute input rids, forward holds morsel-local
+/// output rids. Merging in morsel order (lineage/fragment_merge.h) makes the
+/// result bit-identical to the sequential loop.
+SelectResult SelectExecParallel(const Table& input,
+                                const std::string& input_name,
+                                const PredicateList& plist,
+                                const CaptureOptions& opts,
+                                MorselScheduler* sched) {
+  const size_t n = input.num_rows();
+  const bool smoke_capture = IsSmokeMode(opts.mode);
+  const bool want_b = smoke_capture && opts.capture_backward;
+  const bool want_f = smoke_capture && opts.capture_forward;
+
+  const size_t morsel_rows = opts.morsel_rows > 0
+                                 ? opts.morsel_rows
+                                 : MorselScheduler::kDefaultMorselRows;
+  const std::vector<Morsel> morsels = MakeMorsels(n, morsel_rows);
+  const size_t nm = morsels.size();
+
+  // Thread-local fragment buffers, keyed by morsel index so the merge never
+  // depends on which worker ran which morsel.
+  std::vector<Table> chunks(nm);
+  std::vector<RidArray> bw_parts(nm);
+  std::vector<RidArray> fw_parts(nm);
+  std::vector<size_t> counts(nm, 0);
+  const double sel = opts.hints != nullptr
+                         ? opts.hints->selection_selectivity
+                         : -1.0;
+  const Schema out_schema = OutputSchema(input, opts.mode);
+
+  sched->ParallelFor(nm, [&](size_t m, size_t) {
+    const Morsel span = morsels[m];
+    Table chunk(out_schema);
+    RidArray bw;
+    RidArray fw;
+    if (want_f) fw.assign(span.rows(), kInvalidRid);
+    if (want_b && sel >= 0) {
+      bw.reserve(static_cast<size_t>(sel * static_cast<double>(span.rows())) +
+                 1);
+    }
+    rid_t local_o = 0;
+    for (rid_t r = span.begin; r < span.end; ++r) {
+      if (!plist.Eval(r)) continue;
+      chunk.AppendRowFrom(input, r);
+      if (want_b) bw.push_back(r);
+      if (want_f) fw[r - span.begin] = local_o;
+      ++local_o;
+    }
+    counts[m] = local_o;
+    chunks[m] = std::move(chunk);
+    bw_parts[m] = std::move(bw);
+    fw_parts[m] = std::move(fw);
+  });
+
+  // ---- deterministic merge in morsel order ----
+  const std::vector<rid_t> offsets = ExclusiveOffsets(counts);
+  const rid_t total = offsets[nm];
+
+  SelectResult result;
+  result.output = Table(out_schema);
+  result.output.Reserve(total);
+  for (size_t m = 0; m < nm; ++m) {
+    result.output.AppendAllRows(std::move(chunks[m]));
+  }
+  if (opts.mode != CaptureMode::kNone) {
+    TableLineage& lin = result.lineage.AddInput(input_name, &input);
+    if (want_b) {
+      lin.backward =
+          LineageIndex::FromArray(ConcatBackwardArrays(std::move(bw_parts)));
+    }
+    if (want_f) {
+      std::vector<rid_t> in_begins(nm);
+      for (size_t m = 0; m < nm; ++m) in_begins[m] = morsels[m].begin;
+      lin.forward = LineageIndex::FromArray(
+          ScatterForwardArrays(n, fw_parts, in_begins, offsets));
+    }
+  }
+  result.lineage.set_output_cardinality(total);
+  return result;
+}
+
 }  // namespace
 
-SelectResult SelectExec(const Table& input, const std::string& input_name,
-                        const std::vector<Predicate>& preds,
-                        const CaptureOptions& opts) {
+SelectResult SelectExecRange(const Table& input, const std::string& input_name,
+                             rid_t row_begin, rid_t row_end,
+                             const std::vector<Predicate>& preds,
+                             const CaptureOptions& opts) {
+  SMOKE_CHECK(opts.mode == CaptureMode::kNone || IsSmokeMode(opts.mode));
+  SMOKE_CHECK(row_begin <= row_end && row_end <= input.num_rows());
   const size_t n = input.num_rows();
   PredicateList plist(input, preds);
 
   SelectResult result;
-  result.output = Table(OutputSchema(input, opts.mode));
-  TableLineage* lin = nullptr;
-  const bool smoke_capture =
-      opts.mode == CaptureMode::kInject || opts.mode == CaptureMode::kDefer;
-  const bool phys_capture =
-      opts.mode == CaptureMode::kPhysMem || opts.mode == CaptureMode::kPhysBdb;
-  if (opts.mode != CaptureMode::kNone) {
-    lin = &result.lineage.AddInput(input_name, &input);
-  }
+  result.output = Table(input.schema());
+  const bool smoke_capture = IsSmokeMode(opts.mode);
+  const bool want_b = smoke_capture && opts.capture_backward;
+  const bool want_f = smoke_capture && opts.capture_forward;
 
   RidArray backward;
   RidArray forward;
-  const bool want_b = smoke_capture && opts.capture_backward;
-  const bool want_f = smoke_capture && opts.capture_forward;
   if (want_f) forward.assign(n, kInvalidRid);
   if (want_b) {
     // EC hint: pre-allocate the backward rid array from the selectivity
@@ -48,9 +132,58 @@ SelectResult SelectExec(const Table& input, const std::string& input_name,
     double sel = opts.hints != nullptr ? opts.hints->selection_selectivity
                                        : -1.0;
     if (sel >= 0) {
-      backward.reserve(static_cast<size_t>(sel * static_cast<double>(n)) + 1);
+      backward.reserve(
+          static_cast<size_t>(sel * static_cast<double>(row_end - row_begin)) +
+          1);
     }
   }
+
+  rid_t ctr_o = 0;
+  for (rid_t ctr_i = row_begin; ctr_i < row_end; ++ctr_i) {
+    if (!plist.Eval(ctr_i)) continue;
+    result.output.AppendRowFrom(input, ctr_i);
+    if (want_b) backward.push_back(ctr_i);
+    if (want_f) forward[ctr_i] = ctr_o;
+    ++ctr_o;
+  }
+
+  if (opts.mode != CaptureMode::kNone) {
+    TableLineage& lin = result.lineage.AddInput(input_name, &input);
+    if (want_b) lin.backward = LineageIndex::FromArray(std::move(backward));
+    if (want_f) lin.forward = LineageIndex::FromArray(std::move(forward));
+  }
+  result.lineage.set_output_cardinality(ctr_o);
+  return result;
+}
+
+SelectResult SelectExec(const Table& input, const std::string& input_name,
+                        const std::vector<Predicate>& preds,
+                        const CaptureOptions& opts) {
+  const size_t n = input.num_rows();
+
+  if (opts.WantsParallel()) {
+    PredicateList plist(input, preds);
+    if (opts.scheduler != nullptr) {
+      return SelectExecParallel(input, input_name, plist, opts,
+                                opts.scheduler);
+    }
+    MorselScheduler local(opts.num_threads);
+    return SelectExecParallel(input, input_name, plist, opts, &local);
+  }
+
+  // The sequential Smoke/baseline loop is the full-range morsel execution.
+  if (opts.mode == CaptureMode::kNone || IsSmokeMode(opts.mode)) {
+    return SelectExecRange(input, input_name, 0, static_cast<rid_t>(n),
+                           preds, opts);
+  }
+
+  // ---- logic / physical baseline modes ----
+  PredicateList plist(input, preds);
+  SelectResult result;
+  result.output = Table(OutputSchema(input, opts.mode));
+  TableLineage* lin = &result.lineage.AddInput(input_name, &input);
+  const bool phys_capture =
+      opts.mode == CaptureMode::kPhysMem || opts.mode == CaptureMode::kPhysBdb;
 
   if (phys_capture) {
     SMOKE_CHECK(opts.writer != nullptr);
@@ -75,8 +208,6 @@ SelectResult SelectExec(const Table& input, const std::string& input_name,
             .AppendFrom(input.column(c), ctr_i);
       }
     }
-    if (want_b) backward.push_back(ctr_i);
-    if (want_f) forward[ctr_i] = ctr_o;
     if (phys_capture) opts.writer->Emit(ctr_o, ctr_i);
     ++ctr_o;
   }
@@ -99,9 +230,6 @@ SelectResult SelectExec(const Table& input, const std::string& input_name,
       lin->backward = LineageIndex::FromArray(std::move(b2));
     if (opts.capture_forward)
       lin->forward = LineageIndex::FromArray(std::move(f2));
-  } else if (smoke_capture) {
-    if (want_b) lin->backward = LineageIndex::FromArray(std::move(backward));
-    if (want_f) lin->forward = LineageIndex::FromArray(std::move(forward));
   }
 
   result.lineage.set_output_cardinality(ctr_o);

@@ -37,6 +37,16 @@ SelectResult SelectExec(const Table& input, const std::string& input_name,
                         const std::vector<Predicate>& preds,
                         const CaptureOptions& opts);
 
+/// Morsel/partition execution (plan/operator.h): filters only rows
+/// [row_begin, row_end) of `input`. Backward lineage holds absolute input
+/// rids; the forward array spans the full input with kInvalidRid outside
+/// the view, so fragments of disjoint views concatenate with
+/// lineage/fragment_merge.h. Smoke modes and kNone only.
+SelectResult SelectExecRange(const Table& input, const std::string& input_name,
+                             rid_t row_begin, rid_t row_end,
+                             const std::vector<Predicate>& preds,
+                             const CaptureOptions& opts);
+
 }  // namespace smoke
 
 #endif  // SMOKE_ENGINE_SELECT_H_

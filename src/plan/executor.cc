@@ -1,10 +1,12 @@
 #include "plan/executor.h"
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
 #include "lineage/compose.h"
+#include "plan/scheduler.h"
 
 namespace smoke {
 
@@ -33,6 +35,85 @@ bool IsLogicOrPhys(CaptureMode m) {
   return m == CaptureMode::kLogicRid || m == CaptureMode::kLogicTup ||
          m == CaptureMode::kLogicIdx || m == CaptureMode::kPhysMem ||
          m == CaptureMode::kPhysBdb;
+}
+
+/// Composes the per-operator fragments of an executed plan into one
+/// end-to-end index pair per reachable scan. Consumes (moves) the fragments
+/// out of `results`. Factored out of ExecutePlan so plan-level deferred
+/// finalization (PlanResult::FinalizeDeferred) can run it at think-time.
+void ComposePlanLineage(const LogicalPlan& plan,
+                        const std::vector<uint8_t>& reachable,
+                        size_t root_rows,
+                        std::vector<OperatorResult>* results,
+                        QueryLineage* out_lineage) {
+  const size_t n = plan.num_nodes();
+  const int root = plan.root();
+
+  // Walk parents before children (descending id is reverse-topological);
+  // acc[id] accumulates the root-to-node composition, merging when a DAG
+  // node is reached through multiple paths. Fragments are consumed (moved)
+  // — each (parent, child-slot) fragment is used exactly once.
+  std::vector<PathLineage> acc(n);
+  acc[static_cast<size_t>(root)].identity = true;
+  acc[static_cast<size_t>(root)].reached = true;
+
+  for (int id = root; id >= 0; --id) {
+    const size_t uid = static_cast<size_t>(id);
+    if (!reachable[uid] || !acc[uid].reached) continue;
+    const PlanNode& node = plan.node(id);
+    if (node.kind == PlanOpKind::kScan) continue;
+
+    for (size_t k = 0; k < node.children.size(); ++k) {
+      const size_t child = static_cast<size_t>(node.children[k]);
+      LineageFragment frag;
+      if (k < (*results)[uid].fragments.size()) {
+        frag = std::move((*results)[uid].fragments[k]);
+      }
+
+      PathLineage down;
+      down.reached = true;
+      if (frag.identity) {
+        // Pipelined 1:1 operator: pass the accumulator through. The last
+        // child slot is the accumulator's final use, so it can be moved.
+        down.identity = acc[uid].identity;
+        if (k + 1 == node.children.size()) {
+          down.backward = std::move(acc[uid].backward);
+          down.forward = std::move(acc[uid].forward);
+        } else {
+          down.backward = acc[uid].backward;
+          down.forward = acc[uid].forward;
+        }
+      } else if (acc[uid].identity) {
+        down.backward = std::move(frag.backward);
+        down.forward = std::move(frag.forward);
+      } else {
+        down.backward = ComposeBackward(acc[uid].backward, frag.backward);
+        down.forward = ComposeForward(frag.forward, acc[uid].forward);
+      }
+
+      PathLineage& dst = acc[child];
+      if (!dst.reached) {
+        dst = std::move(down);
+      } else {
+        MaterializeIdentity(&dst, root_rows);
+        MaterializeIdentity(&down, root_rows);
+        MergeBackwardInto(&dst.backward, std::move(down.backward));
+        MergeForwardInto(&dst.forward, std::move(down.forward));
+      }
+    }
+  }
+
+  // Emit one lineage input per reachable scan, in scan-creation order.
+  for (size_t id = 0; id < n; ++id) {
+    const PlanNode& node = plan.node(static_cast<int>(id));
+    if (!reachable[id] || node.kind != PlanOpKind::kScan) continue;
+    TableLineage& tl = out_lineage->AddInput(node.label, node.table);
+    PathLineage& a = acc[id];
+    if (!a.reached) continue;
+    MaterializeIdentity(&a, root_rows);
+    tl.backward = std::move(a.backward);
+    tl.forward = std::move(a.forward);
+  }
 }
 
 }  // namespace
@@ -90,7 +171,15 @@ Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
   }
 
   // ---- execute reachable operators in topological (id) order ----
+  // One worker pool for the whole plan: every morsel-parallel operator
+  // reuses its threads.
+  std::unique_ptr<MorselScheduler> pool;
+  if (opts.num_threads > 1 && opts.scheduler == nullptr) {
+    pool = std::make_unique<MorselScheduler>(opts.num_threads);
+  }
+
   std::vector<OperatorResult> results(n);
+  std::vector<int> pending_group_bys;
   for (size_t id = 0; id < n; ++id) {
     if (!reachable[id]) continue;
     const PlanNode& node = plan.node(static_cast<int>(id));
@@ -100,16 +189,18 @@ Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
     inputs.reserve(node.children.size());
     for (int c : node.children) {
       const PlanNode& child = plan.node(c);
+      OperatorInput in;
       if (child.kind == PlanOpKind::kScan) {
-        inputs.push_back(OperatorInput{child.table, child.label});
+        in.table = child.table;
       } else {
-        inputs.push_back(
-            OperatorInput{&results[static_cast<size_t>(c)].output,
-                          child.label});
+        in.table = &results[static_cast<size_t>(c)].output;
       }
+      in.name = child.label;
+      inputs.push_back(std::move(in));
     }
 
     CaptureOptions node_opts = opts;
+    if (pool != nullptr) node_opts.scheduler = pool.get();
     if (prune) {
       node_opts.only_relations.clear();
       if (!traced[id]) {
@@ -134,6 +225,9 @@ Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
     std::unique_ptr<Operator> op = MakeOperator(node);
     SMOKE_CHECK(op != nullptr);
     SMOKE_RETURN_NOT_OK(op->Execute(inputs, node_opts, &results[id]));
+    if (results[id].deferred_group_by != nullptr) {
+      pending_group_bys.push_back(static_cast<int>(id));
+    }
   }
 
   OperatorResult& root_result = results[static_cast<size_t>(root)];
@@ -142,79 +236,65 @@ Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
   }
   const size_t root_rows = root_result.output.num_rows();
 
+  // ---- plan-level defer scheduling: stash, finalize at think-time ----
+  if (!pending_group_bys.empty()) {
+    out->output = std::move(root_result.output);
+    out->output_cardinality = root_result.output_cardinality;
+    out->lineage.set_output_cardinality(out->output_cardinality);
+    out->spja_artifacts = std::move(root_result.spja_artifacts);
+    auto st = std::make_unique<PlanDeferredState>();
+    st->plan = plan;
+    st->opts = opts;
+    st->opts.scheduler = nullptr;  // the plan-scoped pool dies with us
+    st->results = std::move(results);
+    st->reachable = std::move(reachable);
+    st->pending_group_bys = std::move(pending_group_bys);
+    out->deferred = std::move(st);
+    return Status::OK();
+  }
+
   // ---- compose per-operator fragments into end-to-end indexes ----
-  // Walk parents before children (descending id is reverse-topological);
-  // acc[id] accumulates the root-to-node composition, merging when a DAG
-  // node is reached through multiple paths. Fragments are consumed (moved)
-  // — each (parent, child-slot) fragment is used exactly once.
   if (opts.mode != CaptureMode::kNone) {
-    std::vector<PathLineage> acc(n);
-    acc[static_cast<size_t>(root)].identity = true;
-    acc[static_cast<size_t>(root)].reached = true;
-
-    for (int id = root; id >= 0; --id) {
-      const size_t uid = static_cast<size_t>(id);
-      if (!reachable[uid] || !acc[uid].reached) continue;
-      const PlanNode& node = plan.node(id);
-      if (node.kind == PlanOpKind::kScan) continue;
-
-      for (size_t k = 0; k < node.children.size(); ++k) {
-        const size_t child = static_cast<size_t>(node.children[k]);
-        LineageFragment frag;
-        if (k < results[uid].fragments.size()) {
-          frag = std::move(results[uid].fragments[k]);
-        }
-
-        PathLineage down;
-        down.reached = true;
-        if (frag.identity) {
-          // Pipelined 1:1 operator: pass the accumulator through. The last
-          // child slot is the accumulator's final use, so it can be moved.
-          down.identity = acc[uid].identity;
-          if (k + 1 == node.children.size()) {
-            down.backward = std::move(acc[uid].backward);
-            down.forward = std::move(acc[uid].forward);
-          } else {
-            down.backward = acc[uid].backward;
-            down.forward = acc[uid].forward;
-          }
-        } else if (acc[uid].identity) {
-          down.backward = std::move(frag.backward);
-          down.forward = std::move(frag.forward);
-        } else {
-          down.backward = ComposeBackward(acc[uid].backward, frag.backward);
-          down.forward = ComposeForward(frag.forward, acc[uid].forward);
-        }
-
-        PathLineage& dst = acc[child];
-        if (!dst.reached) {
-          dst = std::move(down);
-        } else {
-          MaterializeIdentity(&dst, root_rows);
-          MaterializeIdentity(&down, root_rows);
-          MergeBackwardInto(&dst.backward, std::move(down.backward));
-          MergeForwardInto(&dst.forward, std::move(down.forward));
-        }
-      }
-    }
-
-    // Emit one lineage input per reachable scan, in scan-creation order.
-    for (size_t id = 0; id < n; ++id) {
-      const PlanNode& node = plan.node(static_cast<int>(id));
-      if (!reachable[id] || node.kind != PlanOpKind::kScan) continue;
-      TableLineage& tl = out->lineage.AddInput(node.label, node.table);
-      PathLineage& a = acc[id];
-      if (!a.reached) continue;
-      MaterializeIdentity(&a, root_rows);
-      tl.backward = std::move(a.backward);
-      tl.forward = std::move(a.forward);
-    }
+    ComposePlanLineage(plan, reachable, root_rows, &results, &out->lineage);
   }
 
   out->output = std::move(root_result.output);
   out->output_cardinality = root_result.output_cardinality;
   out->lineage.set_output_cardinality(out->output_cardinality);
   out->spja_artifacts = std::move(root_result.spja_artifacts);
+  return Status::OK();
+}
+
+Status PlanResult::FinalizeDeferred() {
+  if (deferred == nullptr) return Status::OK();
+  PlanDeferredState& st = *deferred;
+
+  // Zγ per pending node: re-probe the retained hash table against the
+  // operator's input batch (still alive inside st.results / base tables).
+  for (int id : st.pending_group_bys) {
+    OperatorResult& r = st.results[static_cast<size_t>(id)];
+    SMOKE_CHECK(r.deferred_group_by != nullptr);
+    const PlanNode& node = st.plan.node(id);
+    const int child = node.children[0];
+    const PlanNode& child_node = st.plan.node(child);
+    const Table* input = child_node.kind == PlanOpKind::kScan
+                             ? child_node.table
+                             : &st.results[static_cast<size_t>(child)].output;
+    GroupByResult* gb = r.deferred_group_by.get();
+    FinalizeDeferredGroupBy(gb, *input, st.opts);
+    LineageFragment& frag = r.fragments[0];
+    TableLineage& tl = gb->lineage.mutable_input(0);
+    frag.backward = std::move(tl.backward);
+    frag.forward = std::move(tl.forward);
+    r.deferred_group_by.reset();
+  }
+
+  if (st.opts.mode != CaptureMode::kNone) {
+    ComposePlanLineage(st.plan, st.reachable, output.num_rows(), &st.results,
+                       &lineage);
+  }
+  lineage.set_output_cardinality(output_cardinality);
+  deferred.reset();
   return Status::OK();
 }
 

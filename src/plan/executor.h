@@ -5,6 +5,7 @@
 #define SMOKE_PLAN_EXECUTOR_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/capture.h"
@@ -13,6 +14,20 @@
 #include "plan/plan.h"
 
 namespace smoke {
+
+/// Execution state retained when plan-level defer scheduling is on
+/// (CaptureOptions::defer_plan_finalize with mode kDefer): the per-operator
+/// results with their unconsumed lineage fragments, plus the group-by nodes
+/// whose deferred capture still needs finalizing. Holding the intermediate
+/// outputs keeps every deferred operator's input batch alive until
+/// PlanResult::FinalizeDeferred() probes the retained hash tables.
+struct PlanDeferredState {
+  LogicalPlan plan;  ///< copy of the executed DAG (borrows base tables)
+  CaptureOptions opts;
+  std::vector<OperatorResult> results;
+  std::vector<uint8_t> reachable;
+  std::vector<int> pending_group_bys;  ///< node ids awaiting finalization
+};
 
 /// Result of executing a LogicalPlan: the root output plus one composed
 /// end-to-end backward/forward index pair per reachable base-table scan
@@ -26,16 +41,33 @@ struct PlanResult {
   /// Set when the plan root is an SPJA block: the block-level artifacts
   /// (annotated relation, group counts, push-down index/cube).
   std::shared_ptr<SPJAResult> spja_artifacts;
+  /// Non-null while deferred capture awaits FinalizeDeferred(); `lineage`
+  /// is empty until then.
+  std::unique_ptr<PlanDeferredState> deferred;
+
+  /// True while deferred group-by capture has not been finalized yet.
+  bool HasDeferred() const { return deferred != nullptr; }
+
+  /// The paper's think-time Zγ at plan granularity: finalizes every pending
+  /// deferred group-by (re-probing the retained hash tables) and composes
+  /// the end-to-end lineage indexes. No-op when nothing is pending.
+  Status FinalizeDeferred();
 };
 
 /// Executes `plan` with the capture technique in `opts` and composes the
 /// per-operator lineage fragments into `out->lineage`.
 ///
 /// Supported modes for multi-operator plans: kNone, kInject, kDefer (defer
-/// finalization is eager, per operator). The logic/physical baseline modes
-/// are only accepted when the plan is a single block over scans (the
-/// SPJAExec compatibility path) — they produce annotated relations or
-/// external writes that do not compose across operators.
+/// finalization is eager per operator by default; set
+/// opts.defer_plan_finalize to postpone it to PlanResult::
+/// FinalizeDeferred()). The logic/physical baseline modes are only accepted
+/// when the plan is a single block over scans (the SPJAExec compatibility
+/// path) — they produce annotated relations or external writes that do not
+/// compose across operators.
+///
+/// Parallel capture: opts.num_threads > 1 executes the parallelizable
+/// operators morsel-driven over a plan-wide worker pool; results and
+/// composed lineage are bit-identical to num_threads == 1.
 ///
 /// Workload pruning (Section 4.1): opts.capture_backward/forward apply to
 /// every operator; opts.only_relations names base relations (scan labels) —

@@ -1,4 +1,5 @@
-// The uniform physical-operator capture contract (paper Section 3.3).
+// The uniform physical-operator capture contract (paper Section 3.3),
+// extended with partition-aware execution (ROADMAP "Parallel capture").
 //
 // Every operator in an instrumented plan implements the same interface:
 //   (input batch(es), CaptureOptions) -> (output batch, one lineage
@@ -9,6 +10,16 @@
 // adjacent fragments (lineage/compose.h) into end-to-end indexes — the
 // operators themselves never see more than their own inputs, which is what
 // makes the plan API composable.
+//
+// Partition awareness: an OperatorInput may carry a morsel view — a
+// half-open [row_begin, row_end) window over the borrowed batch. Fragments
+// keep ABSOLUTE table rids on the input side and execution-local rids on
+// the output side, so the fragments of disjoint morsel views concatenate
+// into the full-input fragment by shifting output rids with each view's
+// output offset (lineage/fragment_merge.h). With CaptureOptions::
+// num_threads > 1 the kernels do exactly this internally: morsels are
+// captured into thread-local fragment buffers and merged deterministically
+// in morsel order, so results are bit-identical to single-threaded runs.
 //
 // The concrete implementations delegate to the instrumented kernels in
 // src/engine/ (SelectExec, HashJoinExec, GroupByExec, the set operators and
@@ -23,20 +34,25 @@
 
 #include "common/status.h"
 #include "engine/capture.h"
+#include "engine/group_by.h"
 #include "lineage/rid_index.h"
 #include "plan/plan.h"
+#include "plan/scheduler.h"
 #include "storage/table.h"
 
 namespace smoke {
 
 /// The lineage fragment of one operator execution with respect to one of
-/// its inputs.
+/// its inputs. Input-side rids are absolute positions in the input batch
+/// (even under a morsel view); output-side rids are local to this
+/// execution's output.
 struct LineageFragment {
   LineageIndex backward;  ///< output position -> input positions
   LineageIndex forward;   ///< input position -> output positions
   /// Pure pipelined 1:1 operators (projection) mark their fragment as
   /// identity instead of materializing an index; composition passes the
-  /// accumulated lineage through unchanged.
+  /// accumulated lineage through unchanged. Never set under a partial
+  /// morsel view (the view's 1:1 mapping is offset, not identity).
   bool identity = false;
 };
 
@@ -45,6 +61,26 @@ struct LineageFragment {
 struct OperatorInput {
   const Table* table = nullptr;
   std::string name;
+
+  /// Morsel/partition view: when `has_view` is set the operator consumes
+  /// only rows [view.begin, view.end) of `table`. Supported by the
+  /// row-partitioned operators (select, project); partition-ignorant
+  /// operators reject partial views. Fragment rids on this input stay
+  /// absolute, so per-view fragments merge with fragment_merge.h.
+  Morsel view;
+  bool has_view = false;
+
+  Morsel EffectiveView() const {
+    if (has_view) return view;
+    Morsel full;
+    full.begin = 0;
+    full.end = static_cast<rid_t>(table->num_rows());
+    return full;
+  }
+  bool IsFullRange() const {
+    return !has_view ||
+           (view.begin == 0 && view.end == table->num_rows());
+  }
 };
 
 /// What an operator execution produces under the uniform contract.
@@ -58,6 +94,11 @@ struct OperatorResult {
   /// relation, group counts, push-down skip index / cube) that the
   /// SPJAExec compatibility wrapper re-exposes.
   std::shared_ptr<SPJAResult> spja_artifacts;
+  /// Group-by under plan-level defer scheduling (CaptureOptions::
+  /// defer_plan_finalize): the kernel result whose lineage is still pending
+  /// — it retains the γht hash table that PlanResult::FinalizeDeferred()
+  /// probes at think-time. The matching fragment stays empty until then.
+  std::shared_ptr<GroupByResult> deferred_group_by;
 };
 
 /// \brief A physical operator bound to a plan node.

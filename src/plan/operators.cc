@@ -27,6 +27,18 @@ LineageFragment TakeFragment(QueryLineage* lineage, size_t i) {
   return f;
 }
 
+/// Partition-ignorant operators reject partial morsel views.
+Status RequireFullRange(const std::vector<OperatorInput>& inputs,
+                        const char* op_name) {
+  for (const auto& in : inputs) {
+    if (!in.IsFullRange()) {
+      return Status::Unsupported(std::string(op_name) +
+                                 " does not support partial morsel views");
+    }
+  }
+  return Status::OK();
+}
+
 class SelectOperator : public Operator {
  public:
   explicit SelectOperator(const PlanNode& node) : node_(node) {}
@@ -34,8 +46,17 @@ class SelectOperator : public Operator {
 
   Status Execute(const std::vector<OperatorInput>& inputs,
                  const CaptureOptions& opts, OperatorResult* out) const override {
-    SelectResult r = SelectExec(*inputs[0].table, inputs[0].name,
-                                node_.predicates, opts);
+    SelectResult r;
+    if (inputs[0].IsFullRange()) {
+      r = SelectExec(*inputs[0].table, inputs[0].name, node_.predicates,
+                     opts);
+    } else {
+      // Morsel-view execution: the caller partitions rows and merges the
+      // per-view fragments (lineage/fragment_merge.h).
+      const Morsel view = inputs[0].EffectiveView();
+      r = SelectExecRange(*inputs[0].table, inputs[0].name, view.begin,
+                          view.end, node_.predicates, opts);
+    }
     out->output = std::move(r.output);
     out->output_cardinality = out->output.num_rows();
     out->fragments.push_back(TakeFragment(&r.lineage, 0));
@@ -53,7 +74,6 @@ class ProjectOperator : public Operator {
 
   Status Execute(const std::vector<OperatorInput>& inputs,
                  const CaptureOptions& opts, OperatorResult* out) const override {
-    (void)opts;  // projection is a pure pipeline: identity lineage
     const Table& in = *inputs[0].table;
     Schema s;
     for (int c : node_.columns) {
@@ -65,14 +85,41 @@ class ProjectOperator : public Operator {
                  in.schema().field(static_cast<size_t>(c)).type);
     }
     Table output(s);
+    if (inputs[0].IsFullRange()) {
+      // Pure pipeline over the whole batch: identity lineage.
+      for (size_t i = 0; i < node_.columns.size(); ++i) {
+        output.mutable_column(i) =
+            in.column(static_cast<size_t>(node_.columns[i]));
+      }
+      out->output = std::move(output);
+      out->output_cardinality = out->output.num_rows();
+      LineageFragment f;
+      f.identity = true;
+      out->fragments.push_back(std::move(f));
+      return Status::OK();
+    }
+    // Morsel view: a 1:1 window [begin, end) — absolute input rids, local
+    // output rids, so per-view fragments concatenate.
+    const Morsel view = inputs[0].EffectiveView();
     for (size_t i = 0; i < node_.columns.size(); ++i) {
-      output.mutable_column(i) =
-          in.column(static_cast<size_t>(node_.columns[i]));
+      Column& dst = output.mutable_column(i);
+      const Column& src = in.column(static_cast<size_t>(node_.columns[i]));
+      dst.Reserve(view.rows());
+      for (rid_t r = view.begin; r < view.end; ++r) dst.AppendFrom(src, r);
     }
     out->output = std::move(output);
     out->output_cardinality = out->output.num_rows();
     LineageFragment f;
-    f.identity = true;
+    if (opts.mode != CaptureMode::kNone && opts.capture_backward) {
+      RidArray bw(view.rows());
+      for (rid_t r = view.begin; r < view.end; ++r) bw[r - view.begin] = r;
+      f.backward = LineageIndex::FromArray(std::move(bw));
+    }
+    if (opts.mode != CaptureMode::kNone && opts.capture_forward) {
+      RidArray fw(in.num_rows(), kInvalidRid);
+      for (rid_t r = view.begin; r < view.end; ++r) fw[r] = r - view.begin;
+      f.forward = LineageIndex::FromArray(std::move(fw));
+    }
     out->fragments.push_back(std::move(f));
     return Status::OK();
   }
@@ -88,6 +135,7 @@ class HashJoinOperator : public Operator {
 
   Status Execute(const std::vector<OperatorInput>& inputs,
                  const CaptureOptions& opts, OperatorResult* out) const override {
+    SMOKE_RETURN_NOT_OK(RequireFullRange(inputs, name()));
     if (node_.join.left_key < 0 ||
         static_cast<size_t>(node_.join.left_key) >=
             inputs[0].table->num_columns() ||
@@ -124,6 +172,7 @@ class GroupByOperator : public Operator {
 
   Status Execute(const std::vector<OperatorInput>& inputs,
                  const CaptureOptions& opts, OperatorResult* out) const override {
+    SMOKE_RETURN_NOT_OK(RequireFullRange(inputs, name()));
     const Table& in = *inputs[0].table;
     for (int k : node_.group_by.keys) {
       if (k < 0 || static_cast<size_t>(k) >= in.num_columns()) {
@@ -132,10 +181,18 @@ class GroupByOperator : public Operator {
       }
     }
     GroupByResult r = GroupByExec(in, inputs[0].name, node_.group_by, opts);
-    // Plans finalize deferred capture eagerly, while the input batch is
-    // still alive (think-time scheduling stays available through the
-    // free-function kernels).
     if (opts.mode == CaptureMode::kDefer) {
+      if (opts.defer_plan_finalize) {
+        // Plan-level defer scheduling: keep the kernel result (with its
+        // retained γht hash table) unfinalized; PlanResult::
+        // FinalizeDeferred() completes capture at think-time.
+        out->output = std::move(r.output);
+        out->output_cardinality = out->output.num_rows();
+        out->fragments.emplace_back();
+        out->deferred_group_by = std::make_shared<GroupByResult>(std::move(r));
+        return Status::OK();
+      }
+      // Default: finalize eagerly while the input batch is still alive.
       FinalizeDeferredGroupBy(&r, in, opts);
     }
     out->output = std::move(r.output);
@@ -155,6 +212,7 @@ class SetOpOperator : public Operator {
 
   Status Execute(const std::vector<OperatorInput>& inputs,
                  const CaptureOptions& opts, OperatorResult* out) const override {
+    SMOKE_RETURN_NOT_OK(RequireFullRange(inputs, name()));
     const Table& a = *inputs[0].table;
     const Table& b = *inputs[1].table;
     const std::string& an = inputs[0].name;
@@ -204,6 +262,7 @@ class SpjaBlockOperator : public Operator {
 
   Status Execute(const std::vector<OperatorInput>& inputs,
                  const CaptureOptions& opts, OperatorResult* out) const override {
+    SMOKE_RETURN_NOT_OK(RequireFullRange(inputs, name()));
     // Rebind the block's table pointers to the bound inputs so a plan can
     // be replayed against refreshed scans.
     SPJAQuery q = node_.spja;

@@ -1,0 +1,120 @@
+#include "plan/scheduler.h"
+
+#include <algorithm>
+
+namespace smoke {
+
+std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows) {
+  SMOKE_CHECK(morsel_rows > 0);
+  std::vector<Morsel> morsels;
+  morsels.reserve((num_rows + morsel_rows - 1) / morsel_rows);
+  for (size_t begin = 0; begin < num_rows; begin += morsel_rows) {
+    Morsel m;
+    m.begin = static_cast<rid_t>(begin);
+    m.end = static_cast<rid_t>(std::min(begin + morsel_rows, num_rows));
+    morsels.push_back(m);
+  }
+  return morsels;
+}
+
+std::vector<Morsel> MakePartitions(size_t num_rows, size_t parts) {
+  if (parts < 1) parts = 1;
+  parts = std::min(parts, std::max<size_t>(num_rows, 1));
+  std::vector<Morsel> out;
+  out.reserve(parts);
+  const size_t base = num_rows / parts;
+  const size_t extra = num_rows % parts;  // first `extra` partitions get +1
+  size_t begin = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    size_t len = base + (p < extra ? 1 : 0);
+    Morsel m;
+    m.begin = static_cast<rid_t>(begin);
+    m.end = static_cast<rid_t>(begin + len);
+    out.push_back(m);
+    begin += len;
+  }
+  return out;
+}
+
+MorselScheduler::MorselScheduler(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back(
+        [this, w] { WorkerLoop(static_cast<size_t>(w)); });
+  }
+}
+
+MorselScheduler::~MorselScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void MorselScheduler::ParallelFor(
+    size_t num_tasks, const std::function<void(size_t, size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_threads_ == 1 || num_tasks == 1) {
+    for (size_t t = 0; t < num_tasks; ++t) fn(t, 0);
+    return;
+  }
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    pending_ = num_tasks;
+    next_task_ = 0;
+    epoch = ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  RunTasks(0, epoch);  // the caller is worker 0
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  // `fn` may be a temporary owned by the caller's frame: unpublish it before
+  // returning. Stale workers validate the epoch before claiming, so none
+  // can still touch it or the queue of a later batch.
+  fn_ = nullptr;
+}
+
+void MorselScheduler::RunTasks(size_t worker, uint64_t epoch) {
+  for (;;) {
+    const std::function<void(size_t, size_t)>* fn;
+    size_t task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_ || fn_ == nullptr || epoch_ != epoch) return;
+      if (next_task_ >= num_tasks_) return;
+      task = next_task_++;
+      fn = fn_;
+    }
+    (*fn)(task, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void MorselScheduler::WorkerLoop(size_t worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    uint64_t epoch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || (fn_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      epoch = seen_epoch = epoch_;
+    }
+    RunTasks(worker, epoch);
+  }
+}
+
+}  // namespace smoke

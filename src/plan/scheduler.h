@@ -1,0 +1,99 @@
+// Morsel-driven parallel execution (the enabling layer for parallel lineage
+// capture — ROADMAP "Parallel capture").
+//
+// A MorselScheduler owns a fixed pool of worker threads and dispatches tasks
+// from a shared atomic queue (the "morsel queue"): ParallelFor(num_tasks, fn)
+// runs fn(task, worker) for every task index, with workers pulling the next
+// task index as they finish the previous one. The calling thread participates
+// as worker 0, so num_threads == 1 degenerates to a plain loop with no
+// synchronization.
+//
+// Determinism contract: WHICH worker runs a task is nondeterministic, but
+// callers key all shared state by TASK index, never by worker id, and merge
+// per-task results in task order. That is what makes parallel lineage capture
+// bit-identical to the single-threaded run regardless of thread count or
+// scheduling (tests/parallel_capture_test.cc).
+#ifndef SMOKE_PLAN_SCHEDULER_H_
+#define SMOKE_PLAN_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace smoke {
+
+/// One morsel: a half-open row range [begin, end) over a borrowed table.
+struct Morsel {
+  rid_t begin = 0;
+  rid_t end = 0;
+  size_t rows() const { return end - begin; }
+};
+
+/// Splits [0, num_rows) into morsels of at most `morsel_rows` rows. The last
+/// morsel carries the remainder. Returns an empty vector for an empty input.
+std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows);
+
+/// Splits [0, num_rows) into exactly min(parts, num_rows) contiguous
+/// near-equal partitions (used by operators whose per-task state is heavy,
+/// e.g. group-by partial hash tables: one partition per worker).
+std::vector<Morsel> MakePartitions(size_t num_rows, size_t parts);
+
+/// \brief Fixed thread pool with a shared task counter (morsel queue).
+///
+/// Workers are spawned once in the constructor and live until destruction,
+/// so repeated ParallelFor calls (one per operator in a plan) reuse threads.
+/// ParallelFor is not reentrant and must only be called from the thread that
+/// constructed the scheduler.
+class MorselScheduler {
+ public:
+  /// `num_threads` counts the calling thread: the pool spawns
+  /// num_threads - 1 workers. Values < 1 are clamped to 1.
+  explicit MorselScheduler(int num_threads);
+  ~MorselScheduler();
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(MorselScheduler);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(task, worker) for every task in [0, num_tasks), pulling task
+  /// indexes from the shared queue. worker is in [0, num_threads); the
+  /// calling thread is worker 0. Blocks until every task finished.
+  void ParallelFor(size_t num_tasks,
+                   const std::function<void(size_t task, size_t worker)>& fn);
+
+  /// Default morsel granularity for row-partitioned operators. Small enough
+  /// to load-balance skewed predicates, large enough to amortize dispatch.
+  static constexpr size_t kDefaultMorselRows = 64 * 1024;
+
+ private:
+  void WorkerLoop(size_t worker);
+  /// Claims and runs tasks of batch `epoch` until the queue drains or the
+  /// batch is superseded. Claims are validated against the epoch under the
+  /// mutex, so a worker that wakes late for a finished batch can neither
+  /// call its destroyed function nor steal a task from the next batch.
+  /// Tasks are morsel-grained, so the two lock acquisitions per task are
+  /// noise next to the task body.
+  void RunTasks(size_t worker, uint64_t epoch);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // caller waits for batch completion
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;  // current batch
+  size_t num_tasks_ = 0;
+  uint64_t epoch_ = 0;                // bumped per ParallelFor call
+  size_t next_task_ = 0;              // the morsel queue (guarded by mu_)
+  size_t pending_ = 0;                // tasks not yet finished
+  bool shutdown_ = false;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_PLAN_SCHEDULER_H_

@@ -3,6 +3,7 @@
 #ifndef SMOKE_STORAGE_COLUMN_H_
 #define SMOKE_STORAGE_COLUMN_H_
 
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,26 @@ class Column {
       case DataType::kInt64:   ints_.push_back(src.ints_[rid]); break;
       case DataType::kFloat64: doubles_.push_back(src.doubles_[rid]); break;
       case DataType::kString:  strings_.push_back(src.strings_[rid]); break;
+    }
+  }
+
+  /// Appends all of `src`'s values (bulk chunk merge; vector range insert,
+  /// not per-row copies). Strings are moved out of `src`.
+  void AppendAll(Column&& src) {
+    SMOKE_DCHECK(type_ == src.type_);
+    switch (type_) {
+      case DataType::kInt64:
+        ints_.insert(ints_.end(), src.ints_.begin(), src.ints_.end());
+        break;
+      case DataType::kFloat64:
+        doubles_.insert(doubles_.end(), src.doubles_.begin(),
+                        src.doubles_.end());
+        break;
+      case DataType::kString:
+        strings_.insert(strings_.end(),
+                        std::make_move_iterator(src.strings_.begin()),
+                        std::make_move_iterator(src.strings_.end()));
+        break;
     }
   }
 

@@ -65,6 +65,14 @@ class Table {
     }
   }
 
+  /// Appends all rows of `src` (same schema; morsel output-chunk merging).
+  void AppendAllRows(Table&& src) {
+    SMOKE_DCHECK(src.num_columns() == columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].AppendAll(std::move(src.columns_[c]));
+    }
+  }
+
   Value GetValue(rid_t rid, size_t col) const {
     return columns_[col].GetValue(rid);
   }
