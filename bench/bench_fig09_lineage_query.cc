@@ -35,13 +35,16 @@ double TouchRows(const Table& t, const RidVec& rids) {
 }
 
 void Run(const bench::Options& opts) {
-  const size_t n = opts.full ? 10000000 : 2000000;
-  const uint64_t groups = 5000;
+  const size_t n =
+      opts.smoke ? 200000 : (opts.full ? 10000000 : 2000000);
+  const uint64_t groups = opts.smoke ? 500 : 5000;
   bench::Banner("Figure 9",
                 "Backward lineage query latency vs skew (mean over all "
-                "groups; 5000 groups)");
+                "groups)");
 
-  for (double theta : {0.0, 0.4, 0.8, 1.6}) {
+  std::vector<double> thetas = {0.0, 0.4, 0.8, 1.6};
+  if (opts.smoke) thetas = {0.0, 0.8};  // CI quick mode
+  for (double theta : thetas) {
     Table t = MakeZipfTable(n, groups, theta);
     GroupBySpec spec = MicrobenchSpec();
 

@@ -12,13 +12,15 @@
 #include "engine/spja.h"
 #include "query/consuming.h"
 #include "query/lazy.h"
+#include "query/trace_builder.h"
 #include "workloads/tpch.h"
 
 namespace smoke {
 namespace {
 
 void Run(const bench::Options& opts) {
-  const double sf = opts.scale > 0 ? opts.scale : (opts.full ? 1.0 : 0.1);
+  const double sf =
+      opts.scale > 0 ? opts.scale : (opts.smoke ? 0.01 : (opts.full ? 1.0 : 0.1));
   bench::Banner("Figure 10",
                 "Data skipping: Q1b consuming-query latency vs selectivity");
   std::printf("scale factor %.2f\n", sf);
@@ -50,12 +52,22 @@ void Run(const bench::Options& opts) {
   const size_t total_rows = db.lineitem.num_rows();
 
   // Every (shipmode, shipinstruct) combination x every Q1 output group.
-  for (const std::string& mode : tpch::ShipModes()) {
-    for (const std::string& instr : tpch::ShipInstructs()) {
+  // CI quick mode samples one combination and two groups.
+  std::vector<std::string> modes = tpch::ShipModes();
+  std::vector<std::string> instrs = tpch::ShipInstructs();
+  if (opts.smoke) {
+    modes.resize(1);
+    instrs.resize(1);
+  }
+  for (const std::string& mode : modes) {
+    for (const std::string& instr : instrs) {
       ConsumingSpec q1b = tpch::MakeQ1b(db, mode, instr);
       uint32_t code =
           skip_base.skip_dict.CodeForString(mode + std::string("\x1f") + instr);
-      for (rid_t oid = 0; oid < base.output.num_rows(); ++oid) {
+      const size_t num_groups =
+          opts.smoke ? std::min<size_t>(2, base.output.num_rows())
+                     : base.output.num_rows();
+      for (rid_t oid = 0; oid < num_groups; ++oid) {
         const RidVec& rids =
             base.lineage.input(0).backward.index().list(oid);
         double selectivity = static_cast<double>(rids.size()) /
@@ -75,13 +87,41 @@ void Run(const bench::Options& opts) {
           ConsumingSkipping(db.lineitem, skip_base.skip_index, oid, code,
                             q1b, /*capture_lineage=*/false);
         });
+        // The unified consumption path: the same consuming query compiled
+        // to a Trace → Select → Derive → GroupBy plan (query/trace_builder)
+        // under the indexed and skipping physical choices. Regressions of
+        // the plan-compiled path show up next to the legacy kernels.
+        TraceSource src = TraceSource::FromSpja(q1, base, "q1");
+        LineageQuery plan_indexed;
+        SMOKE_CHECK(TraceBuilder::Backward(src, "lineitem", {oid})
+                        .Consuming(q1b)
+                        .Strategy(TraceStrategy::kIndexed)
+                        .Compile(&plan_indexed)
+                        .ok());
+        RunStats plan_ix = bench::Measure(opts, [&] {
+          PlanResult pr;
+          SMOKE_CHECK(plan_indexed.Execute(CaptureOptions::None(), &pr).ok());
+        });
+        TraceSource skip_src = TraceSource::FromSpja(q1, skip_base, "q1skip");
+        LineageQuery plan_skipping;
+        SMOKE_CHECK(TraceBuilder::Backward(skip_src, "lineitem", {oid})
+                        .Consuming(q1b)
+                        .Strategy(TraceStrategy::kSkipping)
+                        .Compile(&plan_skipping)
+                        .ok());
+        RunStats plan_sk = bench::Measure(opts, [&] {
+          PlanResult pr;
+          SMOKE_CHECK(plan_skipping.Execute(CaptureOptions::None(), &pr).ok());
+        });
         bench::Row("fig10",
                    "mode=" + mode + ",instr=" + instr + ",group=" +
                        std::to_string(oid) + ",selectivity=" +
                        bench::F(selectivity) + ",lazy_ms=" +
                        bench::F(lazy.mean_ms) + ",no_skip_ms=" +
                        bench::F(indexed.mean_ms) + ",skip_ms=" +
-                       bench::F(skipping.mean_ms));
+                       bench::F(skipping.mean_ms) + ",plan_indexed_ms=" +
+                       bench::F(plan_ix.mean_ms) + ",plan_skip_ms=" +
+                       bench::F(plan_sk.mean_ms));
       }
     }
   }

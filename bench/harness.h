@@ -31,8 +31,17 @@ inline void StabilizeAllocator() {
   mallopt(M_TRIM_THRESHOLD, 1 << 30);
 }
 
+/// Process-wide output format switch: when set (--json), Row() emits one
+/// JSON object per result row instead of the CSV-ish line, so CI can diff
+/// perf series across runs without parsing free-form text.
+inline bool& JsonRows() {
+  static bool json = false;
+  return json;
+}
+
 struct Options {
   bool full = false;    // paper-scale parameters
+  bool smoke = false;   // CI quick mode: tiny data, one run, no warm-up
   int warmups = 1;      // paper: 3
   int runs = 3;         // paper: 15
   double scale = -1;    // TPC-H scale-factor override
@@ -46,6 +55,12 @@ struct Options {
         o.full = true;
         o.warmups = 3;
         o.runs = 15;
+      } else if (!std::strcmp(argv[i], "--smoke")) {
+        o.smoke = true;
+        o.warmups = 0;
+        o.runs = 1;
+      } else if (!std::strcmp(argv[i], "--json")) {
+        JsonRows() = true;
       } else if (!std::strncmp(argv[i], "--runs=", 7)) {
         o.runs = std::atoi(argv[i] + 7);
       } else if (!std::strncmp(argv[i], "--warmups=", 10)) {
@@ -57,8 +72,8 @@ struct Options {
         if (o.threads < 1) o.threads = 1;
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
-            "usage: %s [--full] [--runs=N] [--warmups=N] [--sf=F] "
-            "[--threads=N]\n",
+            "usage: %s [--full] [--smoke] [--json] [--runs=N] [--warmups=N] "
+            "[--sf=F] [--threads=N]\n",
             argv[0]);
         std::exit(0);
       }
@@ -103,9 +118,34 @@ inline void Banner(const char* figure, const char* description,
   std::printf("==================================================\n");
 }
 
-/// One CSV-ish result row: fixed figure tag, then key=value pairs.
+/// One result row: fixed figure tag, then key=value pairs. CSV-ish by
+/// default; with --json each row becomes one JSON line — the key=value
+/// pairs are split on ',' / '=' (values never contain either), so
+/// `{"figure":"fig09","theta":"0.4",...}` lands in the CI log.
 inline void Row(const char* figure, const std::string& kv) {
-  std::printf("%s,%s\n", figure, kv.c_str());
+  if (!JsonRows()) {
+    std::printf("%s,%s\n", figure, kv.c_str());
+    return;
+  }
+  std::string json = "{\"figure\":\"";
+  json += figure;
+  json += "\"";
+  size_t start = 0;
+  while (start < kv.size()) {
+    size_t comma = kv.find(',', start);
+    if (comma == std::string::npos) comma = kv.size();
+    std::string pair = kv.substr(start, comma - start);
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      json += ",\"" + pair.substr(0, eq) + "\":\"" + pair.substr(eq + 1) +
+              "\"";
+    } else if (!pair.empty()) {
+      json += ",\"" + pair + "\":true";
+    }
+    start = comma + 1;
+  }
+  json += "}";
+  std::printf("%s\n", json.c_str());
 }
 
 inline std::string F(double v) {

@@ -1,0 +1,94 @@
+#include "apps/plan_crossfilter.h"
+
+#include <utility>
+
+namespace smoke {
+
+Status PlanCrossfilter::AddView(std::string name, const LogicalPlan& plan,
+                                const CaptureOptions& opts) {
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("view '" + name + "'");
+  }
+  View v;
+  v.name = std::move(name);
+  SMOKE_RETURN_NOT_OK(ExecutePlan(plan, opts, &v.result));
+  int idx = v.result.lineage.FindInput(relation_);
+  if (idx < 0) {
+    return Status::InvalidArgument("view '" + v.name +
+                                   "' has no lineage on shared relation '" +
+                                   relation_ + "'");
+  }
+  const TableLineage& tl = v.result.lineage.input(static_cast<size_t>(idx));
+  if (tl.backward.empty() || tl.forward.empty()) {
+    return Status::InvalidArgument(
+        "view '" + v.name +
+        "' must capture backward and forward lineage on '" + relation_ + "'");
+  }
+  views_.push_back(std::move(v));
+  return Status::OK();
+}
+
+std::vector<std::string> PlanCrossfilter::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const View& v : views_) names.push_back(v.name);
+  return names;
+}
+
+Status PlanCrossfilter::ViewOutput(const std::string& name,
+                                   const Table** out) const {
+  const View* v = Find(name);
+  if (v == nullptr) return Status::NotFound("view '" + name + "'");
+  *out = &v->result.output;
+  return Status::OK();
+}
+
+const PlanCrossfilter::View* PlanCrossfilter::Find(
+    const std::string& name) const {
+  for (const View& v : views_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+Status PlanCrossfilter::Brush(const std::string& view, rid_t out_rid,
+                              std::map<std::string, Linked>* out) const {
+  const View* from = Find(view);
+  if (from == nullptr) return Status::NotFound("view '" + view + "'");
+  out->clear();
+
+  for (const View& to : views_) {
+    if (&to == from) continue;
+
+    // Trace∘Trace as a plan: backward to the shared relation, forward into
+    // the target view, with the target's own lineage composed back to the
+    // relation so witness counts fall out of the backward lists.
+    PlanResult pr;
+    SMOKE_RETURN_NOT_OK(
+        TraceBuilder::Backward(TraceSource::FromPlan(from->result, from->name),
+                               relation_, {out_rid})
+            .ThenForward(TraceSource::FromPlan(to.result, to.name))
+            .Execute(CaptureOptions::Inject(), &pr));
+
+    Linked linked;
+    SMOKE_RETURN_NOT_OK(SplitTraceRows(pr.output, &linked.rids, &linked.rows));
+
+    int rel = pr.lineage.FindInput(relation_);
+    if (rel < 0) {
+      return Status::InvalidArgument("brush trace lost relation lineage");
+    }
+    const LineageIndex& bw =
+        pr.lineage.input(static_cast<size_t>(rel)).backward;
+    linked.counts.resize(linked.rids.size(), 0);
+    std::vector<rid_t> tmp;
+    for (size_t p = 0; p < linked.rids.size(); ++p) {
+      tmp.clear();
+      bw.TraceInto(static_cast<rid_t>(p), &tmp);
+      linked.counts[p] = static_cast<int64_t>(tmp.size());
+    }
+    (*out)[to.name] = std::move(linked);
+  }
+  return Status::OK();
+}
+
+}  // namespace smoke

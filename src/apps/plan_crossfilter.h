@@ -1,0 +1,70 @@
+// Crossfilter over retained plans (paper Section 6.5.1, generalized per
+// ROADMAP "Crossfilter on plans"): each view is an arbitrary retained
+// LogicalPlan — a plain group-by histogram, an aggregate-over-aggregate
+// rollup, a join of aggregated subplans — and linked brushing is the
+// Trace∘Trace chain (backward from the brushed output row to the shared
+// base relation, forward into every other view) executed through Trace plan
+// nodes. Any view shape with captured lineage on the shared relation
+// participates; the classic per-view SPJA implementation in
+// apps/crossfilter.h remains as the strategy benchmark (Figure 13/14).
+#ifndef SMOKE_APPS_PLAN_CROSSFILTER_H_
+#define SMOKE_APPS_PLAN_CROSSFILTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
+#include "query/trace_builder.h"
+
+namespace smoke {
+
+/// \brief A linked-brushing session over retained plan views sharing one
+/// base relation.
+class PlanCrossfilter {
+ public:
+  /// `relation` is the scan label (lineage endpoint) shared by all views.
+  explicit PlanCrossfilter(std::string relation)
+      : relation_(std::move(relation)) {}
+
+  /// Executes `plan` and retains it as view `name`. The capture options
+  /// must produce backward and forward lineage on the shared relation
+  /// (CaptureOptions::Inject() default); AddView fails otherwise.
+  Status AddView(std::string name, const LogicalPlan& plan,
+                 const CaptureOptions& opts = CaptureOptions::Inject());
+
+  size_t num_views() const { return views_.size(); }
+  std::vector<std::string> ViewNames() const;
+  Status ViewOutput(const std::string& name, const Table** out) const;
+
+  /// One view's share of a brush result.
+  struct Linked {
+    std::vector<rid_t> rids;      ///< linked output rows of this view
+    std::vector<int64_t> counts;  ///< shared-relation witnesses per row
+    Table rows;                   ///< the linked rows, materialized
+  };
+
+  /// Brushes output row `out_rid` of `view`: for every *other* view, the
+  /// output rows reachable through the shared relation (Trace∘Trace), with
+  /// counts[i] = number of relation rows in the brushed row's backward
+  /// lineage that reach rids[i]. For a group-by COUNT(*) view this equals
+  /// the brushed bar count of the classic crossfilter (BT strategy).
+  Status Brush(const std::string& view, rid_t out_rid,
+               std::map<std::string, Linked>* out) const;
+
+ private:
+  struct View {
+    std::string name;
+    PlanResult result;
+  };
+  const View* Find(const std::string& name) const;
+
+  std::string relation_;
+  std::vector<View> views_;  // insertion order
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_APPS_PLAN_CROSSFILTER_H_

@@ -56,16 +56,11 @@ bool SmokeEngine::TableInUse(const Table* table) const {
       if (lin.input(i).table == table) return true;
     }
   }
-  for (const auto& [name, rc] : consuming_) {
-    (void)name;
-    if (rc->fact == table) return true;
-  }
   return false;
 }
 
 bool SmokeEngine::IsRetainedName(const std::string& name) const {
-  return queries_.count(name) > 0 || plans_.count(name) > 0 ||
-         consuming_.count(name) > 0;
+  return queries_.count(name) > 0 || plans_.count(name) > 0;
 }
 
 Status SmokeEngine::ExecuteQuery(const std::string& query_name,
@@ -192,28 +187,97 @@ Status SmokeEngine::FindLineage(const std::string& query_name,
   return Status::NotFound("query '" + query_name + "'");
 }
 
+// ---- lineage queries: typed handles ----
+
+namespace {
+
+/// Splits an executed trace plan into the typed handle: the trailing
+/// kTraceRidColumn becomes `rids`, the remaining columns become `rows`, and
+/// the PlanResult itself is kept for chaining.
+Status SplitTraceOutput(PlanResult&& pr, TraceResult* out) {
+  SMOKE_RETURN_NOT_OK(SplitTraceRows(pr.output, &out->rids, &out->rows));
+  out->plan = std::move(pr);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SmokeEngine::MakeTraceSource(const std::string& query_name,
+                                    TraceSource* out) const {
+  if (auto it = queries_.find(query_name); it != queries_.end()) {
+    *out = TraceSource::FromSpja(it->second->query, it->second->result,
+                                 query_name);
+    return Status::OK();
+  }
+  if (auto it = plans_.find(query_name); it != plans_.end()) {
+    *out = TraceSource::FromPlan(it->second->result, query_name);
+    return Status::OK();
+  }
+  return Status::NotFound("query '" + query_name + "'");
+}
+
+Status SmokeEngine::TraceBackward(const std::string& query_name,
+                                  const std::string& relation,
+                                  const std::vector<rid_t>& out_rids,
+                                  TraceResult* out, bool dedup) const {
+  TraceSource src;
+  SMOKE_RETURN_NOT_OK(MakeTraceSource(query_name, &src));
+  PlanResult pr;
+  SMOKE_RETURN_NOT_OK(TraceBuilder::Backward(std::move(src), relation, out_rids)
+                          .Dedup(dedup)
+                          .Execute(CaptureOptions::Inject(), &pr));
+  return SplitTraceOutput(std::move(pr), out);
+}
+
+Status SmokeEngine::TraceForward(const std::string& query_name,
+                                 const std::string& relation,
+                                 const std::vector<rid_t>& in_rids,
+                                 TraceResult* out) const {
+  TraceSource src;
+  SMOKE_RETURN_NOT_OK(MakeTraceSource(query_name, &src));
+  PlanResult pr;
+  SMOKE_RETURN_NOT_OK(TraceBuilder::Forward(std::move(src), relation, in_rids)
+                          .Execute(CaptureOptions::Inject(), &pr));
+  return SplitTraceOutput(std::move(pr), out);
+}
+
+Status SmokeEngine::TraceLinked(const std::string& from_query,
+                                const std::vector<rid_t>& out_rids,
+                                const std::string& relation,
+                                const std::string& to_query,
+                                TraceResult* out) const {
+  TraceSource from;
+  SMOKE_RETURN_NOT_OK(MakeTraceSource(from_query, &from));
+  TraceSource to;
+  SMOKE_RETURN_NOT_OK(MakeTraceSource(to_query, &to));
+  PlanResult pr;
+  SMOKE_RETURN_NOT_OK(TraceBuilder::Backward(std::move(from), relation, out_rids)
+                          .ThenForward(std::move(to))
+                          .Execute(CaptureOptions::Inject(), &pr));
+  return SplitTraceOutput(std::move(pr), out);
+}
+
+Status SmokeEngine::ExecuteTraceQuery(const std::string& result_name,
+                                      const TraceBuilder& builder,
+                                      const CaptureOptions& opts) {
+  if (IsRetainedName(result_name)) {
+    return Status::AlreadyExists("result '" + result_name + "'");
+  }
+  auto retained = std::make_unique<RetainedPlan>();
+  SMOKE_RETURN_NOT_OK(builder.Execute(opts, &retained->result));
+  plans_[result_name] = std::move(retained);
+  return Status::OK();
+}
+
+// ---- lineage queries: string-keyed shims ----
+
 Status SmokeEngine::Backward(const std::string& query_name,
                              const std::string& relation,
                              const std::vector<rid_t>& out_rids,
                              std::vector<rid_t>* rids, bool dedup) const {
   const QueryLineage* lineage = nullptr;
   SMOKE_RETURN_NOT_OK(FindLineage(query_name, &lineage));
-  int idx = lineage->FindInput(relation);
-  if (idx < 0) {
-    return Status::NotFound("relation '" + relation + "' in query lineage");
-  }
-  if (lineage->input(static_cast<size_t>(idx)).backward.empty()) {
-    return Status::InvalidArgument(
-        "backward lineage for '" + relation +
-        "' was not captured (pruned or mode without indexes)");
-  }
-  for (rid_t o : out_rids) {
-    if (o >= lineage->output_cardinality()) {
-      return Status::InvalidArgument("output rid out of range");
-    }
-  }
-  *rids = BackwardRids(*lineage, relation, out_rids, dedup);
-  return Status::OK();
+  return BackwardRidsChecked(*lineage, relation, out_rids, dedup, rids);
 }
 
 Status SmokeEngine::Forward(const std::string& query_name,
@@ -222,22 +286,7 @@ Status SmokeEngine::Forward(const std::string& query_name,
                             std::vector<rid_t>* rids) const {
   const QueryLineage* lineage = nullptr;
   SMOKE_RETURN_NOT_OK(FindLineage(query_name, &lineage));
-  int idx = lineage->FindInput(relation);
-  if (idx < 0) {
-    return Status::NotFound("relation '" + relation + "' in query lineage");
-  }
-  const TableLineage& tl = lineage->input(static_cast<size_t>(idx));
-  if (tl.forward.empty()) {
-    return Status::InvalidArgument(
-        "forward lineage for '" + relation + "' was not captured");
-  }
-  for (rid_t r : in_rids) {
-    if (tl.table != nullptr && r >= tl.table->num_rows()) {
-      return Status::InvalidArgument("input rid out of range");
-    }
-  }
-  *rids = ForwardRids(*lineage, relation, in_rids);
-  return Status::OK();
+  return ForwardRidsChecked(*lineage, relation, in_rids, /*dedup=*/true, rids);
 }
 
 Status SmokeEngine::BackwardRows(const std::string& query_name,
@@ -253,8 +302,7 @@ Status SmokeEngine::BackwardRows(const std::string& query_name,
   if (table == nullptr) {
     return Status::InvalidArgument("relation table not available");
   }
-  *rows = MaterializeRows(*table, rids);
-  return Status::OK();
+  return MaterializeRowsChecked(*table, rids, rows);
 }
 
 Status SmokeEngine::TraceAcross(const std::string& from_query,
@@ -295,68 +343,40 @@ Status SmokeEngine::ExecuteConsumingOn(const std::string& result_name,
                                        const std::string& relation,
                                        rid_t output_rid,
                                        const ConsumingSpec& spec) {
-  if (IsRetainedName(result_name)) {
-    return Status::AlreadyExists("result '" + result_name + "'");
-  }
-  const QueryLineage* lineage = nullptr;
-  SMOKE_RETURN_NOT_OK(FindLineage(base_query, &lineage));
-  if (output_rid >= lineage->output_cardinality()) {
-    return Status::InvalidArgument("output rid out of range");
-  }
-  int idx = lineage->FindInput(relation);
-  if (idx < 0) {
-    return Status::NotFound("relation '" + relation + "' in query lineage");
-  }
-  const TableLineage& tl = lineage->input(static_cast<size_t>(idx));
-  if (tl.backward.empty()) {
-    return Status::InvalidArgument(
-        "base query has no backward index for '" + relation +
-        "' (pruned or skip-partitioned)");
-  }
-  if (tl.table == nullptr) {
-    return Status::InvalidArgument("relation table not available");
-  }
-
-  auto retained = std::make_unique<RetainedConsuming>();
-  retained->fact = tl.table;
-  if (tl.backward.kind() == LineageIndex::Kind::kIndex) {
-    retained->result = ConsumingOverRids(
-        *tl.table, spec, tl.backward.index().list(output_rid));
-  } else {
-    std::vector<rid_t> rids;
-    tl.backward.TraceInto(output_rid, &rids);
-    retained->result = ConsumingOverRids(*tl.table, spec, rids);
-  }
-  consuming_[result_name] = std::move(retained);
-  return Status::OK();
+  // Shim over the unified path: compile the spec into a Trace → Select →
+  // Derive → GroupBy plan (strategy resolved against the base query's
+  // capture artifacts) and retain the PlanResult. The result's composed
+  // lineage maps its outputs back to `relation`, which is what makes
+  // ExecuteConsumingChained just another consuming query.
+  TraceSource src;
+  SMOKE_RETURN_NOT_OK(MakeTraceSource(base_query, &src));
+  TraceBuilder builder =
+      TraceBuilder::Backward(std::move(src), relation, {output_rid});
+  builder.Consuming(spec);
+  return ExecuteTraceQuery(result_name, builder, CaptureOptions::Inject());
 }
 
 Status SmokeEngine::ExecuteConsumingChained(const std::string& result_name,
                                             const std::string& base_consuming,
                                             rid_t output_rid,
                                             const ConsumingSpec& spec) {
-  if (IsRetainedName(result_name)) {
-    return Status::AlreadyExists("result '" + result_name + "'");
-  }
-  auto it = consuming_.find(base_consuming);
-  if (it == consuming_.end()) {
+  auto it = plans_.find(base_consuming);
+  if (it == plans_.end()) {
     return Status::NotFound("consuming result '" + base_consuming + "'");
   }
-  if (output_rid >= it->second->result.backward.size()) {
-    return Status::InvalidArgument("output rid out of range");
+  const QueryLineage& lin = it->second->result.lineage;
+  if (lin.num_inputs() == 0) {
+    return Status::InvalidArgument("consuming result '" + base_consuming +
+                                   "' has no captured lineage");
   }
-  const RidVec& rids = it->second->result.backward.list(output_rid);
-  auto retained = std::make_unique<RetainedConsuming>();
-  retained->fact = it->second->fact;
-  retained->result = ConsumingOverRids(*it->second->fact, spec, rids);
-  consuming_[result_name] = std::move(retained);
-  return Status::OK();
+  return ExecuteConsumingOn(result_name, base_consuming,
+                            lin.input(0).table_name, output_rid, spec);
 }
 
 Status SmokeEngine::GetConsumingResult(const std::string& result_name,
                                        const Table** out) const {
-  auto it = consuming_.find(result_name);
-  if (it == consuming_.end()) {
+  auto it = plans_.find(result_name);
+  if (it == plans_.end()) {
     return Status::NotFound("consuming result '" + result_name + "'");
   }
   *out = &it->second->result.output;
@@ -366,7 +386,6 @@ Status SmokeEngine::GetConsumingResult(const std::string& result_name,
 Status SmokeEngine::DropResult(const std::string& query_name) {
   if (queries_.erase(query_name) > 0) return Status::OK();
   if (plans_.erase(query_name) > 0) return Status::OK();
-  if (consuming_.erase(query_name) > 0) return Status::OK();
   return Status::NotFound("query '" + query_name + "'");
 }
 
@@ -374,7 +393,6 @@ std::vector<std::string> SmokeEngine::QueryNames() const {
   std::vector<std::string> names;
   for (const auto& [k, v] : queries_) names.push_back(k);
   for (const auto& [k, v] : plans_) names.push_back(k);
-  for (const auto& [k, v] : consuming_) names.push_back(k);
   return names;
 }
 

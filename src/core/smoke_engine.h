@@ -9,6 +9,13 @@
 // operator DAGs built with PlanBuilder (ExecutePlan). Query results and
 // their lineage are retained under client-chosen names so consuming queries
 // can chain (C over C' over Q) and lineage can be traced across queries.
+//
+// Lineage consumption goes through the unified API (query/trace_builder.h):
+// traces and consuming queries compile to ordinary plans with Trace nodes,
+// run by the same executor as base queries, and retain PlanResults — so a
+// consuming result chains exactly like any other retained query. The typed
+// handles (TraceResult / ExecuteTraceQuery) are the primary interface; the
+// older string-keyed methods remain as thin shims over the same path.
 #ifndef SMOKE_CORE_SMOKE_ENGINE_H_
 #define SMOKE_CORE_SMOKE_ENGINE_H_
 
@@ -22,9 +29,24 @@
 #include "plan/executor.h"
 #include "plan/plan.h"
 #include "query/consuming.h"
+#include "query/trace_builder.h"
 #include "storage/catalog.h"
 
 namespace smoke {
+
+/// \brief Typed result of a lineage trace: the traced rids, the
+/// materialized endpoint rows, and the executed trace plan whose own
+/// composed lineage makes the result chainable (trace the trace, stack a
+/// consuming query on top, brush across views).
+struct TraceResult {
+  std::vector<rid_t> rids;  ///< traced rids, in trace order
+  Table rows;               ///< SELECT * FROM L(...): the endpoint rows
+  PlanResult plan;          ///< the trace as an executed plan (chainable)
+
+  TraceSource AsSource(std::string name = "trace") const {
+    return TraceSource::FromPlan(plan, std::move(name));
+  }
+};
 
 /// The declared lineage-consuming workload W for a base query (paper
 /// Section 4): which relations/directions future lineage queries touch
@@ -114,7 +136,44 @@ class SmokeEngine {
   Status GetPlanResult(const std::string& query_name,
                        const PlanResult** out) const;
 
-  // ---- lineage queries ----
+  // ---- lineage queries: typed handles (the unified consumption API) ----
+
+  /// Builds a TraceSource for a retained query (SPJA or plan) so callers
+  /// can construct TraceBuilder queries directly. The source borrows the
+  /// retained result and stays valid until the query is dropped.
+  Status MakeTraceSource(const std::string& query_name,
+                         TraceSource* out) const;
+
+  /// Lb(out_rids ⊆ O, relation) as an executed Trace plan: rids, rows and
+  /// chainable lineage in one typed handle.
+  Status TraceBackward(const std::string& query_name,
+                       const std::string& relation,
+                       const std::vector<rid_t>& out_rids, TraceResult* out,
+                       bool dedup = true) const;
+
+  /// Lf(in_rids ⊆ relation, O) as an executed Trace plan.
+  Status TraceForward(const std::string& query_name,
+                      const std::string& relation,
+                      const std::vector<rid_t>& in_rids,
+                      TraceResult* out) const;
+
+  /// Linked brushing as Trace∘Trace: backward from `from_query` to the
+  /// shared relation, forward into `to_query`. The handle's rows are
+  /// `to_query` output rows; its plan lineage maps them back to the shared
+  /// relation rows that link them (witness counts for brushing).
+  Status TraceLinked(const std::string& from_query,
+                     const std::vector<rid_t>& out_rids,
+                     const std::string& relation,
+                     const std::string& to_query, TraceResult* out) const;
+
+  /// Executes a TraceBuilder lineage/consuming query and retains its
+  /// PlanResult under `result_name` — the result chains like any retained
+  /// plan (Backward / TraceBackward / further consuming queries all work).
+  Status ExecuteTraceQuery(const std::string& result_name,
+                           const TraceBuilder& builder,
+                           const CaptureOptions& opts = CaptureOptions::Inject());
+
+  // ---- lineage queries: string-keyed shims ----
 
   /// Lb(out_rids ⊆ O, relation): input rids of `relation` that contributed
   /// to the given outputs of `query_name`.
@@ -144,7 +203,12 @@ class SmokeEngine {
                      const std::string& to_query,
                      std::vector<rid_t>* linked) const;
 
-  // ---- lineage consuming queries ----
+  // ---- lineage consuming queries (deprecated shims) ----
+  //
+  // These string-keyed methods predate the unified consumption API and are
+  // kept for compatibility. They compile the ConsumingSpec through
+  // TraceBuilder and retain an ordinary PlanResult, so results chain with
+  // everything else; prefer ExecuteTraceQuery for new code.
 
   /// Evaluates a consuming query over the backward lineage of one output of
   /// a retained base query (secondary index scan), retaining the consuming
@@ -162,12 +226,14 @@ class SmokeEngine {
                             const ConsumingSpec& spec);
 
   /// Evaluates a consuming query over one output of a retained *consuming*
-  /// result (the Q1b -> Q1c chain).
+  /// result (the Q1b -> Q1c chain). Since consuming results are retained
+  /// plans with composed lineage back to the traced relation, this is just
+  /// ExecuteConsumingOn against that relation.
   Status ExecuteConsumingChained(const std::string& result_name,
                                  const std::string& base_consuming,
                                  rid_t output_rid, const ConsumingSpec& spec);
 
-  /// The output of a retained consuming query.
+  /// The output of a retained consuming query (== GetResult).
   Status GetConsumingResult(const std::string& result_name,
                             const Table** out) const;
 
@@ -185,10 +251,6 @@ class SmokeEngine {
   struct RetainedPlan {
     PlanResult result;
   };
-  struct RetainedConsuming {
-    ConsumingResult result;
-    const Table* fact = nullptr;
-  };
 
   /// Unified lookup over retained SPJA queries and plans.
   Status FindLineage(const std::string& query_name,
@@ -202,8 +264,9 @@ class SmokeEngine {
 
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<RetainedQuery>> queries_;
+  /// Retained plan results: base-query plans AND trace/consuming results —
+  /// the unified consumption API makes them the same kind of thing.
   std::map<std::string, std::unique_ptr<RetainedPlan>> plans_;
-  std::map<std::string, std::unique_ptr<RetainedConsuming>> consuming_;
 };
 
 }  // namespace smoke

@@ -536,11 +536,49 @@ void FinalizeDeferredGroupBy(GroupByResult* result, const Table& input,
   }
   if (want_f) fw.assign(n, kInvalidRid);
 
-  for (rid_t r = 0; r < n; ++r) {
-    uint32_t slot = h->Probe(input, r);
-    SMOKE_DCHECK(slot != IntKeyMap::kNotFound);
-    if (want_b) bw.Append(slot, r);
-    if (want_f) fw[r] = slot;
+  if (opts.WantsParallel() && n > 0) {
+    // Morsel-parallel Zγ: the retained hash table is probed read-only, so
+    // partitions probe concurrently. Forward slots are disjoint writes;
+    // backward lists are captured per partition and concatenated in
+    // partition order, which is ascending rid order — bit-identical to the
+    // sequential probe.
+    MorselScheduler* sched = opts.scheduler;
+    std::unique_ptr<MorselScheduler> local;
+    if (sched == nullptr) {
+      local = std::make_unique<MorselScheduler>(opts.num_threads);
+      sched = local.get();
+    }
+    const std::vector<Morsel> parts =
+        MakePartitions(n, static_cast<size_t>(sched->num_threads()));
+    const size_t np = parts.size();
+    std::vector<std::vector<RidVec>> part_bw(
+        want_b ? np : 0, std::vector<RidVec>(want_b ? num_groups : 0));
+    rid_t* fw_data = want_f ? fw.data() : nullptr;
+    sched->ParallelFor(np, [&](size_t p, size_t) {
+      const Morsel span = parts[p];
+      std::vector<RidVec>* local_bw = want_b ? &part_bw[p] : nullptr;
+      for (rid_t r = span.begin; r < span.end; ++r) {
+        uint32_t slot = h->Probe(input, r);
+        SMOKE_DCHECK(slot != IntKeyMap::kNotFound);
+        if (want_b) (*local_bw)[slot].PushBack(r);
+        if (want_f) fw_data[r] = slot;
+      }
+    });
+    if (want_b) {
+      for (size_t p = 0; p < np; ++p) {
+        for (size_t g = 0; g < num_groups; ++g) {
+          const RidVec& src = part_bw[p][g];
+          if (!src.empty()) bw.list(g).PushBackAll(src.data(), src.size());
+        }
+      }
+    }
+  } else {
+    for (rid_t r = 0; r < n; ++r) {
+      uint32_t slot = h->Probe(input, r);
+      SMOKE_DCHECK(slot != IntKeyMap::kNotFound);
+      if (want_b) bw.Append(slot, r);
+      if (want_f) fw[r] = slot;
+    }
   }
 
   if (want_b) lin->backward = LineageIndex::FromIndex(std::move(bw));

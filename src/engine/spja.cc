@@ -110,6 +110,7 @@ SPJAResult SPJAExecFused(const SPJAQuery& q, const CaptureOptions& opts,
   if (has_push) SMOKE_CHECK(mode == CaptureMode::kInject);
 
   SPJAResult result;
+  if (has_push) result.applied_pushdown = *push;
 
   // ---- pipeline breakers: build filtered dimension hash tables ----
   // The hash-table payload *is* the dimension rid — the lineage annotation

@@ -103,6 +103,10 @@ struct SPJAResult {
   PartitionedRidIndex skip_index;  ///< fact backward, partitioned
   Dictionary skip_dict;            ///< partition codes of fact rows
   CubeIndex cube;                  ///< materialized sub-aggregates
+  /// The push-down configuration the artifacts were built with (empty when
+  /// none) — the unified consumption API resolves its physical strategy
+  /// choice (skipping / cube) against this at plan-compile time.
+  SPJAPushdown applied_pushdown;
 };
 
 /// Executes the SPJA block with the capture technique in `opts` and optional

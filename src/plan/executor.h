@@ -41,6 +41,10 @@ struct PlanResult {
   /// Set when the plan root is an SPJA block: the block-level artifacts
   /// (annotated relation, group counts, push-down index/cube).
   std::shared_ptr<SPJAResult> spja_artifacts;
+  /// Tables this result's lineage borrows that are not owned by the caller
+  /// (e.g. the reshaped cube lookup table a kCube lineage query scans).
+  /// Kept alive with the result so retained results never dangle.
+  std::vector<std::shared_ptr<Table>> owned_tables;
   /// Non-null while deferred capture awaits FinalizeDeferred(); `lineage`
   /// is empty until then.
   std::unique_ptr<PlanDeferredState> deferred;

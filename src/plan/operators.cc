@@ -10,6 +10,7 @@
 #include "engine/select.h"
 #include "engine/set_ops.h"
 #include "engine/spja.h"
+#include "query/lineage_query.h"
 
 namespace smoke {
 
@@ -285,6 +286,214 @@ class SpjaBlockOperator : public Operator {
   const PlanNode& node_;
 };
 
+/// The lineage query as a physical operator (paper §2.1: backward/forward
+/// traces are secondary index scans; here they are ordinary plan nodes, so
+/// consuming queries stack on top of them and capture their own lineage).
+///
+/// Output: the endpoint rows of the traced rids plus the kTraceRidColumn.
+/// Fragment: output rows ↔ child positions — for a single-hop trace the
+/// child *is* the endpoint scan, so downstream lineage composes straight to
+/// the base relation; for a chained hop (seeds_from_child) the fragment
+/// records which child rows contributed to each traced output, composing
+/// through the previous hop.
+class TraceOperator : public Operator {
+ public:
+  explicit TraceOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "trace"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    SMOKE_RETURN_NOT_OK(RequireFullRange(inputs, name()));
+    const TraceSpec& s = node_.trace;
+    const QueryLineage& lin = *s.lineage;
+    int idx = lin.FindInput(s.relation);
+    if (idx < 0) {
+      return Status::NotFound("relation '" + s.relation +
+                              "' in trace source lineage");
+    }
+    const TableLineage& tl = lin.input(static_cast<size_t>(idx));
+    const bool backward = s.direction == TraceDirection::kBackward;
+
+    // For single-hop traces the child scan is the endpoint; chained hops
+    // name their own endpoint (validated at plan build).
+    const Table* endpoint =
+        s.seeds_from_child ? s.endpoint : inputs[0].table;
+
+    const bool capture = opts.mode != CaptureMode::kNone;
+    const bool want_b = capture && opts.capture_backward;
+    const bool want_f = capture && opts.capture_forward;
+
+    std::vector<rid_t> rids;
+    RidIndex chained_bw;  // chained: output position -> child positions
+    RidIndex chained_fw;  // chained: child position -> output positions
+
+    if (s.skip_index != nullptr) {
+      // Data-skipping physical choice: scan only the matching partition of
+      // each seed (the partition code encodes the pushed-down predicate).
+      const PartitionedRidIndex& pidx = *s.skip_index;
+      if (s.skip_code >= pidx.num_codes()) {
+        return Status::InvalidArgument("skip partition code out of range");
+      }
+      for (rid_t oid : s.seeds) {
+        if (oid >= pidx.num_outputs()) {
+          return Status::InvalidArgument("output rid " + std::to_string(oid) +
+                                         " out of range for skip index");
+        }
+        const RidVec& part = pidx.Partition(oid, s.skip_code);
+        rids.insert(rids.end(), part.begin(), part.end());
+      }
+    } else if (!s.seeds_from_child) {
+      SMOKE_RETURN_NOT_OK(
+          backward
+              ? BackwardRidsChecked(lin, s.relation, s.seeds, s.dedup, &rids)
+              : ForwardRidsChecked(lin, s.relation, s.seeds, s.dedup, &rids));
+    } else {
+      // Multi-hop: seed from the child trace's rid column, tracking which
+      // child rows reach each traced output (the hop's lineage fragment).
+      const Table& child = *inputs[0].table;
+      int rid_col = child.ColumnIndex(kTraceRidColumn);
+      if (rid_col < 0) {
+        return Status::InvalidArgument(
+            "chained trace child carries no rid column");
+      }
+      const LineageIndex& index = backward ? tl.backward : tl.forward;
+      if (index.empty()) {
+        return Status::InvalidArgument(
+            (backward ? std::string("backward") : std::string("forward")) +
+            " lineage for '" + s.relation + "' was not captured");
+      }
+      const size_t universe =
+          backward ? (tl.table != nullptr ? tl.table->num_rows() : 0)
+                   : lin.output_cardinality();
+      const auto& seed_vals = child.column(static_cast<size_t>(rid_col)).ints();
+      const size_t m = seed_vals.size();
+      std::vector<uint32_t> pos(s.dedup ? universe : 0, UINT32_MAX);
+      std::vector<rid_t> targets;
+      if (want_f) chained_fw.Resize(m);
+      for (size_t j = 0; j < m; ++j) {
+        rid_t f = static_cast<rid_t>(seed_vals[j]);
+        if (f >= index.size()) {
+          return Status::InvalidArgument("chained trace seed rid " +
+                                         std::to_string(f) + " out of range");
+        }
+        targets.clear();
+        index.TraceInto(f, &targets);
+        for (rid_t t : targets) {
+          uint32_t p;
+          if (s.dedup) {
+            if (pos[t] == UINT32_MAX) {
+              pos[t] = static_cast<uint32_t>(rids.size());
+              rids.push_back(t);
+            }
+            p = pos[t];
+          } else {
+            p = static_cast<uint32_t>(rids.size());
+            rids.push_back(t);
+          }
+          if (want_b) {
+            if (chained_bw.size() <= p) chained_bw.Resize(p + 1);
+            chained_bw.Append(p, static_cast<rid_t>(j));
+          }
+          if (want_f) chained_fw.Append(j, p);
+        }
+      }
+    }
+
+    // Materialize the endpoint rows (the secondary index scan), bounds-
+    // validated, with the traced rid as the trailing column.
+    if (endpoint == nullptr) {
+      return Status::InvalidArgument("trace endpoint table not available");
+    }
+    Schema schema = endpoint->schema();
+    schema.AddField(kTraceRidColumn, DataType::kInt64);
+    Table output(schema);
+    output.Reserve(rids.size());
+    Column& rid_out = output.mutable_column(endpoint->num_columns());
+    for (rid_t r : rids) {
+      if (r >= endpoint->num_rows()) {
+        return Status::InvalidArgument("traced rid " + std::to_string(r) +
+                                       " out of range for endpoint");
+      }
+      output.AppendRowFrom(*endpoint, r);
+      rid_out.AppendInt(static_cast<int64_t>(r));
+    }
+    out->output = std::move(output);
+    out->output_cardinality = rids.size();
+
+    LineageFragment frag;
+    if (s.seeds_from_child) {
+      if (want_b) {
+        chained_bw.Resize(rids.size());
+        frag.backward = LineageIndex::FromIndex(std::move(chained_bw));
+      }
+      if (want_f) frag.forward = LineageIndex::FromIndex(std::move(chained_fw));
+    } else {
+      // Single hop: output row i is child row rids[i].
+      if (want_b) {
+        frag.backward = LineageIndex::FromArray(RidArray(rids));
+      }
+      if (want_f) {
+        RidIndex fw(inputs[0].table->num_rows());
+        for (size_t i = 0; i < rids.size(); ++i) {
+          fw.Append(rids[i], static_cast<rid_t>(i));
+        }
+        frag.forward = LineageIndex::FromIndex(std::move(fw));
+      }
+    }
+    out->fragments.push_back(std::move(frag));
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
+/// Derived grouping keys as a pipelined operator: appends one computed
+/// int64 column per GroupExpr (year/month/scale100/raw) after the child's
+/// columns. 1:1 with the input, so its lineage is the identity — this is
+/// how the consuming-query mini-language's derived keys become ordinary
+/// group-by key columns in a compiled plan.
+class DeriveOperator : public Operator {
+ public:
+  explicit DeriveOperator(const PlanNode& node) : node_(node) {}
+  const char* name() const override { return "derive"; }
+
+  Status Execute(const std::vector<OperatorInput>& inputs,
+                 const CaptureOptions& opts, OperatorResult* out) const override {
+    SMOKE_RETURN_NOT_OK(RequireFullRange(inputs, name()));
+    (void)opts;
+    const Table& in = *inputs[0].table;
+    Schema schema = in.schema();
+    for (const GroupExpr& g : node_.derives) {
+      schema.AddField(g.name, DataType::kInt64);
+    }
+    Table output(schema);
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      output.mutable_column(c) = in.column(c);
+    }
+    const size_t n = in.num_rows();
+    for (size_t k = 0; k < node_.derives.size(); ++k) {
+      BoundGroupExpr b;
+      if (!BoundGroupExpr::Bind(in, node_.derives[k], &b)) {
+        return Status::InvalidArgument(
+            "derive expression '" + node_.derives[k].name +
+            "' binds to a missing or non-numeric column");
+      }
+      Column& dst = output.mutable_column(in.num_columns() + k);
+      for (rid_t r = 0; r < n; ++r) dst.AppendInt(b.Eval(r));
+    }
+    out->output = std::move(output);
+    out->output_cardinality = n;
+    LineageFragment f;
+    f.identity = true;
+    out->fragments.push_back(std::move(f));
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+};
+
 }  // namespace
 
 std::unique_ptr<Operator> MakeOperator(const PlanNode& node) {
@@ -303,6 +512,10 @@ std::unique_ptr<Operator> MakeOperator(const PlanNode& node) {
       return std::make_unique<SetOpOperator>(node);
     case PlanOpKind::kSpjaBlock:
       return std::make_unique<SpjaBlockOperator>(node);
+    case PlanOpKind::kTrace:
+      return std::make_unique<TraceOperator>(node);
+    case PlanOpKind::kDerive:
+      return std::make_unique<DeriveOperator>(node);
   }
   return nullptr;
 }

@@ -2,6 +2,8 @@
 
 namespace smoke {
 
+const char kTraceRidColumn[] = "__trace_rid";
+
 const char* PlanOpKindName(PlanOpKind k) {
   switch (k) {
     case PlanOpKind::kScan:      return "scan";
@@ -11,6 +13,8 @@ const char* PlanOpKindName(PlanOpKind k) {
     case PlanOpKind::kGroupBy:   return "group_by";
     case PlanOpKind::kSetOp:     return "set_op";
     case PlanOpKind::kSpjaBlock: return "spja_block";
+    case PlanOpKind::kTrace:     return "trace";
+    case PlanOpKind::kDerive:    return "derive";
   }
   return "?";
 }
@@ -108,6 +112,22 @@ int PlanBuilder::SpjaBlock(SPJAQuery query, SPJAPushdown pushdown) {
   return Add(std::move(n));
 }
 
+int PlanBuilder::Trace(int child, TraceSpec spec) {
+  PlanNode n;
+  n.kind = PlanOpKind::kTrace;
+  n.children = {child};
+  n.trace = std::move(spec);
+  return Add(std::move(n));
+}
+
+int PlanBuilder::Derive(int child, std::vector<GroupExpr> exprs) {
+  PlanNode n;
+  n.kind = PlanOpKind::kDerive;
+  n.children = {child};
+  n.derives = std::move(exprs);
+  return Add(std::move(n));
+}
+
 void PlanBuilder::SetLabel(int node, std::string label) {
   SMOKE_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size());
   nodes_[static_cast<size_t>(node)].label = std::move(label);
@@ -124,7 +144,9 @@ Status PlanBuilder::Build(int root, LogicalPlan* out) {
       case PlanOpKind::kScan:      arity = 0; break;
       case PlanOpKind::kSelect:
       case PlanOpKind::kProject:
-      case PlanOpKind::kGroupBy:   arity = 1; break;
+      case PlanOpKind::kGroupBy:
+      case PlanOpKind::kTrace:
+      case PlanOpKind::kDerive:    arity = 1; break;
       case PlanOpKind::kHashJoin:
       case PlanOpKind::kSetOp:     arity = 2; break;
       case PlanOpKind::kSpjaBlock: arity = 1 + n.spja.dims.size(); break;
@@ -159,6 +181,34 @@ Status PlanBuilder::Build(int root, LogicalPlan* out) {
       return Status::InvalidArgument(
           "plan joins must materialize their output (node '" + n.label +
           "')");
+    }
+    if (n.kind == PlanOpKind::kTrace) {
+      if (n.trace.lineage == nullptr) {
+        return Status::InvalidArgument("trace '" + n.label +
+                                       "' has no source lineage");
+      }
+      if (n.trace.seeds_from_child) {
+        if (n.trace.endpoint == nullptr) {
+          return Status::InvalidArgument(
+              "chained trace '" + n.label + "' must name its endpoint table");
+        }
+        const PlanNode& child = nodes_[static_cast<size_t>(n.children[0])];
+        if (child.kind != PlanOpKind::kTrace) {
+          return Status::InvalidArgument(
+              "chained trace '" + n.label + "' needs a trace child");
+        }
+      }
+      if (n.trace.skip_index != nullptr &&
+          (n.trace.direction != TraceDirection::kBackward ||
+           n.trace.seeds_from_child)) {
+        return Status::InvalidArgument(
+            "data-skipping traces must be backward and non-chained (node '" +
+            n.label + "')");
+      }
+    }
+    if (n.kind == PlanOpKind::kDerive && n.derives.empty()) {
+      return Status::InvalidArgument("derive '" + n.label +
+                                     "' has no expressions");
     }
   }
   out->nodes_ = std::move(nodes_);

@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "engine/expr.h"
 #include "engine/group_by.h"
+#include "engine/group_expr.h"
 #include "engine/hash_join.h"
 #include "engine/spja.h"
 #include "storage/table.h"
@@ -38,6 +39,9 @@ enum class PlanOpKind : uint8_t {
   kGroupBy,    ///< hash aggregation
   kSetOp,      ///< set/bag union, intersection, difference
   kSpjaBlock,  ///< the fused SPJA block kernel as one multi-input operator
+  kTrace,      ///< lineage query over a retained result (paper §2.1/§6.3:
+               ///< a secondary index scan, expressed as a plan operator)
+  kDerive,     ///< appends derived int64 grouping keys (year/month/scale)
 };
 
 enum class SetOpKind : uint8_t {
@@ -49,6 +53,53 @@ enum class SetOpKind : uint8_t {
 };
 
 const char* PlanOpKindName(PlanOpKind k);
+
+enum class TraceDirection : uint8_t { kBackward, kForward };
+
+/// Name of the int64 rid column a Trace node appends after the endpoint's
+/// columns: the traced rid of each output row. Chained Trace nodes read
+/// their seeds from it, and the typed facade handles surface it as
+/// TraceResult::rids.
+extern const char kTraceRidColumn[];
+
+/// \brief Payload of a kTrace node: a backward/forward lineage query over a
+/// retained query's captured indexes, re-expressed as a relational operator
+/// (the paper's claim that lineage queries *are* relational queries).
+///
+/// The node's single child is the trace's lineage endpoint scan (the traced
+/// base relation for backward, the retained query's output for forward) —
+/// or, for multi-hop traces (TraceAcross ≡ Trace∘Trace), another Trace node
+/// whose emitted rid column seeds this hop. Output: the endpoint rows of
+/// the traced rids (secondary index scan) plus the kTraceRidColumn. The
+/// lineage fragment maps output rows to the child, so plans stacked on top
+/// of a Trace (consuming queries) compose end-to-end lineage back to the
+/// base relation for free.
+struct TraceSpec {
+  /// Borrowed lineage of the traced (retained) query; must outlive plan
+  /// execution.
+  const QueryLineage* lineage = nullptr;
+  /// The lineage input to trace on (QueryLineage::FindInput name).
+  std::string relation;
+  TraceDirection direction = TraceDirection::kBackward;
+  /// Seed rids: output rids of the traced query (backward) or input rids of
+  /// `relation` (forward). Ignored when seeds_from_child is set.
+  std::vector<rid_t> seeds;
+  /// Multi-hop trace: seed from the child Trace node's kTraceRidColumn
+  /// instead of `seeds`.
+  bool seeds_from_child = false;
+  /// Deduplicate traced rids (first-encounter order). Backward consuming
+  /// queries keep duplicates for witness alignment; TraceAcross dedups.
+  bool dedup = true;
+  /// Rows materialized into the output. Defaults to the child's table;
+  /// chained hops must set it (the hop's own endpoint differs from the
+  /// child's output).
+  const Table* endpoint = nullptr;
+  /// Data-skipping physical choice (paper §4.2): scan only partition
+  /// `skip_code` of each seed in this partitioned backward index instead of
+  /// probing the plain index. Backward, non-chained traces only.
+  const PartitionedRidIndex* skip_index = nullptr;
+  uint32_t skip_code = 0;
+};
 
 /// One node of the plan DAG. Exactly the payload fields for its kind are
 /// meaningful; the rest stay default-constructed.
@@ -69,6 +120,8 @@ struct PlanNode {
   SPJAQuery spja;                       // kSpjaBlock (table pointers are
                                         // rebound from the scan children)
   SPJAPushdown pushdown;                // kSpjaBlock
+  TraceSpec trace;                      // kTrace
+  std::vector<GroupExpr> derives;       // kDerive
 };
 
 /// \brief A validated operator DAG. Nodes are topologically ordered by id
@@ -126,6 +179,18 @@ class PlanBuilder {
   /// The fused SPJA block as a single node. Scan children for the fact and
   /// dimension tables are added automatically from `query`.
   int SpjaBlock(SPJAQuery query, SPJAPushdown pushdown = SPJAPushdown{});
+
+  /// Lineage query as a plan node. `child` is the trace's endpoint scan, or
+  /// a previous Trace node when `spec.seeds_from_child` chains hops
+  /// (TraceAcross ≡ Trace∘Trace). Most callers should build traces through
+  /// TraceBuilder (query/trace_builder.h) rather than by hand.
+  int Trace(int child, TraceSpec spec);
+
+  /// Appends one derived int64 grouping-key column per expression to the
+  /// child's output (pure pipeline; identity lineage). The derived columns
+  /// land after the child's columns, in `exprs` order, named by each
+  /// expression.
+  int Derive(int child, std::vector<GroupExpr> exprs);
 
   /// Overrides the auto-generated label of `node`.
   void SetLabel(int node, std::string label);

@@ -9,27 +9,6 @@ namespace smoke {
 
 namespace {
 
-/// Bound evaluator for one derived grouping key.
-struct BoundGroupExpr {
-  GroupExpr::Kind kind;
-  const int64_t* icol = nullptr;
-  const double* dcol = nullptr;
-
-  int64_t Eval(rid_t r) const {
-    switch (kind) {
-      case GroupExpr::Kind::kRaw:
-        return icol[r];
-      case GroupExpr::Kind::kYear:
-        return icol[r] / 10000;  // yyyymmdd
-      case GroupExpr::Kind::kMonth:
-        return (icol[r] / 100) % 100;
-      case GroupExpr::Kind::kScale100:
-        return static_cast<int64_t>(std::llround(dcol[r] * 100.0));
-    }
-    return 0;
-  }
-};
-
 struct Grouper {
   std::vector<BoundGroupExpr> exprs;
   AggLayout layout;
@@ -49,11 +28,9 @@ struct Grouper {
     stride = layout.stride();
     for (const GroupExpr& g : spec.group_by) {
       BoundGroupExpr b;
-      b.kind = g.kind;
-      const Column& c = input.column(static_cast<size_t>(g.col));
-      if (c.type() == DataType::kInt64) b.icol = c.ints().data();
-      else if (c.type() == DataType::kFloat64) b.dcol = c.doubles().data();
-      else SMOKE_CHECK(false && "string grouping keys use GroupExpr::kRaw over int codes");
+      SMOKE_CHECK(BoundGroupExpr::Bind(input, g, &b) &&
+                  "group expression column missing or wrong type (string "
+                  "grouping keys use GroupExpr::kRaw over int codes)");
       exprs.push_back(b);
     }
     map.reserve(256);

@@ -14,6 +14,14 @@
 // Consuming queries capture their own backward lineage, so their results
 // can serve as base queries for further consuming queries (the Q1b → Q1c
 // chain).
+//
+// NOTE: these free functions are the legacy single-shot evaluation paths.
+// The unified consumption API (query/trace_builder.h) compiles the same
+// ConsumingSpec into an ordinary LogicalPlan — Trace → Select → Derive →
+// GroupBy — executed by the plan executor, which adds morsel parallelism
+// and composed end-to-end lineage. The functions here remain as the
+// reference implementations that the equivalence tests compare against and
+// that the figure benches time in isolation.
 #ifndef SMOKE_QUERY_CONSUMING_H_
 #define SMOKE_QUERY_CONSUMING_H_
 
@@ -22,34 +30,12 @@
 
 #include "engine/aggregates.h"
 #include "engine/expr.h"
+#include "engine/group_expr.h"
 #include "lineage/partitioned_rid_index.h"
 #include "lineage/rid_index.h"
 #include "storage/table.h"
 
 namespace smoke {
-
-/// A derived integer grouping key over the input relation (EXTRACT(YEAR/
-/// MONTH FROM date) on yyyymmdd-encoded dates; ×100 scaling for small
-/// decimal columns like l_tax).
-struct GroupExpr {
-  enum class Kind : uint8_t { kRaw, kYear, kMonth, kScale100 };
-  Kind kind = Kind::kRaw;
-  int col = -1;
-  std::string name;
-
-  static GroupExpr Raw(int col, std::string name) {
-    return GroupExpr{Kind::kRaw, col, std::move(name)};
-  }
-  static GroupExpr Year(int col, std::string name = "year") {
-    return GroupExpr{Kind::kYear, col, std::move(name)};
-  }
-  static GroupExpr Month(int col, std::string name = "month") {
-    return GroupExpr{Kind::kMonth, col, std::move(name)};
-  }
-  static GroupExpr Scale100(int col, std::string name) {
-    return GroupExpr{Kind::kScale100, col, std::move(name)};
-  }
-};
 
 /// A lineage consuming query: extra filters, extra grouping, aggregates —
 /// all over the traced input relation.

@@ -3,6 +3,11 @@
 // group-by base query O = γ_{g1..gn,F}(I), the backward lineage of output o
 // is σ_{o.g1=I.g1 ∧ ... ∧ o.gn=I.gn}(I), with the base query's selections
 // conjoined.
+//
+// The unified consumption API reuses these rewrites: TraceStrategy::kLazy
+// (query/trace_builder.h) compiles the same predicates into a Scan → Select
+// plan instead of a Trace node. The free functions here remain the
+// standalone baseline the benches time.
 #ifndef SMOKE_QUERY_LAZY_H_
 #define SMOKE_QUERY_LAZY_H_
 

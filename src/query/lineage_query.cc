@@ -6,6 +6,8 @@ namespace smoke {
 
 namespace {
 
+/// Probes `index` for every rid in `from` (all already validated against
+/// `index.size()`), deduplicating targets over `universe` when asked.
 std::vector<rid_t> Trace(const LineageIndex& index, size_t universe,
                          const std::vector<rid_t>& from, bool dedup) {
   std::vector<rid_t> out;
@@ -28,35 +30,104 @@ std::vector<rid_t> Trace(const LineageIndex& index, size_t universe,
   return out;
 }
 
+Status ValidateRids(const std::vector<rid_t>& rids, size_t universe,
+                    const char* what) {
+  for (rid_t r : rids) {
+    if (r >= universe) {
+      return Status::InvalidArgument(
+          std::string(what) + " rid " + std::to_string(r) +
+          " out of range [0, " + std::to_string(universe) + ")");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Status BackwardRidsChecked(const QueryLineage& lineage,
+                           const std::string& table_name,
+                           const std::vector<rid_t>& out_rids, bool dedup,
+                           std::vector<rid_t>* out) {
+  int i = lineage.FindInput(table_name);
+  if (i < 0) {
+    return Status::NotFound("relation '" + table_name +
+                            "' in query lineage");
+  }
+  const TableLineage& tl = lineage.input(static_cast<size_t>(i));
+  if (tl.backward.empty()) {
+    return Status::InvalidArgument(
+        "backward lineage for '" + table_name +
+        "' was not captured (pruned or mode without indexes)");
+  }
+  SMOKE_RETURN_NOT_OK(
+      ValidateRids(out_rids, tl.backward.size(), "output"));
+  size_t universe = tl.table != nullptr ? tl.table->num_rows() : 0;
+  *out = Trace(tl.backward, universe, out_rids, dedup);
+  return Status::OK();
+}
+
+Status ForwardRidsChecked(const QueryLineage& lineage,
+                          const std::string& table_name,
+                          const std::vector<rid_t>& in_rids, bool dedup,
+                          std::vector<rid_t>* out) {
+  int i = lineage.FindInput(table_name);
+  if (i < 0) {
+    return Status::NotFound("relation '" + table_name +
+                            "' in query lineage");
+  }
+  const TableLineage& tl = lineage.input(static_cast<size_t>(i));
+  if (tl.forward.empty()) {
+    return Status::InvalidArgument("forward lineage for '" + table_name +
+                                   "' was not captured");
+  }
+  SMOKE_RETURN_NOT_OK(ValidateRids(in_rids, tl.forward.size(), "input"));
+  *out = Trace(tl.forward, lineage.output_cardinality(), in_rids, dedup);
+  return Status::OK();
+}
+
+Status MaterializeRowsChecked(const Table& table,
+                              const std::vector<rid_t>& rids, Table* out) {
+  SMOKE_RETURN_NOT_OK(ValidateRids(rids, table.num_rows(), "traced"));
+  Table result(table.schema());
+  result.Reserve(rids.size());
+  for (rid_t r : rids) result.AppendRowFrom(table, r);
+  *out = std::move(result);
+  return Status::OK();
+}
 
 std::vector<rid_t> BackwardRids(const QueryLineage& lineage,
                                 const std::string& table_name,
                                 const std::vector<rid_t>& out_rids,
                                 bool dedup) {
-  int i = lineage.FindInput(table_name);
-  SMOKE_CHECK(i >= 0);
-  const TableLineage& tl = lineage.input(static_cast<size_t>(i));
-  SMOKE_CHECK(!tl.backward.empty());
-  size_t universe = tl.table != nullptr ? tl.table->num_rows() : 0;
-  return Trace(tl.backward, universe, out_rids, dedup);
+  std::vector<rid_t> out;
+  Status st = BackwardRidsChecked(lineage, table_name, out_rids, dedup, &out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "BackwardRids: %s\n", st.ToString().c_str());
+    SMOKE_CHECK(false && "BackwardRids failed; use BackwardRidsChecked");
+  }
+  return out;
 }
 
 std::vector<rid_t> ForwardRids(const QueryLineage& lineage,
                                const std::string& table_name,
                                const std::vector<rid_t>& in_rids,
                                bool dedup) {
-  int i = lineage.FindInput(table_name);
-  SMOKE_CHECK(i >= 0);
-  const TableLineage& tl = lineage.input(static_cast<size_t>(i));
-  SMOKE_CHECK(!tl.forward.empty());
-  return Trace(tl.forward, lineage.output_cardinality(), in_rids, dedup);
+  std::vector<rid_t> out;
+  Status st = ForwardRidsChecked(lineage, table_name, in_rids, dedup, &out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "ForwardRids: %s\n", st.ToString().c_str());
+    SMOKE_CHECK(false && "ForwardRids failed; use ForwardRidsChecked");
+  }
+  return out;
 }
 
 Table MaterializeRows(const Table& table, const std::vector<rid_t>& rids) {
-  Table out(table.schema());
-  out.Reserve(rids.size());
-  for (rid_t r : rids) out.AppendRowFrom(table, r);
+  Table out;
+  Status st = MaterializeRowsChecked(table, rids, &out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "MaterializeRows: %s\n", st.ToString().c_str());
+    SMOKE_CHECK(false && "MaterializeRows failed; use MaterializeRowsChecked");
+  }
   return out;
 }
 

@@ -4,35 +4,58 @@
 // to a subset of outputs; forward queries Lf(R' ⊆ R, O) the outputs derived
 // from a subset of inputs. Smoke evaluates both as secondary index scans:
 // probe the rid index, then index directly into the relation's arrays.
+//
+// The Status-returning entry points validate every rid against the index
+// universe before probing (an out-of-range rid is a data error, not UB);
+// they are the shared core behind the free-function wrappers below, the
+// SmokeEngine facade, and the plan-level Trace operator
+// (plan/operators.cc).
 #ifndef SMOKE_QUERY_LINEAGE_QUERY_H_
 #define SMOKE_QUERY_LINEAGE_QUERY_H_
 
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "lineage/query_lineage.h"
 #include "storage/table.h"
 
 namespace smoke {
 
-/// Backward lineage: input rids of `table_name` reachable from `out_rids`.
-/// Duplicates are preserved when `dedup` is false (why-provenance witness
-/// alignment); deduplication uses a visited bitmap over the input.
+/// Backward lineage with bounds validation: input rids of `table_name`
+/// reachable from `out_rids`. Fails with NotFound when the relation is not
+/// a lineage input, InvalidArgument when its backward index was not
+/// captured or an out_rid is out of range. Duplicates are preserved when
+/// `dedup` is false (why-provenance witness alignment).
+Status BackwardRidsChecked(const QueryLineage& lineage,
+                           const std::string& table_name,
+                           const std::vector<rid_t>& out_rids, bool dedup,
+                           std::vector<rid_t>* out);
+
+/// Forward lineage with bounds validation: output rids reachable from
+/// `in_rids` of `table_name`. Same failure modes as BackwardRidsChecked.
+Status ForwardRidsChecked(const QueryLineage& lineage,
+                          const std::string& table_name,
+                          const std::vector<rid_t>& in_rids, bool dedup,
+                          std::vector<rid_t>* out);
+
+/// SELECT * FROM L(...) with bounds validation: materializes the traced
+/// rows into `*out`; fails with InvalidArgument on an out-of-range rid.
+Status MaterializeRowsChecked(const Table& table,
+                              const std::vector<rid_t>& rids, Table* out);
+
+/// Legacy wrappers: same semantics, but an invalid rid or a missing index
+/// aborts with a diagnostic instead of indexing out of bounds.
 std::vector<rid_t> BackwardRids(const QueryLineage& lineage,
                                 const std::string& table_name,
                                 const std::vector<rid_t>& out_rids,
                                 bool dedup = false);
 
-/// Forward lineage: output rids reachable from `in_rids` of `table_name`.
-/// Deduplicated by default (an input can contribute to an output through
-/// many derivations).
 std::vector<rid_t> ForwardRids(const QueryLineage& lineage,
                                const std::string& table_name,
                                const std::vector<rid_t>& in_rids,
                                bool dedup = true);
 
-/// SELECT * FROM L(...): materializes the traced rows — a secondary index
-/// scan into `table`.
 Table MaterializeRows(const Table& table, const std::vector<rid_t>& rids);
 
 }  // namespace smoke

@@ -586,5 +586,37 @@ TEST(ParallelCaptureTest, EngineParallelPlanMatchesSequential) {
   EXPECT_EQ(linked, (std::vector<rid_t>{0}));
 }
 
+TEST(PlanDeferTest, ParallelFinalizeDeferredGroupByBitIdentical) {
+  // The think-time Zγ probe runs morsel-parallel (per-partition backward
+  // lists concatenated in partition order): indexes must be bit-identical
+  // to the sequential probe for any thread count, for both key paths.
+  Table events = MakeEvents(5000, 97);
+  struct KeyCase {
+    std::vector<int> keys;
+  };
+  for (const KeyCase& kc : {KeyCase{{0}}, KeyCase{{1, 0}}}) {
+    GroupBySpec spec;
+    spec.keys = kc.keys;
+    spec.aggs = {AggSpec::Count("cnt"), AggSpec::Sum(ScalarExpr::Col(2), "s")};
+
+    auto ref = GroupByExec(events, "events", spec, CaptureOptions::Defer());
+    FinalizeDeferredGroupBy(&ref, events, CaptureOptions::Defer());
+
+    for (int threads : kThreadCounts) {
+      CaptureOptions opts = CaptureOptions::Defer();
+      opts.num_threads = threads;
+      auto got = GroupByExec(events, "events", spec, opts);
+      FinalizeDeferredGroupBy(&got, events, opts);
+      EXPECT_TRUE(SameTable(ref.output, got.output)) << "threads=" << threads;
+      EXPECT_TRUE(SameIndex(ref.lineage.input(0).backward,
+                            got.lineage.input(0).backward))
+          << "threads=" << threads;
+      EXPECT_TRUE(SameIndex(ref.lineage.input(0).forward,
+                            got.lineage.input(0).forward))
+          << "threads=" << threads;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace smoke

@@ -1,0 +1,188 @@
+// Linked brushing over retained plans: any view shape with lineage on the
+// shared relation participates (ROADMAP "Crossfilter on plans"), and for
+// plain group-by views the witness counts equal the classic crossfilter's
+// BT strategy.
+#include "apps/plan_crossfilter.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "apps/crossfilter.h"
+#include "test_util.h"
+
+namespace smoke {
+namespace {
+
+constexpr int kA = 0;
+constexpr int kB = 1;
+constexpr int kV = 2;
+
+Table MakeData(size_t n) {
+  Schema s;
+  s.AddField("a", DataType::kInt64);
+  s.AddField("b", DataType::kInt64);
+  s.AddField("v", DataType::kFloat64);
+  Table t(s);
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int64_t> da(0, 4), db(0, 9);
+  std::uniform_real_distribution<double> dv(0.0, 10.0);
+  for (size_t i = 0; i < n; ++i) t.AppendRow({da(rng), db(rng), dv(rng)});
+  return t;
+}
+
+LogicalPlan HistogramPlan(const Table* t, int col) {
+  PlanBuilder b;
+  GroupBySpec spec;
+  spec.keys = {col};
+  spec.aggs = {AggSpec::Count("cnt")};
+  int root = b.GroupBy(b.Scan(t, "base"), spec);
+  LogicalPlan plan;
+  SMOKE_CHECK(b.Build(root, &plan).ok());
+  return plan;
+}
+
+/// Aggregate-over-aggregate: COUNT(*) per a, then COUNT(*) per cnt.
+LogicalPlan RollupPlan(const Table* t) {
+  PlanBuilder b;
+  GroupBySpec per_a;
+  per_a.keys = {kA};
+  per_a.aggs = {AggSpec::Count("cnt")};
+  int gb = b.GroupBy(b.Scan(t, "base"), per_a);
+  GroupBySpec by_cnt;
+  by_cnt.keys = {1};  // (a, cnt) -> cnt
+  by_cnt.aggs = {AggSpec::Count("n_bins")};
+  int root = b.GroupBy(gb, by_cnt);
+  LogicalPlan plan;
+  SMOKE_CHECK(b.Build(root, &plan).ok());
+  return plan;
+}
+
+/// Join of two aggregates over a *shared* scan (a DAG): COUNT per a joined
+/// with SUM(v) per a.
+LogicalPlan JoinOfAggregatesPlan(const Table* t) {
+  PlanBuilder b;
+  int scan = b.Scan(t, "base");
+  GroupBySpec counts;
+  counts.keys = {kA};
+  counts.aggs = {AggSpec::Count("cnt")};
+  int gb1 = b.GroupBy(scan, counts);
+  GroupBySpec sums;
+  sums.keys = {kA};
+  sums.aggs = {AggSpec::Sum(ScalarExpr::Col(kV), "sum_v")};
+  int gb2 = b.GroupBy(scan, sums);
+  JoinSpec join;
+  join.left_key = 0;
+  join.right_key = 0;
+  join.pk_build = true;
+  int root = b.HashJoin(gb1, gb2, join);
+  LogicalPlan plan;
+  SMOKE_CHECK(b.Build(root, &plan).ok());
+  return plan;
+}
+
+class PlanCrossfilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = MakeData(5000);
+    session_ = std::make_unique<PlanCrossfilter>("base");
+    ASSERT_TRUE(session_->AddView("va", HistogramPlan(&data_, kA)).ok());
+    ASSERT_TRUE(session_->AddView("vb", HistogramPlan(&data_, kB)).ok());
+    ASSERT_TRUE(session_->AddView("rollup", RollupPlan(&data_)).ok());
+    ASSERT_TRUE(session_->AddView("joinagg", JoinOfAggregatesPlan(&data_)).ok());
+  }
+
+  Table data_;
+  std::unique_ptr<PlanCrossfilter> session_;
+};
+
+TEST_F(PlanCrossfilterTest, GroupByViewsMatchClassicCrossfilterBT) {
+  // The classic per-view implementation with the BT strategy is the
+  // reference for simple histogram views.
+  Crossfilter classic(data_, {kA, kB});
+  classic.Initialize(Crossfilter::Strategy::kBT);
+
+  const Table* va = nullptr;
+  ASSERT_TRUE(session_->ViewOutput("va", &va).ok());
+  ASSERT_EQ(va->num_rows(), classic.NumBars(0));
+
+  for (size_t bar = 0; bar < classic.NumBars(0); ++bar) {
+    // Group-by plans emit bins in first-encounter order, like the classic
+    // session — row `bar` of the plan view is bar `bar` of the classic one.
+    ASSERT_EQ(va->column(0).ints()[bar], classic.BarValue(0, bar));
+
+    std::map<std::string, PlanCrossfilter::Linked> brush;
+    ASSERT_TRUE(session_->Brush("va", static_cast<rid_t>(bar), &brush).ok());
+    auto classic_counts = classic.Brush(0, bar);
+
+    const auto& linked = brush.at("vb");
+    ASSERT_EQ(linked.rids.size(), linked.counts.size());
+    int64_t total = 0;
+    for (size_t i = 0; i < linked.rids.size(); ++i) {
+      EXPECT_EQ(linked.counts[i], classic_counts[1][linked.rids[i]])
+          << "bar " << bar << " linked row " << i;
+      total += linked.counts[i];
+    }
+    // Every nonzero classic bar is linked, so totals agree with the brushed
+    // bar's cardinality.
+    EXPECT_EQ(total, classic.BarCount(0, bar));
+    int64_t classic_total = 0;
+    for (int64_t c : classic_counts[1]) classic_total += c;
+    EXPECT_EQ(total, classic_total);
+  }
+}
+
+TEST_F(PlanCrossfilterTest, NonSpjaViewsParticipateInBrushing) {
+  const Table* va = nullptr;
+  ASSERT_TRUE(session_->ViewOutput("va", &va).ok());
+
+  std::map<std::string, PlanCrossfilter::Linked> brush;
+  ASSERT_TRUE(session_->Brush("va", 0, &brush).ok());
+  const int64_t bar_count = va->column(1).ints()[0];
+
+  // Rollup: every base row of the brushed bar reaches exactly one rollup
+  // output, so witness counts sum to the bar cardinality.
+  const auto& rollup = brush.at("rollup");
+  EXPECT_GT(rollup.rids.size(), 0u);
+  int64_t rollup_total = 0;
+  for (int64_t c : rollup.counts) rollup_total += c;
+  EXPECT_EQ(rollup_total, bar_count);
+
+  // Join of aggregates: the brushed bar's rows share one `a` value, so they
+  // link to exactly one join output row, with full multiplicity.
+  const auto& joined = brush.at("joinagg");
+  ASSERT_EQ(joined.rids.size(), 1u);
+  EXPECT_EQ(joined.counts[0], bar_count);
+  EXPECT_EQ(joined.rows.num_rows(), 1u);
+
+  // Brushing *from* the rollup (a retained non-SPJA plan) works too: the
+  // rollup bin covering bar 0's count links back to histogram bars.
+  std::map<std::string, PlanCrossfilter::Linked> back;
+  ASSERT_TRUE(session_->Brush("rollup", 0, &back).ok());
+  const auto& va_linked = back.at("va");
+  EXPECT_GT(va_linked.rids.size(), 0u);
+  const Table* rollup_out = nullptr;
+  ASSERT_TRUE(session_->ViewOutput("rollup", &rollup_out).ok());
+  // Each linked va bar is one of the bins aggregated into this rollup row:
+  // its count must equal the rollup row's bin cardinality (the key).
+  const int64_t bin_size = rollup_out->column(0).ints()[0];
+  for (size_t i = 0; i < va_linked.rids.size(); ++i) {
+    EXPECT_EQ(va_linked.counts[i], bin_size);
+  }
+}
+
+TEST_F(PlanCrossfilterTest, RejectsViewsWithoutSharedLineage) {
+  PlanCrossfilter other("elsewhere");
+  EXPECT_FALSE(other.AddView("va", HistogramPlan(&data_, kA)).ok());
+
+  // Pruned capture (no forward) is rejected up front, not at brush time.
+  CaptureOptions no_fwd = CaptureOptions::Inject();
+  no_fwd.capture_forward = false;
+  PlanCrossfilter session("base");
+  EXPECT_FALSE(session.AddView("va", HistogramPlan(&data_, kA), no_fwd).ok());
+
+  EXPECT_FALSE(session_->Brush("nope", 0, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace smoke
