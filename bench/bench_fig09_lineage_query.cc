@@ -63,7 +63,8 @@ void Run(const bench::Options& opts) {
     double smoke_mean = timer.ElapsedMs() / static_cast<double>(num_groups);
     bench::Row("fig09", "theta=" + bench::F(theta) +
                             ",mode=Smoke-L,mean_ms_per_query=" +
-                            bench::F(smoke_mean));
+                            bench::F(smoke_mean) + "," +
+                            bench::LineageBytesKv(res.lineage));
 
     // The paper's crossover lives in the tail: the largest group's backward
     // lineage can cover much of the input, where a secondary index scan

@@ -39,16 +39,19 @@ void Run(const bench::Options& opts) {
   double skip_ms = bench::Measure(opts, [&] {
     SPJAExec(q1, CaptureOptions::Inject(), &push);
   }).mean_ms;
+  auto base = SPJAExec(q1, CaptureOptions::Inject());
+  auto skip_base = SPJAExec(q1, CaptureOptions::Inject(), &push);
   bench::Row("fig10", "capture,mode=Baseline,ms=" + bench::F(base_ms));
   bench::Row("fig10", "capture,mode=Smoke-I,ms=" + bench::F(inject_ms) +
                           ",overhead_x=" +
-                          bench::F((inject_ms - base_ms) / base_ms));
-  bench::Row("fig10", "capture,mode=Smoke-I+Skip,ms=" + bench::F(skip_ms) +
-                          ",overhead_x=" +
-                          bench::F((skip_ms - base_ms) / base_ms));
-
-  auto base = SPJAExec(q1, CaptureOptions::Inject());
-  auto skip_base = SPJAExec(q1, CaptureOptions::Inject(), &push);
+                          bench::F((inject_ms - base_ms) / base_ms) + "," +
+                          bench::LineageBytesKv(base.lineage));
+  bench::Row("fig10",
+             "capture,mode=Smoke-I+Skip,ms=" + bench::F(skip_ms) +
+                 ",overhead_x=" + bench::F((skip_ms - base_ms) / base_ms) +
+                 ",lineage_bytes=" +
+                 std::to_string(skip_base.lineage.MemoryBytes() +
+                                skip_base.skip_index.MemoryBytes()));
   const size_t total_rows = db.lineitem.num_rows();
 
   // Every (shipmode, shipinstruct) combination x every Q1 output group.

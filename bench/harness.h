@@ -18,6 +18,7 @@
 
 #include "common/timer.h"
 #include "engine/capture.h"
+#include "lineage/query_lineage.h"
 
 namespace smoke {
 namespace bench {
@@ -152,6 +153,24 @@ inline std::string F(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", v);
   return buf;
+}
+
+/// Lineage-store accounting of an engine as Row() key=value pairs, so every
+/// bench that retains queries reports lineage memory alongside timings in
+/// its --json lines (compression ratio as a trackable trajectory metric).
+/// Template so benches that never touch SmokeEngine skip the include.
+template <typename Engine>
+inline std::string LineageKv(const Engine& engine) {
+  const auto s = engine.LineageMemoryStats();
+  return "store_bytes=" + std::to_string(s.total_bytes) +
+         ",store_budget=" + std::to_string(s.budget_bytes) +
+         ",store_queries=" + std::to_string(s.num_queries) +
+         ",store_evicted=" + std::to_string(s.num_evicted);
+}
+
+/// Lineage bytes of one captured result (kernel-level benches).
+inline std::string LineageBytesKv(const QueryLineage& lineage) {
+  return "lineage_bytes=" + std::to_string(lineage.MemoryBytes());
 }
 
 }  // namespace bench

@@ -1,5 +1,6 @@
 #include "core/smoke_engine.h"
 
+#include "query/lazy.h"
 #include "query/lineage_query.h"
 
 namespace smoke {
@@ -63,8 +64,35 @@ bool SmokeEngine::IsRetainedName(const std::string& name) const {
   return queries_.count(name) > 0 || plans_.count(name) > 0;
 }
 
+namespace {
+
+/// Tracked bytes of a retained SPJA query: the composed indexes plus the
+/// partitioned skip index — under skip push-down the latter *replaces* the
+/// plain fact backward index and is where the dominant lineage lives.
+size_t SpjaLineageBytes(const SPJAResult& result) {
+  return result.lineage.MemoryBytes() + result.skip_index.MemoryBytes();
+}
+
+size_t PlanLineageBytes(const PlanResult& result) {
+  size_t b = result.lineage.MemoryBytes();
+  if (result.spja_artifacts != nullptr) {
+    b += result.spja_artifacts->skip_index.MemoryBytes();
+  }
+  return b;
+}
+
+}  // namespace
+
 Status SmokeEngine::ExecuteQuery(const std::string& query_name,
                                  const SPJAQuery& query, CaptureMode mode,
+                                 const Workload* workload) {
+  return ExecuteQuery(query_name, query, CaptureOptions::Mode(mode),
+                      workload);
+}
+
+Status SmokeEngine::ExecuteQuery(const std::string& query_name,
+                                 const SPJAQuery& query,
+                                 const CaptureOptions& options,
                                  const Workload* workload) {
   if (IsRetainedName(query_name)) {
     return Status::AlreadyExists("query '" + query_name + "'");
@@ -72,13 +100,14 @@ Status SmokeEngine::ExecuteQuery(const std::string& query_name,
   if (query.fact == nullptr) {
     return Status::InvalidArgument("query has no fact table");
   }
-  if (mode == CaptureMode::kPhysMem || mode == CaptureMode::kPhysBdb) {
+  if (options.mode == CaptureMode::kPhysMem ||
+      options.mode == CaptureMode::kPhysBdb) {
     return Status::Unsupported(
         "physical baselines are exercised per-operator, not via the engine "
         "facade");
   }
 
-  CaptureOptions opts = CaptureOptions::Mode(mode);
+  CaptureOptions opts = options;
   const SPJAPushdown* push = nullptr;
   if (workload != nullptr) {
     opts.only_relations = workload->traced_relations;
@@ -92,6 +121,7 @@ Status SmokeEngine::ExecuteQuery(const std::string& query_name,
   retained->fact = query.fact;
   retained->result = SPJAExec(query, opts, push);
   queries_[query_name] = std::move(retained);
+  FinishRetention(query_name, opts);
   return Status::OK();
 }
 
@@ -130,6 +160,7 @@ Status SmokeEngine::ExecutePlan(const std::string& query_name,
   auto retained = std::make_unique<RetainedPlan>();
   SMOKE_RETURN_NOT_OK(smoke::ExecutePlan(plan, opts, &retained->result));
   plans_[query_name] = std::move(retained);
+  FinishRetention(query_name, opts);
   return Status::OK();
 }
 
@@ -138,7 +169,22 @@ Status SmokeEngine::FinalizePlan(const std::string& query_name) {
   if (it == plans_.end()) {
     return Status::NotFound("plan query '" + query_name + "'");
   }
-  return it->second->result.FinalizeDeferred();
+  RetainedPlan& rp = *it->second;
+  const bool was_deferred = rp.result.HasDeferred();
+  SMOKE_RETURN_NOT_OK(rp.result.FinalizeDeferred());
+  if (was_deferred) {
+    // Capture finalize is the store's encode point: the freshly composed
+    // indexes are re-encoded under the retention codec and accounted.
+    if (rp.codec != LineageCodec::kRaw) {
+      EncodeQueryLineage(&rp.result.lineage, rp.codec);
+      if (rp.result.spja_artifacts != nullptr) {
+        rp.result.spja_artifacts->skip_index.Freeze(rp.codec);
+      }
+    }
+    tracker_.Update(query_name, PlanLineageBytes(rp.result), rp.codec);
+    EnforceBudget();
+  }
+  return Status::OK();
 }
 
 Status SmokeEngine::GetResult(const std::string& query_name,
@@ -178,10 +224,12 @@ Status SmokeEngine::FindLineage(const std::string& query_name,
                                 const QueryLineage** out) const {
   if (auto it = queries_.find(query_name); it != queries_.end()) {
     *out = &it->second->result.lineage;
+    tracker_.Touch(query_name);
     return Status::OK();
   }
   if (auto it = plans_.find(query_name); it != plans_.end()) {
     *out = &it->second->result.lineage;
+    tracker_.Touch(query_name);
     return Status::OK();
   }
   return Status::NotFound("query '" + query_name + "'");
@@ -207,10 +255,12 @@ Status SmokeEngine::MakeTraceSource(const std::string& query_name,
   if (auto it = queries_.find(query_name); it != queries_.end()) {
     *out = TraceSource::FromSpja(it->second->query, it->second->result,
                                  query_name);
+    tracker_.Touch(query_name);
     return Status::OK();
   }
   if (auto it = plans_.find(query_name); it != plans_.end()) {
     *out = TraceSource::FromPlan(it->second->result, query_name);
+    tracker_.Touch(query_name);
     return Status::OK();
   }
   return Status::NotFound("query '" + query_name + "'");
@@ -220,12 +270,65 @@ Status SmokeEngine::TraceBackward(const std::string& query_name,
                                   const std::string& relation,
                                   const std::vector<rid_t>& out_rids,
                                   TraceResult* out, bool dedup) const {
+  // Evicted-index fallback for multi-seed traces: the compiled lazy plan
+  // handles exactly one seed, so loop the lazy rescan per seed (the same
+  // path the string-keyed Backward takes) and synthesize the 1:1 lineage
+  // the Trace operator would have produced — the handle stays chainable.
+  if (auto it = queries_.find(query_name); it != queries_.end()) {
+    const RetainedQuery& rq = *it->second;
+    const int li = rq.result.lineage.FindInput(relation);
+    if (out_rids.size() != 1 && li >= 0 && rq.result.lineage.evicted() &&
+        LazyFallbackAvailable(query_name)) {
+      std::vector<rid_t> rids;
+      SMOKE_RETURN_NOT_OK(
+          Backward(query_name, relation, out_rids, &rids, dedup));
+      const Table* fact = rq.query.fact;
+      SMOKE_RETURN_NOT_OK(MaterializeRowsChecked(*fact, rids, &out->rows));
+      out->rids = rids;
+      PlanResult pr;
+      pr.output = out->rows;
+      pr.output_cardinality = rids.size();
+      TableLineage& tl = pr.lineage.AddInput(relation, fact);
+      tl.backward = LineageIndex::FromArray(RidArray(rids));
+      RidIndex fw(fact->num_rows());
+      for (size_t i = 0; i < rids.size(); ++i) {
+        fw.Append(rids[i], static_cast<rid_t>(i));
+      }
+      tl.forward = LineageIndex::FromIndex(std::move(fw));
+      pr.lineage.set_output_cardinality(rids.size());
+      out->plan = std::move(pr);
+      return Status::OK();
+    }
+  }
   TraceSource src;
   SMOKE_RETURN_NOT_OK(MakeTraceSource(query_name, &src));
-  PlanResult pr;
+  LineageQuery q;
   SMOKE_RETURN_NOT_OK(TraceBuilder::Backward(std::move(src), relation, out_rids)
                           .Dedup(dedup)
-                          .Execute(CaptureOptions::Inject(), &pr));
+                          .Compile(&q));
+  PlanResult pr;
+  SMOKE_RETURN_NOT_OK(q.Execute(CaptureOptions::Inject(), &pr));
+  if (q.strategy() == TraceStrategy::kLazy) {
+    // Lazy plans (the evicted-index fallback) scan the relation directly
+    // and carry no rid column; the traced rids are the trace plan's own
+    // composed 1:1 backward lineage from its selection.
+    int idx = pr.lineage.FindInput(relation);
+    if (idx < 0) {
+      return Status::InvalidArgument("lazy trace captured no lineage for '" +
+                                     relation + "'");
+    }
+    const LineageIndex& bw = pr.lineage.input(static_cast<size_t>(idx)).backward;
+    if (!bw.IsOneToOne()) {
+      return Status::InvalidArgument("lazy trace lineage is not 1:1");
+    }
+    const size_t n = pr.output.num_rows();
+    out->rids.clear();
+    out->rids.reserve(n);
+    for (rid_t r = 0; r < n; ++r) out->rids.push_back(bw.ValueAt(r));
+    out->rows = pr.output;
+    out->plan = std::move(pr);
+    return Status::OK();
+  }
   return SplitTraceOutput(std::move(pr), out);
 }
 
@@ -266,6 +369,7 @@ Status SmokeEngine::ExecuteTraceQuery(const std::string& result_name,
   auto retained = std::make_unique<RetainedPlan>();
   SMOKE_RETURN_NOT_OK(builder.Execute(opts, &retained->result));
   plans_[result_name] = std::move(retained);
+  FinishRetention(result_name, opts);
   return Status::OK();
 }
 
@@ -277,6 +381,32 @@ Status SmokeEngine::Backward(const std::string& query_name,
                              std::vector<rid_t>* rids, bool dedup) const {
   const QueryLineage* lineage = nullptr;
   SMOKE_RETURN_NOT_OK(FindLineage(query_name, &lineage));
+  const int i = lineage->FindInput(relation);
+  if (i >= 0 && lineage->evicted() && LazyFallbackAvailable(query_name)) {
+    // The index was evicted under the lineage budget: answer by lazy
+    // rescan of the fact relation, seed by seed. (Pruned or push-down-
+    // replaced indexes deliberately do NOT fall back — their capture
+    // semantics restrict lineage on purpose, so a lazy answer would be
+    // silently wrong; they keep returning the "not captured" error.)
+    const RetainedQuery& rq = *queries_.at(query_name);
+    std::vector<uint8_t> seen(dedup ? rq.query.fact->num_rows() : 0, 0);
+    rids->clear();
+    for (rid_t oid : out_rids) {
+      if (oid >= rq.result.output.num_rows()) {
+        return Status::InvalidArgument(
+            "output rid " + std::to_string(oid) + " out of range [0, " +
+            std::to_string(rq.result.output.num_rows()) + ")");
+      }
+      for (rid_t r : LazyBackwardRids(rq.query, rq.result.output, oid)) {
+        if (dedup) {
+          if (seen[r]) continue;
+          seen[r] = 1;
+        }
+        rids->push_back(r);
+      }
+    }
+    return Status::OK();
+  }
   return BackwardRidsChecked(*lineage, relation, out_rids, dedup, rids);
 }
 
@@ -384,9 +514,26 @@ Status SmokeEngine::GetConsumingResult(const std::string& result_name,
 }
 
 Status SmokeEngine::DropResult(const std::string& query_name) {
-  if (queries_.erase(query_name) > 0) return Status::OK();
-  if (plans_.erase(query_name) > 0) return Status::OK();
-  return Status::NotFound("query '" + query_name + "'");
+  const Table* output = nullptr;
+  if (auto it = queries_.find(query_name); it != queries_.end()) {
+    output = &it->second->result.output;
+  } else if (auto it = plans_.find(query_name); it != plans_.end()) {
+    output = &it->second->result.output;
+  } else {
+    return Status::NotFound("query '" + query_name + "'");
+  }
+  // A retained forward trace (or chained hop) borrows the traced query's
+  // output rows through its lineage; dropping the query under it would
+  // dangle those pointers — same hazard DropTable guards against.
+  if (TableInUse(output)) {
+    return Status::InvalidArgument(
+        "result '" + query_name +
+        "' is borrowed by another retained result's lineage; drop that "
+        "result first");
+  }
+  if (queries_.erase(query_name) == 0) plans_.erase(query_name);
+  tracker_.Release(query_name);
+  return Status::OK();
 }
 
 std::vector<std::string> SmokeEngine::QueryNames() const {
@@ -394,6 +541,128 @@ std::vector<std::string> SmokeEngine::QueryNames() const {
   for (const auto& [k, v] : queries_) names.push_back(k);
   for (const auto& [k, v] : plans_) names.push_back(k);
   return names;
+}
+
+// ---- lineage store: accounting, budget enforcement, eviction ----
+
+LineageStoreStats SmokeEngine::LineageMemoryStats() const {
+  return tracker_.Stats();
+}
+
+void SmokeEngine::SetLineageBudget(size_t bytes) {
+  tracker_.SetBudget(bytes);
+  EnforceBudget();
+}
+
+void SmokeEngine::FinishRetention(const std::string& query_name,
+                                  const CaptureOptions& opts) {
+  if (opts.lineage_budget_bytes > 0) {
+    tracker_.SetBudget(opts.lineage_budget_bytes);
+  }
+  const LineageCodec codec = opts.lineage_codec;
+  size_t bytes = 0;
+  if (auto it = queries_.find(query_name); it != queries_.end()) {
+    RetainedQuery& rq = *it->second;
+    if (codec != LineageCodec::kRaw) {
+      EncodeQueryLineage(&rq.result.lineage, codec);
+      rq.result.skip_index.Freeze(codec);
+    }
+    rq.codec = codec;
+    bytes = SpjaLineageBytes(rq.result);
+  } else if (auto it2 = plans_.find(query_name); it2 != plans_.end()) {
+    RetainedPlan& rp = *it2->second;
+    rp.codec = codec;
+    // Deferred plans have no composed lineage yet; FinalizePlan encodes and
+    // re-accounts at think-time.
+    if (!rp.result.HasDeferred() && codec != LineageCodec::kRaw) {
+      EncodeQueryLineage(&rp.result.lineage, codec);
+      if (rp.result.spja_artifacts != nullptr) {
+        rp.result.spja_artifacts->skip_index.Freeze(codec);
+      }
+    }
+    bytes = PlanLineageBytes(rp.result);
+  } else {
+    return;
+  }
+  tracker_.Register(query_name, bytes, codec);
+  EnforceBudget();
+}
+
+void SmokeEngine::ReencodeRetained(const std::string& query_name,
+                                   LineageCodec codec) {
+  if (auto it = queries_.find(query_name); it != queries_.end()) {
+    RetainedQuery& rq = *it->second;
+    EncodeQueryLineage(&rq.result.lineage, codec);
+    rq.result.skip_index.Freeze(codec);
+    rq.codec = codec;
+    tracker_.Update(query_name, SpjaLineageBytes(rq.result), codec);
+    return;
+  }
+  if (auto it = plans_.find(query_name); it != plans_.end()) {
+    RetainedPlan& rp = *it->second;
+    rp.codec = codec;
+    if (!rp.result.HasDeferred()) {
+      EncodeQueryLineage(&rp.result.lineage, codec);
+      if (rp.result.spja_artifacts != nullptr) {
+        rp.result.spja_artifacts->skip_index.Freeze(codec);
+      }
+    }
+    tracker_.Update(query_name, PlanLineageBytes(rp.result), codec);
+    return;
+  }
+  tracker_.Release(query_name);  // stale entry — should not happen
+}
+
+void SmokeEngine::EvictRetained(const std::string& query_name) {
+  auto it = queries_.find(query_name);
+  if (it == queries_.end()) return;
+  RetainedQuery& rq = *it->second;
+  EvictQueryLineage(&rq.result.lineage);
+  rq.result.skip_index = PartitionedRidIndex();
+  // The dictionary stays (it is query metadata, not lineage), but strategy
+  // resolution checks the skip *index* presence, so kAuto falls through to
+  // the lazy rescan rather than probing the dropped partitions.
+  tracker_.MarkEvicted(query_name, SpjaLineageBytes(rq.result));
+}
+
+bool SmokeEngine::LazyFallbackAvailable(const std::string& query_name) const {
+  auto it = queries_.find(query_name);
+  if (it == queries_.end()) return false;
+  return LazyRewriteAvailable(it->second->query);
+}
+
+void SmokeEngine::EnforceBudget() {
+  const size_t budget = tracker_.budget();
+  if (budget == 0) return;
+  // Stage 1: re-encode the coldest indexes under the adaptive codec — the
+  // cheap recovery that keeps indexed traces working.
+  while (tracker_.total_bytes() > budget) {
+    std::string victim;
+    if (!tracker_.Coldest(
+            [](const std::string&, const LineageMemoryTracker::Entry& e) {
+              return !e.evicted && e.codec != LineageCodec::kAdaptive;
+            },
+            &victim)) {
+      break;
+    }
+    ReencodeRetained(victim, LineageCodec::kAdaptive);
+  }
+  // Stage 2: evict the coldest queries whose traces can fall back to the
+  // lazy rescan. Queries without a lazy rewrite are never evicted (the
+  // budget is best-effort for them — dropping their indexes would lose
+  // lineage, not degrade it).
+  while (tracker_.total_bytes() > budget) {
+    std::string victim;
+    if (!tracker_.Coldest(
+            [this](const std::string& name,
+                   const LineageMemoryTracker::Entry& e) {
+              return !e.evicted && LazyFallbackAvailable(name);
+            },
+            &victim)) {
+      break;
+    }
+    EvictRetained(victim);
+  }
 }
 
 }  // namespace smoke

@@ -26,6 +26,7 @@
 
 #include "common/status.h"
 #include "engine/spja.h"
+#include "lineage/store/lineage_store.h"
 #include "plan/executor.h"
 #include "plan/plan.h"
 #include "query/consuming.h"
@@ -97,6 +98,14 @@ class SmokeEngine {
   /// workload drives pruning and push-down configuration.
   Status ExecuteQuery(const std::string& query_name, const SPJAQuery& query,
                       CaptureMode mode = CaptureMode::kInject,
+                      const Workload* workload = nullptr);
+
+  /// Full-options variant: `opts` additionally carries the parallel-capture
+  /// knobs and the lineage-store knobs (lineage_codec — how the retained
+  /// indexes are encoded at finalize; lineage_budget_bytes — engine-wide
+  /// memory budget). Results and traces are bit-identical across codecs.
+  Status ExecuteQuery(const std::string& query_name, const SPJAQuery& query,
+                      const CaptureOptions& opts,
                       const Workload* workload = nullptr);
 
   /// Executes a composable operator DAG (plan/plan.h) and retains its
@@ -237,19 +246,35 @@ class SmokeEngine {
   Status GetConsumingResult(const std::string& result_name,
                             const Table** out) const;
 
-  /// Drops a retained query result and its lineage.
+  /// Drops a retained query result and its lineage (releasing its lineage
+  /// store accounting). Refused while another retained result's lineage
+  /// still borrows this result's output rows (e.g. a retained forward
+  /// trace) — dropping it would dangle that lineage.
   Status DropResult(const std::string& query_name);
 
   std::vector<std::string> QueryNames() const;
+
+  // ---- lineage store: memory accounting & budget ----
+
+  /// Per-retained-query lineage memory accounting: bytes, codec, eviction
+  /// state, LRU ticks, and the engine-wide total/budget.
+  LineageStoreStats LineageMemoryStats() const;
+
+  /// Sets the engine-wide lineage memory budget (0 = unlimited) and
+  /// enforces it immediately: coldest retained indexes are re-encoded
+  /// adaptively, then evicted (lazy-rescan fallback) until under budget.
+  void SetLineageBudget(size_t bytes);
 
  private:
   struct RetainedQuery {
     SPJAQuery query;        // note: borrows engine-owned tables
     SPJAResult result;
     const Table* fact = nullptr;
+    LineageCodec codec = LineageCodec::kRaw;
   };
   struct RetainedPlan {
     PlanResult result;
+    LineageCodec codec = LineageCodec::kRaw;
   };
 
   /// Unified lookup over retained SPJA queries and plans.
@@ -262,11 +287,36 @@ class SmokeEngine {
   /// True when any retained result still borrows `table`.
   bool TableInUse(const Table* table) const;
 
+  /// Encodes the freshly retained query's lineage per `opts.lineage_codec`,
+  /// registers it with the tracker, applies `opts.lineage_budget_bytes`,
+  /// and enforces the budget.
+  void FinishRetention(const std::string& query_name,
+                       const CaptureOptions& opts);
+
+  /// Re-encodes a retained query's lineage under the adaptive codec and
+  /// updates its accounting.
+  void ReencodeRetained(const std::string& query_name, LineageCodec codec);
+
+  /// Drops a retained query's indexes (keeping result + metadata); its
+  /// traces fall back to the lazy-rescan strategy.
+  void EvictRetained(const std::string& query_name);
+
+  /// True when backward traces on `query_name` can be answered by the lazy
+  /// rescan after eviction (retained SPJA query, no dimensions, fact-table
+  /// group-by keys).
+  bool LazyFallbackAvailable(const std::string& query_name) const;
+
+  /// Re-encode cold, then evict, until total lineage bytes fit the budget.
+  void EnforceBudget();
+
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<RetainedQuery>> queries_;
   /// Retained plan results: base-query plans AND trace/consuming results —
   /// the unified consumption API makes them the same kind of thing.
   std::map<std::string, std::unique_ptr<RetainedPlan>> plans_;
+  /// Lineage store accounting (mutable: trace accesses bump LRU ticks
+  /// through const lookups).
+  mutable LineageMemoryTracker tracker_;
 };
 
 }  // namespace smoke

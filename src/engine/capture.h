@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "lineage/store/rid_codec.h"
 
 namespace smoke {
 
@@ -150,6 +151,20 @@ struct CaptureOptions {
   /// lineage composition; PlanResult::FinalizeDeferred() completes both at
   /// think-time. Ignored by the standalone kernels.
   bool defer_plan_finalize = false;
+
+  /// Compressed lineage store policy (lineage/store/): how the engine
+  /// re-encodes this query's retained indexes at capture-finalize time.
+  /// Capture itself always writes raw (write-optimized) buffers; traces
+  /// over encoded indexes are evaluated in-situ and return bit-identical
+  /// results for every codec. kRaw keeps today's representation.
+  LineageCodec lineage_codec = LineageCodec::kRaw;
+
+  /// Engine-wide lineage memory budget in bytes (0 = leave unchanged).
+  /// When retained lineage exceeds the budget, the engine re-encodes the
+  /// coldest indexes adaptively, then evicts cold queries entirely —
+  /// evicted queries transparently answer backward traces via the
+  /// lazy-rescan strategy. Equivalent to SmokeEngine::SetLineageBudget.
+  size_t lineage_budget_bytes = 0;
 
   /// True when this operator execution should take a parallel path.
   bool WantsParallel() const {

@@ -10,15 +10,10 @@ namespace smoke {
 namespace {
 
 /// Appends every input rid that intermediate position `mid` maps to under
-/// `inner` onto `list`.
+/// `inner` onto `list`. Works over raw and encoded forms (decode-on-demand:
+/// only the probed posting list is decoded).
 inline void AppendInner(const LineageIndex& inner, rid_t mid, RidVec* list) {
-  if (inner.kind() == LineageIndex::Kind::kArray) {
-    rid_t r = inner.array()[mid];
-    if (r != kInvalidRid) list->PushBack(r);
-  } else {
-    const RidVec& l = inner.index().list(mid);
-    for (rid_t r : l) list->PushBack(r);
-  }
+  inner.ForEachRelated(mid, [list](rid_t r) { list->PushBack(r); });
 }
 
 /// Sorts and deduplicates `scratch` into `list` (forward set semantics).
@@ -37,13 +32,11 @@ LineageIndex ComposeBackward(const LineageIndex& outer,
   if (outer.empty() || inner.empty()) return LineageIndex();
   const size_t n = outer.size();
 
-  if (outer.kind() == LineageIndex::Kind::kArray &&
-      inner.kind() == LineageIndex::Kind::kArray) {
+  if (outer.IsOneToOne() && inner.IsOneToOne()) {
     RidArray out(n, kInvalidRid);
-    const RidArray& oa = outer.array();
-    const RidArray& ia = inner.array();
     for (size_t o = 0; o < n; ++o) {
-      if (oa[o] != kInvalidRid) out[o] = ia[oa[o]];
+      rid_t mid = outer.ValueAt(static_cast<rid_t>(o));
+      if (mid != kInvalidRid) out[o] = inner.ValueAt(mid);
     }
     return LineageIndex::FromArray(std::move(out));
   }
@@ -51,13 +44,9 @@ LineageIndex ComposeBackward(const LineageIndex& outer,
   RidIndex out(n);
   for (size_t o = 0; o < n; ++o) {
     RidVec& list = out.list(o);
-    if (outer.kind() == LineageIndex::Kind::kArray) {
-      rid_t mid = outer.array()[o];
-      if (mid != kInvalidRid) AppendInner(inner, mid, &list);
-    } else {
-      const RidVec& mids = outer.index().list(o);
-      for (rid_t mid : mids) AppendInner(inner, mid, &list);
-    }
+    outer.ForEachRelated(static_cast<rid_t>(o), [&inner, &list](rid_t mid) {
+      AppendInner(inner, mid, &list);
+    });
   }
   return LineageIndex::FromIndex(std::move(out));
 }
@@ -67,13 +56,11 @@ LineageIndex ComposeForward(const LineageIndex& inner,
   if (inner.empty() || outer.empty()) return LineageIndex();
   const size_t n = inner.size();
 
-  if (inner.kind() == LineageIndex::Kind::kArray &&
-      outer.kind() == LineageIndex::Kind::kArray) {
+  if (inner.IsOneToOne() && outer.IsOneToOne()) {
     RidArray out(n, kInvalidRid);
-    const RidArray& ia = inner.array();
-    const RidArray& oa = outer.array();
     for (size_t i = 0; i < n; ++i) {
-      if (ia[i] != kInvalidRid) out[i] = oa[ia[i]];
+      rid_t mid = inner.ValueAt(static_cast<rid_t>(i));
+      if (mid != kInvalidRid) out[i] = outer.ValueAt(mid);
     }
     return LineageIndex::FromArray(std::move(out));
   }
@@ -82,12 +69,9 @@ LineageIndex ComposeForward(const LineageIndex& inner,
   std::vector<rid_t> scratch;
   for (size_t i = 0; i < n; ++i) {
     scratch.clear();
-    if (inner.kind() == LineageIndex::Kind::kArray) {
-      rid_t mid = inner.array()[i];
-      if (mid != kInvalidRid) outer.TraceInto(mid, &scratch);
-    } else {
-      for (rid_t mid : inner.index().list(i)) outer.TraceInto(mid, &scratch);
-    }
+    inner.ForEachRelated(static_cast<rid_t>(i), [&outer, &scratch](rid_t mid) {
+      outer.TraceInto(mid, &scratch);
+    });
     SortedUniqueInto(&scratch, &out.list(i));
   }
   return LineageIndex::FromIndex(std::move(out));
@@ -101,12 +85,13 @@ void MergeBackwardInto(LineageIndex* dst, LineageIndex src) {
   }
   SMOKE_CHECK(dst->size() == src.size());
   const size_t n = dst->size();
-  // Promote to the 1-to-N form: merged outputs can have multiple ancestors.
-  if (dst->kind() == LineageIndex::Kind::kArray) {
+  // Promote to the raw 1-to-N form: merged outputs can have multiple
+  // ancestors (and encoded forms are immutable).
+  if (dst->kind() != LineageIndex::Kind::kIndex) {
     RidIndex promoted(n);
-    const RidArray& a = dst->array();
     for (size_t o = 0; o < n; ++o) {
-      if (a[o] != kInvalidRid) promoted.Append(o, a[o]);
+      dst->ForEachRelated(static_cast<rid_t>(o),
+                          [&promoted, o](rid_t r) { promoted.Append(o, r); });
     }
     *dst = LineageIndex::FromIndex(std::move(promoted));
   }

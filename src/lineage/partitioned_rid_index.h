@@ -10,12 +10,18 @@
 #include "common/macros.h"
 #include "common/rid_vec.h"
 #include "common/types.h"
+#include "lineage/store/rid_codec.h"
 
 namespace smoke {
 
 /// \brief A backward lineage index whose per-output rid lists are split by
 /// partition code: entry (output, code) -> rids of input records in that
 /// output's lineage whose partition attribute has that code.
+///
+/// Two storage tiers: raw RidVec partitions during capture (write path),
+/// and — after Freeze() — a compressed flat arena (lineage/store/) that the
+/// skipping strategy consumes via the decode-on-demand ForEachInPartition
+/// iterator without materializing rid lists.
 class PartitionedRidIndex {
  public:
   PartitionedRidIndex() = default;
@@ -37,30 +43,74 @@ class PartitionedRidIndex {
   }
 
   size_t num_outputs() const {
-    return num_codes_ == 0 ? 0 : parts_.size() / num_codes_;
+    if (num_codes_ == 0) return 0;
+    return (frozen_ ? encoded_.num_lists() : parts_.size()) / num_codes_;
   }
   uint32_t num_codes() const { return num_codes_; }
 
   void Append(size_t output, uint32_t code, rid_t rid) {
     SMOKE_DCHECK(code < num_codes_);
+    SMOKE_DCHECK(!frozen_);
     parts_[output * num_codes_ + code].PushBack(rid);
   }
 
+  /// Raw tier only (capture-side reuse); frozen indexes are consumed via
+  /// ForEachInPartition.
   const RidVec& Partition(size_t output, uint32_t code) const {
     SMOKE_DCHECK(code < num_codes_);
+    SMOKE_DCHECK(!frozen_);
     return parts_[output * num_codes_ + code];
+  }
+
+  bool frozen() const { return frozen_; }
+
+  /// (Re-)encodes every partition under `policy` into the compressed flat
+  /// arena and drops the raw RidVec tier. Appends are no longer allowed
+  /// afterwards. Freezing an already-frozen index decodes and re-encodes
+  /// (budget enforcement re-encodes cold forced-codec indexes adaptively).
+  void Freeze(LineageCodec policy) {
+    PostingsBuilder b(policy);
+    if (frozen_) {
+      std::vector<rid_t> list;
+      for (size_t i = 0; i < encoded_.num_lists(); ++i) {
+        list.clear();
+        encoded_.AppendList(i, &list);
+        b.AddList(list.data(), list.size());
+      }
+    } else {
+      for (const RidVec& l : parts_) b.AddList(l);
+    }
+    encoded_ = b.Finish();
+    parts_.clear();
+    parts_.shrink_to_fit();
+    frozen_ = true;
+  }
+
+  /// Decode-on-demand iteration over partition (output, code), in stored
+  /// order. Works on both tiers — the skipping trace path consumes
+  /// partitions through this, so frozen (compressed) skip indexes answer
+  /// queries without decompression.
+  template <typename F>
+  void ForEachInPartition(size_t output, uint32_t code, F&& f) const {
+    SMOKE_DCHECK(code < num_codes_);
+    const size_t i = output * num_codes_ + code;
+    if (frozen_) {
+      encoded_.ForEachInList(i, f);
+      return;
+    }
+    for (rid_t r : parts_[i]) f(r);
   }
 
   /// All rids of `output` across partitions (equivalent to an unpartitioned
   /// backward trace).
   void TraceAllInto(size_t output, std::vector<rid_t>* out) const {
     for (uint32_t c = 0; c < num_codes_; ++c) {
-      const RidVec& l = Partition(output, c);
-      out->insert(out->end(), l.begin(), l.end());
+      ForEachInPartition(output, c, [out](rid_t r) { out->push_back(r); });
     }
   }
 
   size_t TotalEdges() const {
+    if (frozen_) return encoded_.TotalEdges();
     size_t n = 0;
     for (const auto& l : parts_) n += l.size();
     return n;
@@ -69,12 +119,14 @@ class PartitionedRidIndex {
   size_t MemoryBytes() const {
     size_t b = parts_.capacity() * sizeof(RidVec);
     for (const auto& l : parts_) b += l.MemoryBytes();
-    return b;
+    return b + encoded_.MemoryBytes();
   }
 
  private:
   uint32_t num_codes_ = 0;
-  std::vector<RidVec> parts_;  // row-major: [output][code]
+  bool frozen_ = false;
+  std::vector<RidVec> parts_;  // row-major: [output][code] (raw tier)
+  EncodedPostings encoded_;    // frozen tier
 };
 
 }  // namespace smoke

@@ -70,10 +70,19 @@ class QueryLineage {
     return b;
   }
 
+  /// True when the indexes were dropped by the lineage store's budget
+  /// eviction (lineage/store/). Distinguishes "evicted — answer backward
+  /// traces via the lazy rescan" from "never captured / pruned / replaced
+  /// by a push-down artifact", where a silent lazy answer would contradict
+  /// the declared capture semantics and the right response is an error.
+  bool evicted() const { return evicted_; }
+  void set_evicted(bool evicted) { evicted_ = evicted; }
+
  private:
   // Deque: AddInput hands out references that must survive later AddInputs.
   std::deque<TableLineage> inputs_;
   size_t output_cardinality_ = 0;
+  bool evicted_ = false;
 };
 
 }  // namespace smoke

@@ -15,6 +15,7 @@
 #include "common/macros.h"
 #include "common/rid_vec.h"
 #include "common/types.h"
+#include "lineage/store/rid_codec.h"
 
 namespace smoke {
 
@@ -74,11 +75,23 @@ class RidIndex {
   std::vector<RidVec> lists_;
 };
 
-/// \brief Tagged union over the two physical lineage forms, with a uniform
+/// \brief Tagged union over the physical lineage forms, with a uniform
 /// trace interface. Direction and endpoint metadata live in QueryLineage.
+///
+/// Two raw forms (write-optimized, what capture produces) and two encoded
+/// forms (read-optimized, what the compressed lineage store re-encodes
+/// retained indexes into at finalize time — lineage/store/). Consumers that
+/// go through the uniform accessors (TraceInto / ForEachRelated / ValueAt)
+/// work over all forms without decompressing whole indexes.
 class LineageIndex {
  public:
-  enum class Kind : uint8_t { kNone, kArray, kIndex };
+  enum class Kind : uint8_t {
+    kNone,
+    kArray,          ///< raw 1:1
+    kIndex,          ///< raw 1:N
+    kEncodedArray,   ///< compressed 1:1 (lineage/store/rid_codec.h)
+    kEncodedIndex,   ///< compressed 1:N posting lists
+  };
 
   LineageIndex() = default;
   static LineageIndex FromArray(RidArray array) {
@@ -93,9 +106,28 @@ class LineageIndex {
     idx.index_ = std::move(index);
     return idx;
   }
+  static LineageIndex FromEncodedArray(EncodedRidArray array) {
+    LineageIndex idx;
+    idx.kind_ = Kind::kEncodedArray;
+    idx.earray_ = std::move(array);
+    return idx;
+  }
+  static LineageIndex FromEncodedPostings(EncodedPostings postings) {
+    LineageIndex idx;
+    idx.kind_ = Kind::kEncodedIndex;
+    idx.epostings_ = std::move(postings);
+    return idx;
+  }
 
   Kind kind() const { return kind_; }
   bool empty() const { return kind_ == Kind::kNone; }
+  bool encoded() const {
+    return kind_ == Kind::kEncodedArray || kind_ == Kind::kEncodedIndex;
+  }
+  /// True for the 1:1 forms (raw or encoded) — ValueAt is available.
+  bool IsOneToOne() const {
+    return kind_ == Kind::kArray || kind_ == Kind::kEncodedArray;
+  }
 
   const RidArray& array() const {
     SMOKE_DCHECK(kind_ == Kind::kArray);
@@ -105,35 +137,72 @@ class LineageIndex {
     SMOKE_DCHECK(kind_ == Kind::kIndex);
     return index_;
   }
+  const EncodedRidArray& encoded_array() const {
+    SMOKE_DCHECK(kind_ == Kind::kEncodedArray);
+    return earray_;
+  }
+  const EncodedPostings& encoded_postings() const {
+    SMOKE_DCHECK(kind_ == Kind::kEncodedIndex);
+    return epostings_;
+  }
   RidArray& mutable_array() { return array_; }
   RidIndex& mutable_index() { return index_; }
 
   /// Number of source positions this index is defined over.
   size_t size() const {
     switch (kind_) {
-      case Kind::kArray: return array_.size();
-      case Kind::kIndex: return index_.size();
-      case Kind::kNone:  return 0;
+      case Kind::kArray:        return array_.size();
+      case Kind::kIndex:        return index_.size();
+      case Kind::kEncodedArray: return earray_.size();
+      case Kind::kEncodedIndex: return epostings_.num_lists();
+      case Kind::kNone:         return 0;
     }
     return 0;
   }
 
-  /// Appends all rids related to source position `pos` into `out`.
-  void TraceInto(rid_t pos, std::vector<rid_t>* out) const {
+  /// The single rid related to `pos` (1:1 forms only; kInvalidRid = none).
+  rid_t ValueAt(rid_t pos) const {
+    SMOKE_DCHECK(IsOneToOne());
+    return kind_ == Kind::kArray ? array_[pos] : earray_.At(pos);
+  }
+
+  /// Calls `f(rid)` for every rid related to source position `pos`, in
+  /// stored order. Decode-on-demand for the encoded forms: only the probed
+  /// posting list is decoded, never the whole index (in-situ evaluation).
+  template <typename F>
+  void ForEachRelated(rid_t pos, F&& f) const {
     switch (kind_) {
       case Kind::kArray: {
         rid_t r = array_[pos];
-        if (r != kInvalidRid) out->push_back(r);
+        if (r != kInvalidRid) f(r);
         break;
       }
       case Kind::kIndex: {
         const RidVec& l = index_.list(pos);
-        out->insert(out->end(), l.begin(), l.end());
+        for (rid_t r : l) f(r);
         break;
       }
+      case Kind::kEncodedArray: {
+        rid_t r = earray_.At(pos);
+        if (r != kInvalidRid) f(r);
+        break;
+      }
+      case Kind::kEncodedIndex:
+        epostings_.ForEachInList(pos, f);
+        break;
       case Kind::kNone:
         break;
     }
+  }
+
+  /// Appends all rids related to source position `pos` into `out`.
+  void TraceInto(rid_t pos, std::vector<rid_t>* out) const {
+    if (kind_ == Kind::kIndex) {  // bulk append fast path
+      const RidVec& l = index_.list(pos);
+      out->insert(out->end(), l.begin(), l.end());
+      return;
+    }
+    ForEachRelated(pos, [out](rid_t r) { out->push_back(r); });
   }
 
   size_t TotalEdges() const {
@@ -143,17 +212,25 @@ class LineageIndex {
         for (rid_t r : array_) n += (r != kInvalidRid);
         return n;
       }
-      case Kind::kIndex: return index_.TotalEdges();
-      case Kind::kNone:  return 0;
+      case Kind::kIndex:        return index_.TotalEdges();
+      case Kind::kEncodedArray: {
+        size_t n = 0;
+        earray_.ForEach([&n](size_t, rid_t r) { n += (r != kInvalidRid); });
+        return n;
+      }
+      case Kind::kEncodedIndex: return epostings_.TotalEdges();
+      case Kind::kNone:         return 0;
     }
     return 0;
   }
 
   size_t MemoryBytes() const {
     switch (kind_) {
-      case Kind::kArray: return array_.capacity() * sizeof(rid_t);
-      case Kind::kIndex: return index_.MemoryBytes();
-      case Kind::kNone:  return 0;
+      case Kind::kArray:        return array_.capacity() * sizeof(rid_t);
+      case Kind::kIndex:        return index_.MemoryBytes();
+      case Kind::kEncodedArray: return earray_.MemoryBytes();
+      case Kind::kEncodedIndex: return epostings_.MemoryBytes();
+      case Kind::kNone:         return 0;
     }
     return 0;
   }
@@ -162,6 +239,8 @@ class LineageIndex {
   Kind kind_ = Kind::kNone;
   RidArray array_;
   RidIndex index_;
+  EncodedRidArray earray_;
+  EncodedPostings epostings_;
 };
 
 }  // namespace smoke

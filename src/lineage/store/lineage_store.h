@@ -1,0 +1,113 @@
+// The compressed lineage store: physical representation and memory
+// accounting of all retained lineage.
+//
+// Capture stays write-optimized (raw RidVec/RidArray buffers — paper
+// Section 3.1: resize cost dominates capture). At capture-finalize time the
+// store re-encodes the composed end-to-end indexes under a pluggable codec
+// (lineage/store/rid_codec.h) chosen per posting list; consumers evaluate
+// traces over the encoded forms in-situ, decode-on-demand.
+//
+// The store also owns the lineage memory budget: a LineageMemoryTracker
+// accounts bytes per retained query (surfaced as
+// SmokeEngine::LineageMemoryStats()), and when
+// CaptureOptions::lineage_budget_bytes is exceeded the engine first
+// re-encodes cold indexes adaptively and ultimately evicts them — evicted
+// queries transparently fall back to the lazy-rescan trace strategy.
+#ifndef SMOKE_LINEAGE_STORE_LINEAGE_STORE_H_
+#define SMOKE_LINEAGE_STORE_LINEAGE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lineage/query_lineage.h"
+#include "lineage/store/rid_codec.h"
+
+namespace smoke {
+
+/// Re-encodes one finalized lineage index under `codec`. kRaw decodes back
+/// to the raw forms (the identity on raw input); other policies encode —
+/// already-encoded input is decoded first, so re-encoding under a different
+/// policy is supported. kNone passes through.
+LineageIndex EncodeLineage(LineageIndex index, LineageCodec codec);
+
+/// Applies EncodeLineage to every captured backward/forward index of
+/// `lineage`.
+void EncodeQueryLineage(QueryLineage* lineage, LineageCodec codec);
+
+/// Drops every index of `lineage` (budget eviction). Table names/pointers
+/// are kept so relation lookup still resolves — traces answer via the
+/// lazy-rescan fallback afterwards.
+void EvictQueryLineage(QueryLineage* lineage);
+
+/// Point-in-time report of the lineage store, per retained query.
+struct LineageStoreStats {
+  struct QueryStats {
+    std::string name;
+    size_t bytes = 0;
+    LineageCodec codec = LineageCodec::kRaw;
+    bool evicted = false;
+    uint64_t last_access = 0;  ///< LRU tick; higher = more recent
+  };
+  size_t total_bytes = 0;
+  size_t budget_bytes = 0;  ///< 0 = unlimited
+  size_t num_queries = 0;
+  size_t num_evicted = 0;
+  std::vector<QueryStats> queries;  ///< name order
+};
+
+/// \brief Per-retained-query lineage memory accounting with an LRU clock.
+/// The engine updates entries at every store mutation (retain, re-encode,
+/// evict, drop) and bumps the clock on every trace access.
+///
+/// Internally synchronized: Touch() runs inside the engine's *const*
+/// lookup paths, which concurrent readers may share — LRU bookkeeping must
+/// not turn read-only trace APIs into data races.
+class LineageMemoryTracker {
+ public:
+  struct Entry {
+    size_t bytes = 0;
+    LineageCodec codec = LineageCodec::kRaw;
+    bool evicted = false;
+    uint64_t last_access = 0;
+  };
+
+  void Register(const std::string& name, size_t bytes, LineageCodec codec);
+
+  /// Updates bytes/codec of an existing entry (re-encoding). Unknown names
+  /// are ignored.
+  void Update(const std::string& name, size_t bytes, LineageCodec codec);
+
+  /// Marks `name` evicted with `residual_bytes` remaining (normally 0).
+  void MarkEvicted(const std::string& name, size_t residual_bytes);
+
+  void Release(const std::string& name);
+
+  /// Bumps the LRU clock of `name` (trace access). Unknown names ignored.
+  void Touch(const std::string& name);
+
+  void SetBudget(size_t bytes);
+  size_t budget() const;
+  size_t total_bytes() const;
+
+  /// The least-recently-accessed entry satisfying `pred`; false when none.
+  bool Coldest(
+      const std::function<bool(const std::string&, const Entry&)>& pred,
+      std::string* out) const;
+
+  LineageStoreStats Stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  size_t total_ = 0;
+  size_t budget_ = 0;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_LINEAGE_STORE_LINEAGE_STORE_H_

@@ -1,0 +1,223 @@
+#include "lineage/store/rid_codec.h"
+
+#include <utility>
+
+#include "lineage/rid_index.h"
+
+namespace smoke {
+
+const char* LineageCodecName(LineageCodec c) {
+  switch (c) {
+    case LineageCodec::kRaw:      return "raw";
+    case LineageCodec::kRange:    return "range";
+    case LineageCodec::kBitmap:   return "bitmap";
+    case LineageCodec::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+RidSetStats RidSetStats::Of(const rid_t* data, size_t n) {
+  RidSetStats s;
+  s.count = n;
+  if (n == 0) return s;
+  s.runs = 1;
+  s.min = s.max = data[0];
+  for (size_t i = 1; i < n; ++i) {
+    const rid_t prev = data[i - 1];
+    const rid_t cur = data[i];
+    // A step-+1 run never crosses into the kInvalidRid sentinel.
+    if (!(cur == prev + 1 && cur != kInvalidRid)) ++s.runs;
+    if (cur <= prev) s.ascending_nodup = false;
+    if (cur < s.min) s.min = cur;
+    if (cur > s.max) s.max = cur;
+  }
+  return s;
+}
+
+RidSetEncoding ChooseEncoding(const RidSetStats& stats, LineageCodec policy) {
+  switch (policy) {
+    case LineageCodec::kRaw:
+      return RidSetEncoding::kRaw;
+    case LineageCodec::kRange:
+      return RidSetEncoding::kRange;
+    case LineageCodec::kBitmap:
+      // Lossless only for strictly-ascending duplicate-free lists; guard
+      // against pathological spans (a near-empty list over a huge rid
+      // universe would allocate span/32 words).
+      if (stats.BitmapEligible() &&
+          stats.BitmapWords() <= 8 * stats.RawWords()) {
+        return RidSetEncoding::kBitmap;
+      }
+      return RidSetEncoding::kRange;
+    case LineageCodec::kAdaptive: {
+      size_t best_words = stats.RawWords();
+      RidSetEncoding best = RidSetEncoding::kRaw;
+      if (stats.RangeWords() < best_words) {
+        best_words = stats.RangeWords();
+        best = RidSetEncoding::kRange;
+      }
+      if (stats.BitmapEligible() && stats.BitmapWords() < best_words) {
+        best = RidSetEncoding::kBitmap;
+      }
+      return best;
+    }
+  }
+  return RidSetEncoding::kRaw;
+}
+
+namespace {
+
+/// Appends the encoded words of one list onto `data`.
+void EncodeListInto(const rid_t* d, size_t n, RidSetEncoding enc,
+                    std::vector<rid_t>* data) {
+  switch (enc) {
+    case RidSetEncoding::kRaw:
+      data->insert(data->end(), d, d + n);
+      break;
+    case RidSetEncoding::kRange: {
+      size_t i = 0;
+      while (i < n) {
+        size_t j = i + 1;
+        while (j < n && d[j] == d[j - 1] + 1 && d[j] != kInvalidRid) ++j;
+        data->push_back(d[i]);
+        data->push_back(static_cast<rid_t>(j - i));
+        i = j;
+      }
+      break;
+    }
+    case RidSetEncoding::kBitmap: {
+      const rid_t base = d[0];
+      const size_t words =
+          (static_cast<size_t>(d[n - 1]) - base) / 32 + 1;
+      const size_t start = data->size();
+      data->push_back(base);
+      data->resize(start + 1 + words, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t off = d[i] - base;
+        (*data)[start + 1 + off / 32] |=
+            static_cast<rid_t>(1u) << (off % 32);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void PostingsBuilder::AddList(const rid_t* data, size_t n) {
+  const RidSetStats stats = RidSetStats::Of(data, n);
+  const RidSetEncoding enc =
+      n == 0 ? RidSetEncoding::kRaw : ChooseEncoding(stats, policy_);
+  EncodeListInto(data, n, enc, &out_.data_);
+  out_.encodings_.push_back(static_cast<uint8_t>(enc));
+  out_.offsets_.push_back(out_.data_.size());
+}
+
+EncodedPostings EncodedPostings::Encode(const RidIndex& index,
+                                        LineageCodec policy) {
+  PostingsBuilder b(policy);
+  const size_t n = index.size();
+  for (size_t i = 0; i < n; ++i) b.AddList(index.list(i));
+  return b.Finish();
+}
+
+size_t EncodedPostings::ListSize(size_t i) const {
+  SMOKE_DCHECK(i < encodings_.size());
+  const uint64_t b = offsets_[i];
+  const uint64_t e = offsets_[i + 1];
+  switch (static_cast<RidSetEncoding>(encodings_[i])) {
+    case RidSetEncoding::kRaw:
+      return static_cast<size_t>(e - b);
+    case RidSetEncoding::kRange: {
+      size_t n = 0;
+      for (uint64_t w = b; w < e; w += 2) n += data_[w + 1];
+      return n;
+    }
+    case RidSetEncoding::kBitmap: {
+      size_t n = 0;
+      for (uint64_t w = b + 1; w < e; ++w) {
+        n += static_cast<size_t>(__builtin_popcount(data_[w]));
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+RidIndex EncodedPostings::Decode() const {
+  const size_t n = num_lists();
+  std::vector<RidVec> lists(n);
+  for (size_t i = 0; i < n; ++i) {
+    RidVec& l = lists[i];
+    const size_t count = ListSize(i);
+    if (count > 0) l.Reserve(count);
+    ForEachInList(i, [&l](rid_t r) { l.PushBack(r); });
+  }
+  return RidIndex::FromLists(std::move(lists));
+}
+
+size_t EncodedPostings::TotalEdges() const {
+  size_t n = 0;
+  for (size_t i = 0; i < num_lists(); ++i) n += ListSize(i);
+  return n;
+}
+
+namespace {
+
+/// True when `cur` extends the array run ending at `prev`: a step-+1
+/// ascending value run, or a constant kInvalidRid run.
+inline bool ContinuesArrayRun(rid_t prev, rid_t cur) {
+  return (prev == kInvalidRid && cur == kInvalidRid) ||
+         (prev != kInvalidRid && cur == prev + 1 && cur != kInvalidRid);
+}
+
+}  // namespace
+
+EncodedRidArray EncodedRidArray::Encode(std::vector<rid_t> array,
+                                        LineageCodec policy) {
+  EncodedRidArray out;
+  out.size_ = array.size();
+  size_t runs = 0;
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (i == 0 || !ContinuesArrayRun(array[i - 1], array[i])) ++runs;
+  }
+  // Range costs 2 words per run; raw costs 1 word per position. Forced
+  // kBitmap has no 1:1 form and behaves adaptively.
+  bool range = false;
+  switch (policy) {
+    case LineageCodec::kRaw:
+      range = false;
+      break;
+    case LineageCodec::kRange:
+      range = !array.empty();
+      break;
+    case LineageCodec::kBitmap:
+    case LineageCodec::kAdaptive:
+      range = 2 * runs < array.size();
+      break;
+  }
+  if (!range) {
+    out.encoding_ = RidSetEncoding::kRaw;
+    out.data_ = std::move(array);
+    out.data_.shrink_to_fit();
+    return out;
+  }
+  out.encoding_ = RidSetEncoding::kRange;
+  out.run_pos_.reserve(runs);
+  out.run_val_.reserve(runs);
+  for (size_t i = 0; i < array.size(); ++i) {
+    if (i == 0 || !ContinuesArrayRun(array[i - 1], array[i])) {
+      out.run_pos_.push_back(static_cast<uint32_t>(i));
+      out.run_val_.push_back(array[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<rid_t> EncodedRidArray::Decode() const {
+  std::vector<rid_t> out(size_);
+  ForEach([&out](size_t i, rid_t r) { out[i] = r; });
+  return out;
+}
+
+}  // namespace smoke

@@ -1,0 +1,257 @@
+// Pluggable rid-set codecs for the compressed lineage store.
+//
+// Smoke's rid arrays/indexes are write-optimized: capture appends into raw
+// RidVec buffers because array resizing dominates capture cost (paper
+// Section 3.1). Their *retained* footprint, however, is the system's
+// dominant memory cost. Following "Compression and In-Situ Query Processing
+// for Fine-Grained Array Lineage" (Zhao & Krishnan), the store re-encodes
+// finalized indexes into compressed forms that are queried WITHOUT
+// decompression: consumers iterate encoded posting lists decode-on-demand
+// (ForEach over one list at a time), never materializing the full index.
+//
+// Three physical encodings, chosen per posting list / per array:
+//  - kRaw:    the rids verbatim (today's representation, flattened).
+//  - kRange:  maximal step-+1 runs as (start, len) pairs. Lossless for ANY
+//             rid sequence — order and duplicates are preserved by run
+//             splitting — and collapses contiguous selections and sorted
+//             group postings to a handful of words.
+//  - kBitmap: base rid + bit words (dense postings). Only eligible for
+//             strictly-ascending duplicate-free lists, where ascending
+//             decode order reproduces the sequence bit-identically.
+//
+// The adaptive policy picks the smallest eligible encoding per list from
+// one-pass stats (count, run count, sortedness, span) at capture-finalize
+// time. Every policy round-trips every input exactly: encoded and raw
+// indexes answer lineage queries with bit-identical results.
+#ifndef SMOKE_LINEAGE_STORE_RID_CODEC_H_
+#define SMOKE_LINEAGE_STORE_RID_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rid_vec.h"
+#include "common/types.h"
+
+namespace smoke {
+
+class RidIndex;
+
+/// Encoding policy for a lineage index (CaptureOptions::lineage_codec).
+/// kRaw/kRange/kBitmap force one encoding family for every list (bench
+/// ablations); kAdaptive picks per posting list.
+enum class LineageCodec : uint8_t { kRaw, kRange, kBitmap, kAdaptive };
+
+const char* LineageCodecName(LineageCodec c);
+
+/// Physical encoding of one posting list / rid array.
+enum class RidSetEncoding : uint8_t { kRaw = 0, kRange = 1, kBitmap = 2 };
+
+/// One-pass statistics of a rid sequence, driving the adaptive choice.
+struct RidSetStats {
+  size_t count = 0;
+  size_t runs = 0;            ///< maximal step-+1 ascending runs
+  bool ascending_nodup = true;
+  rid_t min = 0;
+  rid_t max = 0;
+
+  static RidSetStats Of(const rid_t* data, size_t n);
+
+  size_t RawWords() const { return count; }
+  size_t RangeWords() const { return runs * 2; }
+  bool BitmapEligible() const { return ascending_nodup && count > 0; }
+  /// 1 base word + bit words spanning [min, max]; only when eligible.
+  size_t BitmapWords() const {
+    return 1 + (static_cast<size_t>(max) - min) / 32 + 1;
+  }
+};
+
+/// Resolves the policy against the stats of one list. Forced kBitmap falls
+/// back to kRange for lists a bitmap cannot represent losslessly (unsorted
+/// or duplicated) or would blow up on (span > 8x the raw size).
+RidSetEncoding ChooseEncoding(const RidSetStats& stats, LineageCodec policy);
+
+/// \brief A compressed 1-to-N lineage index: per-source posting lists in a
+/// flat arena (offsets + per-list encoding tag + data words), replacing the
+/// per-list RidVec headers and growth slack of RidIndex. Immutable after
+/// Encode; consumers decode one list at a time (in-situ).
+class EncodedPostings {
+ public:
+  /// Default: zero lists, no allocation (a default-constructed instance
+  /// lives inside every LineageIndex). PostingsBuilder seeds offsets_.
+  EncodedPostings() = default;
+
+  /// Encodes every list of `index` under `policy`.
+  static EncodedPostings Encode(const RidIndex& index, LineageCodec policy);
+
+  size_t num_lists() const { return encodings_.size(); }
+
+  RidSetEncoding list_encoding(size_t i) const {
+    SMOKE_DCHECK(i < encodings_.size());
+    return static_cast<RidSetEncoding>(encodings_[i]);
+  }
+
+  /// Decode-on-demand iteration over list `i`, in stored order.
+  template <typename F>
+  void ForEachInList(size_t i, F&& f) const {
+    SMOKE_DCHECK(i < encodings_.size());
+    const uint64_t b = offsets_[i];
+    const uint64_t e = offsets_[i + 1];
+    switch (static_cast<RidSetEncoding>(encodings_[i])) {
+      case RidSetEncoding::kRaw:
+        for (uint64_t w = b; w < e; ++w) f(data_[w]);
+        break;
+      case RidSetEncoding::kRange:
+        for (uint64_t w = b; w < e; w += 2) {
+          const rid_t start = data_[w];
+          const rid_t len = data_[w + 1];
+          for (rid_t k = 0; k < len; ++k) f(start + k);
+        }
+        break;
+      case RidSetEncoding::kBitmap: {
+        const rid_t base = data_[b];
+        for (uint64_t w = b + 1; w < e; ++w) {
+          uint32_t word = data_[w];
+          const rid_t word_base =
+              base + static_cast<rid_t>((w - b - 1) * 32);
+          while (word != 0) {
+            const int bit = __builtin_ctz(word);
+            f(word_base + static_cast<rid_t>(bit));
+            word &= word - 1;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  /// Appends list `i` onto `out` (the TraceInto contract).
+  void AppendList(size_t i, std::vector<rid_t>* out) const {
+    ForEachInList(i, [out](rid_t r) { out->push_back(r); });
+  }
+
+  /// Decoded length of list `i` (scans the encoded words, not the rids).
+  size_t ListSize(size_t i) const;
+
+  /// Decodes the whole index back to its raw form (round-trip tests,
+  /// re-encoding under a different policy).
+  RidIndex Decode() const;
+
+  size_t TotalEdges() const;
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) + encodings_.capacity() +
+           data_.capacity() * sizeof(rid_t);
+  }
+
+ private:
+  friend class PostingsBuilder;
+  std::vector<uint64_t> offsets_;   ///< word offsets into data_, n+1 entries
+  std::vector<uint8_t> encodings_;  ///< RidSetEncoding per list
+  std::vector<rid_t> data_;         ///< flat arena of encoded words
+};
+
+/// \brief Incremental construction of an EncodedPostings: append lists in
+/// source order, each encoded under the builder's policy. Used by the store
+/// to re-encode RidIndex lists and PartitionedRidIndex partitions without an
+/// intermediate copy.
+class PostingsBuilder {
+ public:
+  explicit PostingsBuilder(LineageCodec policy) : policy_(policy) {
+    out_.offsets_.push_back(0);
+  }
+
+  /// Encodes `n` rids as the next list.
+  void AddList(const rid_t* data, size_t n);
+  void AddList(const RidVec& list) { AddList(list.data(), list.size()); }
+
+  /// Shrinks the arena to size (MemoryBytes() reports capacity — growth
+  /// slack would both waste memory and inflate the budget accounting).
+  EncodedPostings Finish() {
+    out_.offsets_.shrink_to_fit();
+    out_.encodings_.shrink_to_fit();
+    out_.data_.shrink_to_fit();
+    return std::move(out_);
+  }
+
+ private:
+  LineageCodec policy_;
+  EncodedPostings out_;
+};
+
+/// \brief A compressed 1-to-1 lineage array (RidArray): position -> rid or
+/// kInvalidRid. Two encodings: raw values, or maximal runs — step-+1
+/// ascending value runs and constant kInvalidRid runs — stored as parallel
+/// (run start position, run start value) arrays with O(log runs) random
+/// access. A contiguous selection's backward array collapses to one run.
+/// (Bitmaps do not apply to 1:1 arrays; forced kBitmap behaves like
+/// kAdaptive here.)
+class EncodedRidArray {
+ public:
+  EncodedRidArray() = default;
+
+  /// Takes the array by value: when the chosen encoding is raw the input
+  /// is adopted (moved) instead of copied — re-encoding happens exactly
+  /// when the budget is under pressure, so peak transient memory matters.
+  static EncodedRidArray Encode(std::vector<rid_t> array,
+                                LineageCodec policy);
+
+  size_t size() const { return size_; }
+  RidSetEncoding encoding() const { return encoding_; }
+
+  /// The rid at position `i` (kInvalidRid = no counterpart).
+  rid_t At(size_t i) const {
+    SMOKE_DCHECK(i < size_);
+    if (encoding_ == RidSetEncoding::kRaw) return data_[i];
+    // Binary search for the run containing i.
+    size_t lo = 0, hi = run_pos_.size();
+    while (hi - lo > 1) {
+      const size_t mid = (lo + hi) / 2;
+      if (run_pos_[mid] <= i) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const rid_t v = run_val_[lo];
+    if (v == kInvalidRid) return kInvalidRid;
+    return v + static_cast<rid_t>(i - run_pos_[lo]);
+  }
+
+  /// Linear decode: f(position, rid) for every position, in order.
+  template <typename F>
+  void ForEach(F&& f) const {
+    if (encoding_ == RidSetEncoding::kRaw) {
+      for (size_t i = 0; i < size_; ++i) f(i, data_[i]);
+      return;
+    }
+    for (size_t r = 0; r < run_pos_.size(); ++r) {
+      const size_t begin = run_pos_[r];
+      const size_t end = r + 1 < run_pos_.size() ? run_pos_[r + 1] : size_;
+      const rid_t v = run_val_[r];
+      for (size_t i = begin; i < end; ++i) {
+        f(i, v == kInvalidRid
+                 ? kInvalidRid
+                 : v + static_cast<rid_t>(i - begin));
+      }
+    }
+  }
+
+  std::vector<rid_t> Decode() const;
+
+  size_t MemoryBytes() const {
+    return data_.capacity() * sizeof(rid_t) +
+           run_pos_.capacity() * sizeof(uint32_t) +
+           run_val_.capacity() * sizeof(rid_t);
+  }
+
+ private:
+  RidSetEncoding encoding_ = RidSetEncoding::kRaw;
+  size_t size_ = 0;
+  std::vector<rid_t> data_;       ///< kRaw: the values
+  std::vector<uint32_t> run_pos_; ///< kRange: run start positions (first 0)
+  std::vector<rid_t> run_val_;    ///< kRange: run start values / kInvalidRid
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_LINEAGE_STORE_RID_CODEC_H_

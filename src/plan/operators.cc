@@ -339,8 +339,10 @@ class TraceOperator : public Operator {
           return Status::InvalidArgument("output rid " + std::to_string(oid) +
                                          " out of range for skip index");
         }
-        const RidVec& part = pidx.Partition(oid, s.skip_code);
-        rids.insert(rids.end(), part.begin(), part.end());
+        // Decode-on-demand: frozen (compressed) skip indexes stream the
+        // matching partition without materializing it.
+        pidx.ForEachInPartition(oid, s.skip_code,
+                                [&rids](rid_t r) { rids.push_back(r); });
       }
     } else if (!s.seeds_from_child) {
       SMOKE_RETURN_NOT_OK(

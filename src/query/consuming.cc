@@ -121,7 +121,14 @@ ConsumingResult ConsumingSkipping(const Table& input,
                                   const PartitionedRidIndex& index, rid_t oid,
                                   uint32_t code, const ConsumingSpec& spec,
                                   bool capture_lineage) {
-  const RidVec& part = index.Partition(oid, code);
+  if (!index.frozen()) {  // zero-copy over the raw tier
+    const RidVec& part = index.Partition(oid, code);
+    return ConsumingOverRids(input, spec, part.data(), part.size(),
+                             capture_lineage);
+  }
+  std::vector<rid_t> part;
+  index.ForEachInPartition(oid, code,
+                           [&part](rid_t r) { part.push_back(r); });
   return ConsumingOverRids(input, spec, part.data(), part.size(),
                            capture_lineage);
 }

@@ -4,6 +4,14 @@
 
 namespace smoke {
 
+bool LazyRewriteAvailable(const SPJAQuery& query) {
+  if (query.fact == nullptr || !query.dims.empty()) return false;
+  for (const ColRef& c : query.group_by) {
+    if (c.table != ColRef::kFact) return false;
+  }
+  return true;
+}
+
 std::vector<Predicate> LazyBackwardPredicates(const SPJAQuery& query,
                                               const Table& output,
                                               rid_t oid) {

@@ -17,6 +17,14 @@
 
 namespace smoke {
 
+/// True when the lazy backward rewrite can answer traces on `query`
+/// *transparently* (the lineage store's eviction fallback): fact table
+/// present, no dimension joins (the rescan cannot reconstruct join
+/// survivorship), and every group key on the fact table. Shared by the
+/// engine's eviction-eligibility gate and TraceBuilder strategy resolution
+/// so the two can never disagree.
+bool LazyRewriteAvailable(const SPJAQuery& query);
+
 /// Builds the selection predicates (over the fact table) equivalent to "fact
 /// row belongs to output group `oid`" of the SPJA base query: the base
 /// query's fact filters plus equality on each group-by key with the group's

@@ -55,6 +55,12 @@ Status BackwardRidsChecked(const QueryLineage& lineage,
   }
   const TableLineage& tl = lineage.input(static_cast<size_t>(i));
   if (tl.backward.empty()) {
+    if (lineage.evicted()) {
+      return Status::InvalidArgument(
+          "backward lineage for '" + table_name +
+          "' was evicted under the lineage memory budget (re-execute the "
+          "query or raise the budget)");
+    }
     return Status::InvalidArgument(
         "backward lineage for '" + table_name +
         "' was not captured (pruned or mode without indexes)");
@@ -77,6 +83,12 @@ Status ForwardRidsChecked(const QueryLineage& lineage,
   }
   const TableLineage& tl = lineage.input(static_cast<size_t>(i));
   if (tl.forward.empty()) {
+    if (lineage.evicted()) {
+      return Status::InvalidArgument(
+          "forward lineage for '" + table_name +
+          "' was evicted under the lineage memory budget (forward traces "
+          "have no lazy rewrite; re-execute the query or raise the budget)");
+    }
     return Status::InvalidArgument("forward lineage for '" + table_name +
                                    "' was not captured");
   }

@@ -137,6 +137,11 @@ bool ResolveSkipCode(const TraceSource& src, const std::string& relation,
   if (artifacts == nullptr || artifacts->skip_dict.num_codes == 0) {
     return false;
   }
+  // The partitioned index itself must still be resident — budget eviction
+  // drops it (keeping the dictionary), and a skipping trace over empty
+  // partitions would silently answer wrong / error instead of taking the
+  // lazy fallback.
+  if (artifacts->skip_index.num_codes() == 0) return false;
   if (!SkipCoversRelation(src, relation)) return false;
   const std::vector<int>& cols = artifacts->applied_pushdown.skip_cols;
   if (cols.empty()) return false;
@@ -163,6 +168,19 @@ bool ResolveSkipCode(const TraceSource& src, const std::string& relation,
   if (c == UINT32_MAX) return false;
   *code = c;
   return true;
+}
+
+/// True when the lazy rescan can answer this backward trace *transparently*
+/// (the evicted-index fallback): the shared rewrite rule
+/// (LazyRewriteAvailable — dim-free SPJA, fact group keys) plus a single
+/// in-range seed over the fact relation. Stricter than the explicit kLazy
+/// strategy (which permits dims because the paper's baseline opts in).
+bool LazyFeasible(const TraceSource& src, const std::string& relation,
+                  const std::vector<rid_t>& seeds) {
+  if (src.query == nullptr || src.output == nullptr) return false;
+  if (seeds.size() != 1 || seeds[0] >= src.output->num_rows()) return false;
+  if (src.query->fact_name != relation) return false;
+  return LazyRewriteAvailable(*src.query);
 }
 
 }  // namespace
@@ -262,9 +280,20 @@ Status TraceBuilder::ResolveStrategy(TraceStrategy* out,
       return Status::OK();
     }
     case TraceStrategy::kAuto: {
-      *out = ResolveSkipCode(src_, relation_, filters_, skip_code)
-                 ? TraceStrategy::kSkipping
-                 : TraceStrategy::kIndexed;
+      if (ResolveSkipCode(src_, relation_, filters_, skip_code)) {
+        *out = TraceStrategy::kSkipping;
+        return Status::OK();
+      }
+      // Index evicted under the lineage budget: fall back to the lazy
+      // rescan when its rewrite applies. Gated on the eviction flag, not
+      // on index emptiness — pruned or push-down-replaced indexes restrict
+      // lineage on purpose and must error, not silently rescan.
+      if (src_.lineage != nullptr && src_.lineage->evicted() &&
+          LazyFeasible(src_, relation_, seeds_)) {
+        *out = TraceStrategy::kLazy;
+        return Status::OK();
+      }
+      *out = TraceStrategy::kIndexed;
       return Status::OK();
     }
   }

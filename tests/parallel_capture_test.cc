@@ -98,6 +98,22 @@ Table MakeDim(int64_t num_keys) {
         }
       }
       break;
+    case LineageIndex::Kind::kEncodedArray:
+    case LineageIndex::Kind::kEncodedIndex: {
+      // Encoded forms: compare the decoded per-position sequences.
+      std::vector<rid_t> ra, rb;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ra.clear();
+        rb.clear();
+        a.TraceInto(static_cast<rid_t>(i), &ra);
+        b.TraceInto(static_cast<rid_t>(i), &rb);
+        if (ra != rb) {
+          return ::testing::AssertionFailure()
+                 << "encoded list[" << i << "] differs";
+        }
+      }
+      break;
+    }
   }
   return ::testing::AssertionSuccess();
 }

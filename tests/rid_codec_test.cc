@@ -1,0 +1,313 @@
+// Property tests for the compressed lineage store codecs
+// (lineage/store/rid_codec.h): every codec round-trips every rid
+// distribution exactly, encoded indexes answer TraceInto/compose queries
+// bit-identically to raw, and the adaptive policy never loses to raw.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "lineage/compose.h"
+#include "lineage/partitioned_rid_index.h"
+#include "lineage/rid_index.h"
+#include "lineage/store/lineage_store.h"
+#include "lineage/store/rid_codec.h"
+#include "test_util.h"
+
+namespace smoke {
+namespace {
+
+constexpr LineageCodec kAllCodecs[] = {
+    LineageCodec::kRaw, LineageCodec::kRange, LineageCodec::kBitmap,
+    LineageCodec::kAdaptive};
+
+/// Named rid-list distributions the adaptive encoder must handle.
+enum class Dist { kSorted, kClusteredRuns, kUniformSparse, kDense, kShuffled };
+
+std::vector<rid_t> MakeList(Dist dist, size_t n, std::mt19937* rng) {
+  std::vector<rid_t> v;
+  v.reserve(n);
+  switch (dist) {
+    case Dist::kSorted: {  // ascending, random gaps
+      rid_t cur = (*rng)() % 50;
+      for (size_t i = 0; i < n; ++i) {
+        cur += 1 + (*rng)() % 97;
+        v.push_back(cur);
+      }
+      break;
+    }
+    case Dist::kClusteredRuns: {  // few contiguous runs (selection ranges)
+      rid_t cur = (*rng)() % 100;
+      size_t i = 0;
+      while (i < n) {
+        size_t run = std::min<size_t>(n - i, 1 + (*rng)() % 200);
+        for (size_t k = 0; k < run; ++k) v.push_back(cur + k);
+        cur += static_cast<rid_t>(run + 1 + (*rng)() % 1000);
+        i += run;
+      }
+      break;
+    }
+    case Dist::kUniformSparse: {  // ascending over a huge universe
+      rid_t cur = 0;
+      for (size_t i = 0; i < n; ++i) {
+        cur += 1 + (*rng)() % 5000;
+        v.push_back(cur);
+      }
+      break;
+    }
+    case Dist::kDense: {  // >1/32 fill of a small universe (bitmap country)
+      rid_t cur = 0;
+      for (size_t i = 0; i < n; ++i) {
+        cur += 1 + (*rng)() % 3;
+        v.push_back(cur);
+      }
+      break;
+    }
+    case Dist::kShuffled: {  // unsorted with duplicates (witness lists)
+      for (size_t i = 0; i < n; ++i) {
+        v.push_back((*rng)() % (n * 2 + 1));
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+RidIndex MakeIndex(Dist dist, size_t lists, size_t per_list,
+                   std::mt19937* rng) {
+  RidIndex idx(lists);
+  for (size_t i = 0; i < lists; ++i) {
+    size_t n = per_list == 0 ? 0 : 1 + (*rng)() % per_list;
+    if (i % 7 == 3) n = 0;  // sprinkle empty lists
+    for (rid_t r : MakeList(dist, n, rng)) idx.Append(i, r);
+  }
+  return idx;
+}
+
+std::vector<rid_t> ListOf(const RidIndex& idx, size_t i) {
+  std::vector<rid_t> v;
+  const RidVec& l = idx.list(i);
+  v.assign(l.begin(), l.end());
+  return v;
+}
+
+std::vector<rid_t> ListOf(const EncodedPostings& p, size_t i) {
+  std::vector<rid_t> v;
+  p.AppendList(i, &v);
+  return v;
+}
+
+TEST(RidCodecTest, PostingsRoundTripAllDistributionsAllCodecs) {
+  std::mt19937 rng(20260730);
+  for (Dist dist : {Dist::kSorted, Dist::kClusteredRuns, Dist::kUniformSparse,
+                    Dist::kDense, Dist::kShuffled}) {
+    RidIndex raw = MakeIndex(dist, 40, 300, &rng);
+    for (LineageCodec codec : kAllCodecs) {
+      EncodedPostings enc = EncodedPostings::Encode(raw, codec);
+      ASSERT_EQ(enc.num_lists(), raw.size());
+      ASSERT_EQ(enc.TotalEdges(), raw.TotalEdges());
+      for (size_t i = 0; i < raw.size(); ++i) {
+        EXPECT_EQ(ListOf(enc, i), ListOf(raw, i))
+            << "dist=" << static_cast<int>(dist)
+            << " codec=" << LineageCodecName(codec) << " list=" << i;
+        EXPECT_EQ(enc.ListSize(i), raw.list(i).size());
+      }
+      // Full decode reproduces the index exactly.
+      RidIndex back = enc.Decode();
+      ASSERT_EQ(back.size(), raw.size());
+      for (size_t i = 0; i < raw.size(); ++i) {
+        EXPECT_EQ(ListOf(back, i), ListOf(raw, i));
+      }
+    }
+  }
+}
+
+TEST(RidCodecTest, ArrayRoundTripAndRandomAccess) {
+  std::mt19937 rng(7);
+  // Shapes: contiguous selection (one run), clustered runs with invalid
+  // gaps, and fully random with invalid sentinels.
+  std::vector<std::vector<rid_t>> arrays;
+  {
+    std::vector<rid_t> a(5000);
+    for (size_t i = 0; i < a.size(); ++i) a[i] = 1000 + static_cast<rid_t>(i);
+    arrays.push_back(std::move(a));
+  }
+  {
+    std::vector<rid_t> a;
+    rid_t cur = 0;
+    while (a.size() < 4000) {
+      size_t run = 1 + rng() % 300;
+      bool invalid = rng() % 3 == 0;
+      for (size_t k = 0; k < run; ++k) {
+        a.push_back(invalid ? kInvalidRid : cur + static_cast<rid_t>(k));
+      }
+      cur += static_cast<rid_t>(run + rng() % 50);
+    }
+    arrays.push_back(std::move(a));
+  }
+  {
+    std::vector<rid_t> a(3000);
+    for (auto& r : a) r = rng() % 5 == 0 ? kInvalidRid : rng() % 100000;
+    arrays.push_back(std::move(a));
+  }
+  arrays.push_back({});  // empty
+
+  for (const auto& raw : arrays) {
+    for (LineageCodec codec : kAllCodecs) {
+      EncodedRidArray enc = EncodedRidArray::Encode(raw, codec);
+      ASSERT_EQ(enc.size(), raw.size());
+      EXPECT_EQ(enc.Decode(), raw) << LineageCodecName(codec);
+      for (size_t i = 0; i < raw.size(); ++i) {
+        ASSERT_EQ(enc.At(i), raw[i])
+            << "codec=" << LineageCodecName(codec) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(RidCodecTest, AdaptiveNeverLosesToRawAndCompressesStructure) {
+  std::mt19937 rng(99);
+  for (Dist dist : {Dist::kSorted, Dist::kClusteredRuns, Dist::kUniformSparse,
+                    Dist::kDense, Dist::kShuffled}) {
+    RidIndex raw = MakeIndex(dist, 30, 500, &rng);
+    EncodedPostings enc_raw = EncodedPostings::Encode(raw, LineageCodec::kRaw);
+    EncodedPostings enc_ad =
+        EncodedPostings::Encode(raw, LineageCodec::kAdaptive);
+    EXPECT_LE(enc_ad.MemoryBytes(), enc_raw.MemoryBytes())
+        << "dist=" << static_cast<int>(dist);
+  }
+  // Clustered runs must compress by a wide margin (the fig-mem claim).
+  RidIndex clustered = MakeIndex(Dist::kClusteredRuns, 30, 3000, &rng);
+  EncodedPostings ad =
+      EncodedPostings::Encode(clustered, LineageCodec::kAdaptive);
+  EXPECT_LT(ad.MemoryBytes() * 4,
+            EncodedPostings::Encode(clustered, LineageCodec::kRaw)
+                .MemoryBytes());
+}
+
+/// Encoded LineageIndex forms answer TraceInto identically to raw.
+TEST(RidCodecTest, EncodedLineageIndexEquivalence) {
+  std::mt19937 rng(11);
+  for (Dist dist : {Dist::kClusteredRuns, Dist::kShuffled, Dist::kDense}) {
+    RidIndex idx = MakeIndex(dist, 25, 100, &rng);
+    LineageIndex raw = LineageIndex::FromIndex(std::move(idx));
+    for (LineageCodec codec :
+         {LineageCodec::kRange, LineageCodec::kBitmap,
+          LineageCodec::kAdaptive}) {
+      LineageIndex enc = EncodeLineage(raw, codec);
+      ASSERT_TRUE(enc.encoded());
+      ASSERT_EQ(enc.size(), raw.size());
+      EXPECT_EQ(enc.TotalEdges(), raw.TotalEdges());
+      std::vector<rid_t> a, b;
+      for (rid_t p = 0; p < raw.size(); ++p) {
+        a.clear();
+        b.clear();
+        raw.TraceInto(p, &a);
+        enc.TraceInto(p, &b);
+        ASSERT_EQ(a, b) << "codec=" << LineageCodecName(codec) << " p=" << p;
+      }
+      // Decode restores the raw physical kind with identical content.
+      LineageIndex dec = EncodeLineage(enc, LineageCodec::kRaw);
+      EXPECT_EQ(dec.kind(), LineageIndex::Kind::kIndex);
+      EXPECT_EQ(testing::Edges(dec), testing::Edges(raw));
+    }
+  }
+}
+
+/// Composition over encoded indexes is bit-identical to raw composition
+/// (in-situ: compose never decompresses whole indexes).
+TEST(RidCodecTest, ComposeOverEncodedMatchesRaw) {
+  std::mt19937 rng(17);
+  const size_t outs = 30, mids = 50, ins = 80;
+  RidIndex outer_idx(outs);
+  for (size_t o = 0; o < outs; ++o) {
+    const size_t cnt = rng() % 6;
+    for (size_t k = 0; k < cnt; ++k) outer_idx.Append(o, rng() % mids);
+  }
+  RidIndex inner_idx(mids);
+  for (size_t m = 0; m < mids; ++m) {
+    const size_t cnt = rng() % 5;
+    for (size_t k = 0; k < cnt; ++k) inner_idx.Append(m, rng() % ins);
+  }
+  std::vector<rid_t> arr(mids);
+  for (auto& r : arr) r = rng() % 4 == 0 ? kInvalidRid : rng() % ins;
+  // Forward chain: fw1 maps inputs -> intermediates, fw2 intermediates ->
+  // final outputs.
+  RidIndex fw1_idx(ins);
+  for (size_t i = 0; i < ins; ++i) {
+    const size_t cnt = rng() % 4;
+    for (size_t k = 0; k < cnt; ++k) fw1_idx.Append(i, rng() % mids);
+  }
+  RidIndex fw2_idx(mids);
+  for (size_t m = 0; m < mids; ++m) {
+    const size_t cnt = rng() % 4;
+    for (size_t k = 0; k < cnt; ++k) fw2_idx.Append(m, rng() % outs);
+  }
+
+  LineageIndex outer = LineageIndex::FromIndex(std::move(outer_idx));
+  LineageIndex inner = LineageIndex::FromIndex(std::move(inner_idx));
+  LineageIndex inner_arr = LineageIndex::FromArray(RidArray(arr));
+  LineageIndex fw1 = LineageIndex::FromIndex(std::move(fw1_idx));
+  LineageIndex fw2 = LineageIndex::FromIndex(std::move(fw2_idx));
+
+  LineageIndex ref_ii = ComposeBackward(outer, inner);
+  LineageIndex ref_ia = ComposeBackward(outer, inner_arr);
+  LineageIndex ref_fw = ComposeForward(fw1, fw2);
+
+  for (LineageCodec codec :
+       {LineageCodec::kRange, LineageCodec::kBitmap, LineageCodec::kAdaptive}) {
+    LineageIndex eo = EncodeLineage(outer, codec);
+    LineageIndex ei = EncodeLineage(inner, codec);
+    LineageIndex ea = EncodeLineage(inner_arr, codec);
+    EXPECT_EQ(testing::Edges(ComposeBackward(eo, ei)), testing::Edges(ref_ii))
+        << LineageCodecName(codec);
+    EXPECT_EQ(testing::Edges(ComposeBackward(eo, ea)), testing::Edges(ref_ia))
+        << LineageCodecName(codec);
+    EXPECT_EQ(testing::Edges(ComposeForward(EncodeLineage(fw1, codec),
+                                            EncodeLineage(fw2, codec))),
+              testing::Edges(ref_fw))
+        << LineageCodecName(codec);
+    // DAG-merge over an encoded destination promotes and merges exactly.
+    LineageIndex dst_raw = ref_ii;
+    MergeBackwardInto(&dst_raw, ref_ia);
+    LineageIndex dst_enc = EncodeLineage(ref_ii, codec);
+    MergeBackwardInto(&dst_enc, ref_ia);
+    EXPECT_EQ(testing::Edges(dst_enc), testing::Edges(dst_raw));
+  }
+}
+
+/// Frozen partitioned indexes stream partitions identically to raw.
+TEST(RidCodecTest, PartitionedIndexFreezeEquivalence) {
+  std::mt19937 rng(23);
+  PartitionedRidIndex raw(12, 4);
+  for (size_t o = 0; o < 12; ++o) {
+    for (uint32_t c = 0; c < 4; ++c) {
+      rid_t cur = rng() % 10;
+      const size_t cnt = rng() % 20;
+      for (size_t k = 0; k < cnt; ++k) {
+        raw.Append(o, c, cur);
+        cur += (rng() % 3 == 0) ? 7 : 1;  // mix runs and gaps
+      }
+    }
+  }
+  PartitionedRidIndex frozen = raw;  // copy, then freeze the copy
+  frozen.Freeze(LineageCodec::kAdaptive);
+  ASSERT_TRUE(frozen.frozen());
+  EXPECT_EQ(frozen.num_outputs(), raw.num_outputs());
+  EXPECT_EQ(frozen.TotalEdges(), raw.TotalEdges());
+  for (size_t o = 0; o < 12; ++o) {
+    for (uint32_t c = 0; c < 4; ++c) {
+      std::vector<rid_t> a, b;
+      for (rid_t r : raw.Partition(o, c)) a.push_back(r);
+      frozen.ForEachInPartition(o, c, [&b](rid_t r) { b.push_back(r); });
+      ASSERT_EQ(a, b) << "output=" << o << " code=" << c;
+    }
+    std::vector<rid_t> ta, tb;
+    raw.TraceAllInto(o, &ta);
+    frozen.TraceAllInto(o, &tb);
+    EXPECT_EQ(ta, tb);
+  }
+}
+
+}  // namespace
+}  // namespace smoke
