@@ -1,0 +1,188 @@
+// Serving storm: N concurrent sessions brush retained crossfilter views
+// while a background writer keeps replacing the base table (snapshot
+// rebuilds at batch priority). Reports per-brush latency percentiles and
+// writer throughput against session count — the scaling story of the
+// serving core: brush p99 should hold near-interactive while the writer
+// continuously publishes new versions, since brushes admit at interactive
+// priority and never block on (or corrupt against) in-flight rebuilds.
+#include "harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "serve/serve_core.h"
+#include "serve/session.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+constexpr uint64_t kGroups = 16;
+
+LogicalPlan ByZPlan(const Table* t) {
+  PlanBuilder b;
+  GroupBySpec spec;
+  spec.keys = {zipf_table::kZ};
+  spec.aggs = {AggSpec::Count("cnt"),
+               AggSpec::Sum(ScalarExpr::Col(zipf_table::kV), "sum_v")};
+  LogicalPlan plan;
+  SMOKE_CHECK(b.Build(b.GroupBy(b.Scan(t, "zipf"), spec), &plan).ok());
+  return plan;
+}
+
+LogicalPlan HotZPlan(const Table* t) {
+  PlanBuilder b;
+  int sel = b.Select(b.Scan(t, "zipf"),
+                     {Predicate::Double(zipf_table::kV, CmpOp::kLt, 50.0)});
+  GroupBySpec spec;
+  spec.keys = {zipf_table::kZ};
+  spec.aggs = {AggSpec::Count("cnt")};
+  LogicalPlan plan;
+  SMOKE_CHECK(b.Build(b.GroupBy(sel, spec), &plan).ok());
+  return plan;
+}
+
+ServeCore::ViewDef DefOf(LogicalPlan (*maker)(const Table*)) {
+  return [maker](const SmokeEngine& engine, LogicalPlan* plan) {
+    const Table* t = nullptr;
+    SMOKE_RETURN_NOT_OK(engine.GetTable("zipf", &t));
+    *plan = maker(t);
+    return Status::OK();
+  };
+}
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0.0;
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  const size_t i =
+      static_cast<size_t>(p * static_cast<double>(sorted_ms->size() - 1));
+  return (*sorted_ms)[i];
+}
+
+void RunStorm(const bench::Options& opts, size_t rows, int num_sessions,
+              double duration_ms) {
+  ServeOptions serve_opts;
+  serve_opts.num_threads = opts.threads;
+  serve_opts.view_capture.morsel_rows = 4096;  // multi-morsel rebuilds
+  ServeCore core("zipf", serve_opts);
+  SMOKE_CHECK(core.CreateTable("zipf", MakeZipfTable(rows, kGroups, 1.0)).ok());
+  SMOKE_CHECK(core.DefineView("by_z", DefOf(ByZPlan)).ok());
+  SMOKE_CHECK(core.DefineView("hot_z", DefOf(HotZPlan)).ok());
+  SMOKE_CHECK(core.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(num_sessions));
+
+  std::vector<std::thread> brushers;
+  for (int s = 0; s < num_sessions; ++s) {
+    brushers.emplace_back([&, s] {
+      std::shared_ptr<ServeSession> session;
+      SMOKE_CHECK(
+          core.OpenSession("storm" + std::to_string(s), &session).ok());
+      std::mt19937 rng(static_cast<uint32_t>(7 + s));
+      std::uniform_int_distribution<rid_t> bar(0, 3);
+      std::uniform_int_distribution<int> view(0, 1);
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        WallTimer t;
+        ServeSession::BrushResult r;
+        SMOKE_CHECK(
+            session->Brush(view(rng) == 0 ? "by_z" : "hot_z", bar(rng), &r)
+                .ok());
+        latencies[static_cast<size_t>(s)].push_back(t.ElapsedMs());
+        // Every 16th brush cycles a retained trace: exercises the
+        // pin-a-retired-version path under the storm.
+        if (++n % 16 == 0) {
+          (void)session->DropRetainedTrace("hot");
+          SMOKE_CHECK(
+              session->RetainBackwardTrace("hot", "by_z", {bar(rng)}).ok());
+        }
+      }
+    });
+  }
+
+  std::atomic<uint64_t> replaces{0};
+  std::thread writer([&] {
+    uint64_t wave = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      SMOKE_CHECK(
+          core.ReplaceTable("zipf", MakeZipfTable(rows, kGroups, 1.0,
+                                                  /*seed=*/42 + wave))
+              .ok());
+      ++wave;
+      replaces.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  WallTimer wall;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(duration_ms)));
+  stop = true;
+  for (auto& t : brushers) t.join();
+  writer.join();
+  const double elapsed_s = wall.ElapsedMs() / 1000.0;
+
+  std::vector<double> all;
+  for (const auto& per_session : latencies) {
+    all.insert(all.end(), per_session.begin(), per_session.end());
+  }
+  const double p50 = Percentile(&all, 0.50);
+  const double p99 = Percentile(&all, 0.99);
+
+  for (int s = 0; s < num_sessions; ++s) {
+    SMOKE_CHECK(core.CloseSession("storm" + std::to_string(s)).ok());
+  }
+  const auto admission = core.AdmissionStats();
+  const auto epochs = core.EpochStats();
+  bench::Row(
+      "serve_storm",
+      "sessions=" + std::to_string(num_sessions) +
+          ",threads=" + std::to_string(opts.threads) +
+          ",rows=" + std::to_string(rows) +
+          ",brushes=" + std::to_string(all.size()) +
+          ",brush_per_s=" +
+          bench::F(static_cast<double>(all.size()) / elapsed_s) +
+          ",p50_ms=" + bench::F(p50) + ",p99_ms=" + bench::F(p99) +
+          ",replaces=" + std::to_string(replaces.load()) +
+          ",writer_tables_per_s=" +
+          bench::F(static_cast<double>(replaces.load()) / elapsed_s) +
+          ",interactive_jobs=" + std::to_string(admission.interactive.jobs) +
+          ",interactive_max_wait_ms=" +
+          bench::F(admission.interactive.max_wait_ms) +
+          ",batch_tasks=" + std::to_string(admission.batch.tasks) +
+          ",batch_max_queue=" +
+          std::to_string(admission.batch.max_queue_depth) +
+          ",snapshots_reclaimed=" + std::to_string(epochs.reclaimed) +
+          ",live_snapshots=" + std::to_string(core.LiveSnapshots()));
+}
+
+void Run(const bench::Options& opts) {
+  const size_t rows = opts.full ? 2000000 : (opts.smoke ? 20000 : 200000);
+  const double duration_ms = opts.full ? 3000 : (opts.smoke ? 200 : 1000);
+  bench::Banner("Serving storm",
+                "concurrent sessions brushing retained views vs a background "
+                "writer replacing the base table (snapshot serving + tiered "
+                "admission)");
+  std::printf("rows=%zu pool_threads=%d duration_ms=%.0f\n", rows,
+              opts.threads, duration_ms);
+
+  std::vector<int> sweep = {1, opts.sessions / 2, opts.sessions};
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  for (int n : sweep) {
+    if (n < 1) continue;
+    RunStorm(opts, rows, n, duration_ms);
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::Run(smoke::bench::Options::Parse(argc, argv));
+  return 0;
+}

@@ -47,6 +47,7 @@ struct Options {
   int runs = 3;         // paper: 15
   double scale = -1;    // TPC-H scale-factor override
   int threads = 1;      // morsel-parallel capture (CaptureOptions::num_threads)
+  int sessions = 8;     // concurrent serving sessions (bench_serve_storm)
 
   static Options Parse(int argc, char** argv) {
     StabilizeAllocator();
@@ -71,10 +72,13 @@ struct Options {
       } else if (!std::strncmp(argv[i], "--threads=", 10)) {
         o.threads = std::atoi(argv[i] + 10);
         if (o.threads < 1) o.threads = 1;
+      } else if (!std::strncmp(argv[i], "--sessions=", 11)) {
+        o.sessions = std::atoi(argv[i] + 11);
+        if (o.sessions < 1) o.sessions = 1;
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--full] [--smoke] [--json] [--runs=N] [--warmups=N] "
-            "[--sf=F] [--threads=N]\n",
+            "[--sf=F] [--threads=N] [--sessions=N]\n",
             argv[0]);
         std::exit(0);
       }

@@ -51,6 +51,37 @@ const PlanCrossfilter::View* PlanCrossfilter::Find(
   return nullptr;
 }
 
+Status BrushLinkedPlans(const PlanResult& from, const std::string& from_name,
+                        rid_t out_rid, const std::string& relation,
+                        const PlanResult& to, const std::string& to_name,
+                        const CaptureOptions& opts, LinkedBrush* out) {
+  // Trace∘Trace as a plan: backward to the shared relation, forward into
+  // the target view, with the target's own lineage composed back to the
+  // relation so witness counts fall out of the backward lists.
+  PlanResult pr;
+  SMOKE_RETURN_NOT_OK(
+      TraceBuilder::Backward(TraceSource::FromPlan(from, from_name), relation,
+                             {out_rid})
+          .ThenForward(TraceSource::FromPlan(to, to_name))
+          .Execute(opts, &pr));
+
+  SMOKE_RETURN_NOT_OK(SplitTraceRows(pr.output, &out->rids, &out->rows));
+
+  int rel = pr.lineage.FindInput(relation);
+  if (rel < 0) {
+    return Status::InvalidArgument("brush trace lost relation lineage");
+  }
+  const LineageIndex& bw = pr.lineage.input(static_cast<size_t>(rel)).backward;
+  out->counts.assign(out->rids.size(), 0);
+  std::vector<rid_t> tmp;
+  for (size_t p = 0; p < out->rids.size(); ++p) {
+    tmp.clear();
+    bw.TraceInto(static_cast<rid_t>(p), &tmp);
+    out->counts[p] = static_cast<int64_t>(tmp.size());
+  }
+  return Status::OK();
+}
+
 Status PlanCrossfilter::Brush(const std::string& view, rid_t out_rid,
                               std::map<std::string, Linked>* out) const {
   const View* from = Find(view);
@@ -59,33 +90,10 @@ Status PlanCrossfilter::Brush(const std::string& view, rid_t out_rid,
 
   for (const View& to : views_) {
     if (&to == from) continue;
-
-    // Trace∘Trace as a plan: backward to the shared relation, forward into
-    // the target view, with the target's own lineage composed back to the
-    // relation so witness counts fall out of the backward lists.
-    PlanResult pr;
-    SMOKE_RETURN_NOT_OK(
-        TraceBuilder::Backward(TraceSource::FromPlan(from->result, from->name),
-                               relation_, {out_rid})
-            .ThenForward(TraceSource::FromPlan(to.result, to.name))
-            .Execute(CaptureOptions::Inject(), &pr));
-
     Linked linked;
-    SMOKE_RETURN_NOT_OK(SplitTraceRows(pr.output, &linked.rids, &linked.rows));
-
-    int rel = pr.lineage.FindInput(relation_);
-    if (rel < 0) {
-      return Status::InvalidArgument("brush trace lost relation lineage");
-    }
-    const LineageIndex& bw =
-        pr.lineage.input(static_cast<size_t>(rel)).backward;
-    linked.counts.resize(linked.rids.size(), 0);
-    std::vector<rid_t> tmp;
-    for (size_t p = 0; p < linked.rids.size(); ++p) {
-      tmp.clear();
-      bw.TraceInto(static_cast<rid_t>(p), &tmp);
-      linked.counts[p] = static_cast<int64_t>(tmp.size());
-    }
+    SMOKE_RETURN_NOT_OK(BrushLinkedPlans(from->result, from->name, out_rid,
+                                         relation_, to.result, to.name,
+                                         CaptureOptions::Inject(), &linked));
     (*out)[to.name] = std::move(linked);
   }
   return Status::OK();

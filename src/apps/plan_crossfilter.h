@@ -21,6 +21,31 @@
 
 namespace smoke {
 
+/// One view's share of a linked brush: the reachable output rows, the
+/// shared-relation witness count per row, and the rows materialized.
+struct LinkedBrush {
+  std::vector<rid_t> rids;      ///< linked output rows of the target view
+  std::vector<int64_t> counts;  ///< shared-relation witnesses per row
+  Table rows;                   ///< the linked rows, materialized
+};
+
+/// Brushes output row `out_rid` of `from` into `to` through `relation`
+/// (Trace∘Trace): the target rows reachable through the shared relation,
+/// with counts[i] = relation rows in the brushed row's backward lineage
+/// that reach rids[i]. For a group-by COUNT(*) view this equals the brushed
+/// bar count of the classic crossfilter (BT strategy).
+///
+/// Session-safe: inputs are const, all state is local to the call, and the
+/// retained lineage indexes are immutable after finalize — any number of
+/// concurrent brushes may share the same PlanResults (the serving layer
+/// calls this from many sessions over one snapshot). `opts` configures the
+/// trace plans' execution (e.g. routing their morsels through a
+/// TieredScheduler lease at interactive priority).
+Status BrushLinkedPlans(const PlanResult& from, const std::string& from_name,
+                        rid_t out_rid, const std::string& relation,
+                        const PlanResult& to, const std::string& to_name,
+                        const CaptureOptions& opts, LinkedBrush* out);
+
 /// \brief A linked-brushing session over retained plan views sharing one
 /// base relation.
 class PlanCrossfilter {
@@ -40,11 +65,7 @@ class PlanCrossfilter {
   Status ViewOutput(const std::string& name, const Table** out) const;
 
   /// One view's share of a brush result.
-  struct Linked {
-    std::vector<rid_t> rids;      ///< linked output rows of this view
-    std::vector<int64_t> counts;  ///< shared-relation witnesses per row
-    Table rows;                   ///< the linked rows, materialized
-  };
+  using Linked = LinkedBrush;
 
   /// Brushes output row `out_rid` of `view`: for every *other* view, the
   /// output rows reachable through the shared relation (Trace∘Trace), with

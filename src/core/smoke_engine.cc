@@ -17,11 +17,11 @@ Status SmokeEngine::GetTable(const std::string& name,
 Status SmokeEngine::ReplaceTable(const std::string& name, Table table) {
   const Table* existing = nullptr;
   SMOKE_RETURN_NOT_OK(catalog_.GetTable(name, &existing));
-  if (TableInUse(existing)) {
+  if (const std::string borrower = BorrowerOf(existing); !borrower.empty()) {
     return Status::InvalidArgument(
-        "table '" + name +
-        "' is referenced by retained query results; drop them before "
-        "replacing the table");
+        "table '" + name + "' is borrowed by retained result '" + borrower +
+        "'; drop it (and any other dependents) before replacing the table, "
+        "or serve versioned replacements through ServeCore");
   }
   return catalog_.ReplaceTable(name, std::move(table));
 }
@@ -29,35 +29,36 @@ Status SmokeEngine::ReplaceTable(const std::string& name, Table table) {
 Status SmokeEngine::DropTable(const std::string& name) {
   const Table* existing = nullptr;
   SMOKE_RETURN_NOT_OK(catalog_.GetTable(name, &existing));
-  if (TableInUse(existing)) {
+  if (const std::string borrower = BorrowerOf(existing); !borrower.empty()) {
     return Status::InvalidArgument(
-        "table '" + name +
-        "' is referenced by retained query results; drop them before "
-        "dropping the table");
+        "table '" + name + "' is borrowed by retained result '" + borrower +
+        "'; drop it (and any other dependents) before dropping the table");
   }
   return catalog_.DropTable(name);
 }
 
 bool SmokeEngine::TableInUse(const Table* table) const {
+  return !BorrowerOf(table).empty();
+}
+
+std::string SmokeEngine::BorrowerOf(const Table* table) const {
   for (const auto& [name, rq] : queries_) {
-    (void)name;
-    if (rq->fact == table || rq->query.fact == table) return true;
+    if (rq->fact == table || rq->query.fact == table) return name;
     for (const SPJADim& d : rq->query.dims) {
-      if (d.table == table) return true;
+      if (d.table == table) return name;
     }
     const QueryLineage& lin = rq->result.lineage;
     for (size_t i = 0; i < lin.num_inputs(); ++i) {
-      if (lin.input(i).table == table) return true;
+      if (lin.input(i).table == table) return name;
     }
   }
   for (const auto& [name, rp] : plans_) {
-    (void)name;
     const QueryLineage& lin = rp->result.lineage;
     for (size_t i = 0; i < lin.num_inputs(); ++i) {
-      if (lin.input(i).table == table) return true;
+      if (lin.input(i).table == table) return name;
     }
   }
-  return false;
+  return std::string();
 }
 
 bool SmokeEngine::IsRetainedName(const std::string& name) const {
@@ -525,11 +526,11 @@ Status SmokeEngine::DropResult(const std::string& query_name) {
   // A retained forward trace (or chained hop) borrows the traced query's
   // output rows through its lineage; dropping the query under it would
   // dangle those pointers — same hazard DropTable guards against.
-  if (TableInUse(output)) {
-    return Status::InvalidArgument(
-        "result '" + query_name +
-        "' is borrowed by another retained result's lineage; drop that "
-        "result first");
+  if (const std::string borrower = BorrowerOf(output); !borrower.empty()) {
+    return Status::InvalidArgument("result '" + query_name +
+                                   "' is borrowed by retained result '" +
+                                   borrower + "'s lineage; drop '" + borrower +
+                                   "' first");
   }
   if (queries_.erase(query_name) == 0) plans_.erase(query_name);
   tracker_.Release(query_name);

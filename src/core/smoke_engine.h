@@ -83,8 +83,10 @@ class SmokeEngine {
   /// Swaps in new contents for a registered relation. Refused while any
   /// retained query still references the table: retained lineage stores
   /// rids into the old rows, so replacing them underneath would silently
-  /// corrupt every subsequent lineage query. Drop the dependent results
-  /// first.
+  /// corrupt every subsequent lineage query. The refusal names the
+  /// borrowing result; drop the dependents first — or, to replace data
+  /// underneath live readers without dropping anything, serve through
+  /// ServeCore, which versions the whole engine instead of mutating it.
   Status ReplaceTable(const std::string& name, Table table);
 
   /// Unregisters a relation. Refused while any retained query references
@@ -286,6 +288,13 @@ class SmokeEngine {
 
   /// True when any retained result still borrows `table`.
   bool TableInUse(const Table* table) const;
+
+  /// Name of a retained result whose query or lineage still borrows
+  /// `table` (first in name order), or "" when none — lets the refusal
+  /// paths tell the caller exactly what to drop. The serving layer
+  /// (serve/serve_core.h) sidesteps these refusals entirely by giving each
+  /// snapshot version its own engine.
+  std::string BorrowerOf(const Table* table) const;
 
   /// Encodes the freshly retained query's lineage per `opts.lineage_codec`,
   /// registers it with the tracker, applies `opts.lineage_budget_bytes`,

@@ -15,7 +15,7 @@
 
 namespace smoke {
 
-class MorselScheduler;  // plan/scheduler.h: fixed thread pool + morsel queue
+class TaskScheduler;  // plan/scheduler.h: morsel-dispatch interface
 
 /// Capture technique taxonomy — paper Table 1.
 enum class CaptureMode : uint8_t {
@@ -138,12 +138,14 @@ struct CaptureOptions {
   int num_threads = 1;
 
   /// Shared worker pool (borrowed; plan/executor.cc owns one per ExecutePlan
-  /// so all operators of a plan reuse threads). Kernels called directly with
-  /// num_threads > 1 and no scheduler spin up a transient pool.
-  MorselScheduler* scheduler = nullptr;
+  /// so all operators of a plan reuse threads; the serving layer passes a
+  /// TieredScheduler lease instead so morsels carry a priority class).
+  /// Kernels called directly with num_threads > 1 and no scheduler spin up
+  /// a transient pool.
+  TaskScheduler* scheduler = nullptr;
 
   /// Rows per morsel for the row-partitioned kernels; 0 = default
-  /// (MorselScheduler::kDefaultMorselRows).
+  /// (TaskScheduler::kDefaultMorselRows).
   size_t morsel_rows = 0;
 
   /// Plan-level defer scheduling: when true (and mode == kDefer), plan

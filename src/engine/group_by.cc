@@ -217,7 +217,7 @@ GroupByResult GroupByExecParallel(const Table& input,
                                   const std::string& input_name,
                                   const GroupBySpec& spec,
                                   const CaptureOptions& opts,
-                                  MorselScheduler* sched) {
+                                  TaskScheduler* sched) {
   GroupByResult result;
   result.handle = GroupByInternals::MakeHandle(input, spec, opts);
   GroupByHandle* h = result.handle.get();
@@ -542,7 +542,7 @@ void FinalizeDeferredGroupBy(GroupByResult* result, const Table& input,
     // backward lists are captured per partition and concatenated in
     // partition order, which is ascending rid order — bit-identical to the
     // sequential probe.
-    MorselScheduler* sched = opts.scheduler;
+    TaskScheduler* sched = opts.scheduler;
     std::unique_ptr<MorselScheduler> local;
     if (sched == nullptr) {
       local = std::make_unique<MorselScheduler>(opts.num_threads);

@@ -53,7 +53,7 @@ JoinResult HashJoinProbeParallel(const Table& left,
                                  const JoinSpec& spec,
                                  const CaptureOptions& opts,
                                  const JoinHashTable& ht,
-                                 MorselScheduler* sched) {
+                                 TaskScheduler* sched) {
   const size_t na = left.num_rows();
   const size_t nb = right.num_rows();
   const int64_t* rkeys =

@@ -32,7 +32,7 @@ SelectResult SelectExecParallel(const Table& input,
                                 const std::string& input_name,
                                 const PredicateList& plist,
                                 const CaptureOptions& opts,
-                                MorselScheduler* sched) {
+                                TaskScheduler* sched) {
   const size_t n = input.num_rows();
   const bool smoke_capture = IsSmokeMode(opts.mode);
   const bool want_b = smoke_capture && opts.capture_backward;

@@ -44,31 +44,59 @@ std::vector<Morsel> MakeMorsels(size_t num_rows, size_t morsel_rows);
 /// e.g. group-by partial hash tables: one partition per worker).
 std::vector<Morsel> MakePartitions(size_t num_rows, size_t parts);
 
+/// \brief Abstract morsel-dispatch interface the parallel kernels run over.
+///
+/// Two implementations exist: MorselScheduler (below) — a private fixed
+/// pool, one batch at a time, owned by a single plan execution — and
+/// TieredScheduler::Lease (serve/admission.h) — a handle onto a shared
+/// two-class serving pool that tags every submitted morsel with a priority
+/// class so interactive traces preempt batch captures. Kernels are agnostic:
+/// they split work into tasks, call ParallelFor, and key all shared state by
+/// task index (see the determinism contract above).
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+
+  /// Worker parallelism available to callers sizing per-task state (e.g.
+  /// one group-by partition per worker).
+  virtual int num_threads() const = 0;
+
+  /// Runs fn(task, worker) for every task in [0, num_tasks), blocking until
+  /// all finished. worker is in [0, num_threads); distinct concurrently
+  /// running tasks always see distinct worker ids.
+  virtual void ParallelFor(
+      size_t num_tasks,
+      const std::function<void(size_t task, size_t worker)>& fn) = 0;
+
+  /// Default morsel granularity for row-partitioned operators. Small enough
+  /// to load-balance skewed predicates (and to bound how long a batch
+  /// capture can occupy a serving worker before an interactive trace gets
+  /// in), large enough to amortize dispatch.
+  static constexpr size_t kDefaultMorselRows = 64 * 1024;
+};
+
 /// \brief Fixed thread pool with a shared task counter (morsel queue).
 ///
 /// Workers are spawned once in the constructor and live until destruction,
 /// so repeated ParallelFor calls (one per operator in a plan) reuse threads.
 /// ParallelFor is not reentrant and must only be called from the thread that
 /// constructed the scheduler.
-class MorselScheduler {
+class MorselScheduler : public TaskScheduler {
  public:
   /// `num_threads` counts the calling thread: the pool spawns
   /// num_threads - 1 workers. Values < 1 are clamped to 1.
   explicit MorselScheduler(int num_threads);
-  ~MorselScheduler();
+  ~MorselScheduler() override;
   SMOKE_DISALLOW_COPY_AND_ASSIGN(MorselScheduler);
 
-  int num_threads() const { return num_threads_; }
+  int num_threads() const override { return num_threads_; }
 
   /// Runs fn(task, worker) for every task in [0, num_tasks), pulling task
   /// indexes from the shared queue. worker is in [0, num_threads); the
   /// calling thread is worker 0. Blocks until every task finished.
-  void ParallelFor(size_t num_tasks,
-                   const std::function<void(size_t task, size_t worker)>& fn);
-
-  /// Default morsel granularity for row-partitioned operators. Small enough
-  /// to load-balance skewed predicates, large enough to amortize dispatch.
-  static constexpr size_t kDefaultMorselRows = 64 * 1024;
+  void ParallelFor(
+      size_t num_tasks,
+      const std::function<void(size_t task, size_t worker)>& fn) override;
 
  private:
   void WorkerLoop(size_t worker);

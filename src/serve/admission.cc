@@ -1,0 +1,153 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace smoke {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+TieredScheduler::TieredScheduler(int num_threads)
+    : num_threads_(num_threads < 0 ? 0 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(static_cast<size_t>(w)); });
+  }
+}
+
+TieredScheduler::~TieredScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::shared_ptr<TieredScheduler::Job> TieredScheduler::FrontRunnable(
+    std::deque<std::shared_ptr<Job>>* queue) {
+  // Fully claimed jobs at the front are done admitting; drop them — their
+  // in-flight tasks track completion through the shared_ptr. Call under mu_.
+  while (!queue->empty() &&
+         (*queue->begin())->next_task >= (*queue->begin())->num_tasks) {
+    queue->pop_front();
+  }
+  return queue->empty() ? nullptr : queue->front();
+}
+
+size_t TieredScheduler::ClaimTaskLocked(Job* job) {
+  const size_t task = job->next_task++;
+  if (!job->started) {
+    job->started = true;
+    ClassStats& cs = stats_[static_cast<size_t>(job->cls)];
+    const double wait = MsSince(job->submit);
+    cs.total_wait_ms += wait;
+    cs.max_wait_ms = std::max(cs.max_wait_ms, wait);
+  }
+  return task;
+}
+
+void TieredScheduler::FinishTask(const std::shared_ptr<Job>& job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--job->pending > 0) return;
+  ClassStats& cs = stats_[static_cast<size_t>(job->cls)];
+  cs.jobs++;
+  cs.tasks += job->num_tasks;
+  cs.total_span_ms += MsSince(job->submit);
+  cs.queue_depth--;
+  auto& q = queues_[static_cast<size_t>(job->cls)];
+  q.erase(std::remove(q.begin(), q.end(), job), q.end());
+  done_cv_.notify_all();
+}
+
+bool TieredScheduler::RunOneTask(size_t worker) {
+  std::shared_ptr<Job> job;
+  size_t task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job = FrontRunnable(&queues_[0]);  // interactive preempts...
+    if (job == nullptr) job = FrontRunnable(&queues_[1]);  // ...batch
+    if (job == nullptr) return false;
+    task = ClaimTaskLocked(job.get());
+  }
+  (*job->fn)(task, worker);
+  FinishTask(job);
+  return true;
+}
+
+void TieredScheduler::ParallelFor(
+    TaskClass c, size_t num_tasks,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (num_tasks == 0) return;
+  auto job = std::make_shared<Job>();
+  job->cls = c;
+  job->fn = &fn;
+  job->num_tasks = num_tasks;
+  job->pending = num_tasks;
+  job->submit = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ClassStats& cs = stats_[static_cast<size_t>(c)];
+    cs.queue_depth++;
+    cs.max_queue_depth = std::max(cs.max_queue_depth, cs.queue_depth);
+    queues_[static_cast<size_t>(c)].push_back(job);
+  }
+  if (num_threads_ > 0) work_cv_.notify_all();
+
+  // The submitter drives its own job (caller slot = num_threads_): with a
+  // saturated or empty pool the job still completes, and a brush's own
+  // thread never idles behind batch work.
+  const size_t caller = static_cast<size_t>(num_threads_);
+  for (;;) {
+    size_t task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->next_task >= job->num_tasks) break;
+      task = ClaimTaskLocked(job.get());
+    }
+    fn(task, caller);
+    FinishTask(job);
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return job->pending == 0; });
+}
+
+void TieredScheduler::Run(TaskClass c, const std::function<void()>& fn) {
+  ParallelFor(c, 1, [&fn](size_t, size_t) { fn(); });
+}
+
+void TieredScheduler::WorkerLoop(size_t worker) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        if (shutdown_) return true;
+        for (auto& q : queues_) {
+          if (FrontRunnable(&q) != nullptr) return true;
+        }
+        return false;
+      });
+      if (shutdown_) return;
+    }
+    while (RunOneTask(worker)) {
+    }
+  }
+}
+
+TieredScheduler::Stats TieredScheduler::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.interactive = stats_[static_cast<size_t>(TaskClass::kInteractive)];
+  s.batch = stats_[static_cast<size_t>(TaskClass::kBatch)];
+  return s;
+}
+
+}  // namespace smoke

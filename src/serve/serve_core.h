@@ -1,0 +1,221 @@
+// The concurrent multi-session serving core (ROADMAP "Concurrent
+// multi-session serving layer"; "Provenance for Interactive Visualizations"
+// frames the workload: many users brushing linked views concurrently over
+// shared retained state).
+//
+// SmokeEngine is a single-caller library: one mutator or reader at a time,
+// and ReplaceTable/DropTable refuse outright while any retained query
+// borrows the data. ServeCore layers a serving discipline on top:
+//
+//  - Snapshot/epoch layer. The unit of sharing is an immutable
+//    ServeSnapshot: one SmokeEngine holding a version of every base table
+//    plus the retained view plans (and their encoded, immutable-after-
+//    finalize lineage indexes) executed over exactly those tables. Writers
+//    (ReplaceTable / AppendRows) build the next version off to the side,
+//    publish it with one atomic pointer swap, and retire the old version
+//    through epoch-based reclamation (serve/epoch.h) — readers pin an
+//    epoch for the duration of an access, and a retired version is freed
+//    only when its last possible reader has drained. Writers never block
+//    brushes; brushes never dangle.
+//
+//  - Session manager. ServeSession (serve/session.h) handles carry
+//    per-session retained-trace handles (each pinning the snapshot version
+//    it was traced against), a per-session lineage-budget slice enforced
+//    through the PR 5 LineageMemoryTracker, and session-scoped cleanup on
+//    close.
+//
+//  - Admission tier. One TieredScheduler (serve/admission.h) is shared by
+//    everything: brushes run as interactive jobs, snapshot rebuilds run
+//    their capture morsels at batch priority, so interactive trace work
+//    preempts batch captures at morsel granularity.
+//
+// Threading contract: DefineView/CreateTable/Start run before serving;
+// afterwards any number of session threads may brush/trace concurrently
+// with at most writer-serialized ReplaceTable/AppendRows calls. ServeCore
+// must outlive its sessions; close sessions before destroying the core
+// (the destructor closes stragglers, but a session mid-call is a race).
+#ifndef SMOKE_SERVE_SERVE_CORE_H_
+#define SMOKE_SERVE_SERVE_CORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/smoke_engine.h"
+#include "serve/admission.h"
+#include "serve/epoch.h"
+
+namespace smoke {
+
+class ServeSession;
+
+/// \brief One immutable published version: a private engine holding this
+/// version's base tables and the retained view plans executed over them.
+/// Never mutated after Build; any number of readers share it concurrently
+/// (trace paths are const; the engine's LRU tracker is internally
+/// synchronized).
+struct ServeSnapshot {
+  ServeSnapshot(uint64_t v, std::atomic<int64_t>* live)
+      : version(v), live_(live) {
+    live_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ServeSnapshot() { live_->fetch_sub(1, std::memory_order_relaxed); }
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(ServeSnapshot);
+
+  const uint64_t version;
+  SmokeEngine engine;
+  std::vector<std::string> views;  ///< retained view names, definition order
+
+ private:
+  std::atomic<int64_t>* live_;  ///< core's live-snapshot gauge (tests assert
+                                ///< epoch reclamation drives this back down)
+};
+
+struct ServeOptions {
+  /// Worker threads of the shared admission pool (submitters co-execute,
+  /// so effective parallelism is num_threads + 1).
+  int num_threads = 3;
+  /// Default per-session lineage-budget slice in bytes (0 = unlimited);
+  /// OpenSession can override per session.
+  size_t session_budget_bytes = 0;
+  /// Capture configuration for view execution at snapshot build — codec,
+  /// pruning, morsel size. mode/scheduler/num_threads are overridden: views
+  /// always capture kInject with morsels routed at batch priority.
+  CaptureOptions view_capture = CaptureOptions::Inject();
+};
+
+/// \brief Versioned, multi-session serving facade over SmokeEngine.
+class ServeCore {
+ public:
+  /// `relation` is the shared brushing relation (the lineage endpoint every
+  /// view must capture on, as in PlanCrossfilter).
+  explicit ServeCore(std::string relation, ServeOptions options = {});
+  ~ServeCore();
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(ServeCore);
+
+  // ---- definition phase (before Start) ----
+
+  /// Registers a base table; its current contents seed snapshot version 1.
+  Status CreateTable(const std::string& name, Table table);
+
+  /// Builds this view's plan against the tables of `engine` (borrow them
+  /// via SmokeEngine::GetTable — each snapshot rebinds the plan to its own
+  /// table versions).
+  using ViewDef = std::function<Status(const SmokeEngine& engine,
+                                       LogicalPlan* plan)>;
+
+  /// Declares a view re-executed into every snapshot version. Views must
+  /// capture backward and forward lineage on the brushing relation.
+  Status DefineView(const std::string& name, ViewDef def);
+
+  /// Builds and publishes snapshot version 1. Serving calls (sessions,
+  /// writers) are valid after this returns OK.
+  Status Start();
+
+  // ---- writers (serialized among themselves; never block readers) ----
+
+  /// Installs new contents for `name`: rebuilds every view over the new
+  /// version off to the side, publishes the result atomically, and retires
+  /// the superseded snapshot via epoch reclamation. Concurrent brushes keep
+  /// reading the old version until they drain.
+  Status ReplaceTable(const std::string& name, Table table);
+
+  /// Appends `delta`'s rows to `name` and publishes, as ReplaceTable.
+  Status AppendRows(const std::string& name, const Table& delta);
+
+  // ---- readers ----
+
+  /// \brief A pinned view of the current snapshot. The snapshot stays
+  /// valid — even across concurrent ReplaceTable calls — until the ref is
+  /// destroyed. Hold briefly (per brush) or deliberately (a retained trace
+  /// pinning its version); every live pin delays reclamation of later
+  /// retired versions.
+  struct SnapshotRef {
+    const ServeSnapshot* snapshot = nullptr;
+    EpochManager::Guard guard;
+    uint64_t version() const { return snapshot->version; }
+  };
+
+  /// Pins and returns the current snapshot. Thread-safe.
+  SnapshotRef AcquireSnapshot() const;
+
+  /// Version of the currently published snapshot.
+  uint64_t CurrentVersion() const;
+
+  // ---- sessions ----
+
+  /// Opens a session. `budget_bytes` overrides the default per-session
+  /// lineage slice (0 = use ServeOptions::session_budget_bytes). Fails on a
+  /// duplicate live session id. The returned handle stays valid until
+  /// CloseSession / core destruction.
+  Status OpenSession(const std::string& session_id,
+                     std::shared_ptr<ServeSession>* out,
+                     size_t budget_bytes = 0);
+
+  /// Closes the session: drops its retained traces (releasing snapshot
+  /// pins and budget accounting) and unregisters it.
+  Status CloseSession(const std::string& session_id);
+
+  size_t NumSessions() const;
+
+  /// Aggregate retained-trace lineage bytes across live sessions (tests
+  /// assert this returns to baseline when sessions close).
+  size_t SessionLineageBytes() const;
+
+  // ---- introspection ----
+
+  /// Live snapshot versions (published + retired-but-pinned). Settles back
+  /// to 1 when readers drain — the epoch-reclamation gauge.
+  int64_t LiveSnapshots() const {
+    return live_snapshots_.load(std::memory_order_relaxed);
+  }
+  EpochManager::Stats EpochStats() const { return epochs_.GetStats(); }
+  TieredScheduler::Stats AdmissionStats() const { return pool_.GetStats(); }
+
+  const std::string& relation() const { return relation_; }
+
+ private:
+  friend class ServeSession;
+
+  TieredScheduler& pool() { return pool_; }
+
+  /// Executes every view def over a fresh engine seeded with the current
+  /// master tables. Runs on the writer thread; capture morsels go to the
+  /// pool at batch priority.
+  Status BuildSnapshot(uint64_t version,
+                       std::unique_ptr<ServeSnapshot>* out);
+
+  /// Swaps `snap` in as current and retires the predecessor.
+  void Publish(std::unique_ptr<ServeSnapshot> snap);
+
+  const std::string relation_;
+  const ServeOptions options_;
+
+  TieredScheduler pool_;
+  TieredScheduler::Lease batch_lease_;
+
+  mutable EpochManager epochs_;
+  std::atomic<const ServeSnapshot*> current_{nullptr};
+  std::atomic<int64_t> live_snapshots_{0};
+
+  /// Serializes Start/ReplaceTable/AppendRows and guards the master copies.
+  std::mutex writer_mu_;
+  std::map<std::string, Table> tables_;  ///< master copies (next version)
+  std::vector<std::pair<std::string, ViewDef>> views_;  ///< definition order
+  uint64_t next_version_ = 1;
+  bool started_ = false;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<ServeSession>> sessions_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_SERVE_SERVE_CORE_H_

@@ -116,6 +116,40 @@ TEST_F(SmokeEngineTest, DropResult) {
   EXPECT_FALSE(engine_.DropResult("v1").ok());
 }
 
+TEST_F(SmokeEngineTest, ReplaceAndDropTableRefusalsNameBorrower) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+
+  Status st = engine_.ReplaceTable("zipf", MakeZipfTable(10, 2, 0.0));
+  ASSERT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(st.message().find("'v1'"), std::string::npos) << st.message();
+
+  st = engine_.DropTable("zipf");
+  ASSERT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(st.message().find("'v1'"), std::string::npos) << st.message();
+
+  // Dropping the named borrower unblocks both paths.
+  ASSERT_TRUE(engine_.DropResult("v1").ok());
+  EXPECT_TRUE(engine_.ReplaceTable("zipf", MakeZipfTable(10, 2, 0.0)).ok());
+  EXPECT_TRUE(engine_.DropTable("zipf").ok());
+}
+
+TEST_F(SmokeEngineTest, DropResultRefusalNamesBorrowingTrace) {
+  ASSERT_TRUE(engine_.ExecuteQuery("v1", query_).ok());
+  TraceSource src;
+  ASSERT_TRUE(engine_.MakeTraceSource("v1", &src).ok());
+  ASSERT_TRUE(engine_
+                  .ExecuteTraceQuery("fwd",
+                                     TraceBuilder::Forward(src, "zipf", {0}))
+                  .ok());
+
+  Status st = engine_.DropResult("v1");
+  ASSERT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(st.message().find("'fwd'"), std::string::npos) << st.message();
+
+  ASSERT_TRUE(engine_.DropResult("fwd").ok());
+  EXPECT_TRUE(engine_.DropResult("v1").ok());
+}
+
 TEST_F(SmokeEngineTest, TpchEndToEnd) {
   tpch::Database db = tpch::Generate(0.005);
   SmokeEngine eng;
