@@ -95,36 +95,49 @@ void Run(const bench::Options& opts) {
         // under the indexed and skipping physical choices. Regressions of
         // the plan-compiled path show up next to the legacy kernels.
         TraceSource src = TraceSource::FromSpja(q1, base, "q1");
-        LineageQuery plan_indexed;
-        SMOKE_CHECK(TraceBuilder::Backward(src, "lineitem", {oid})
-                        .Consuming(q1b)
-                        .Strategy(TraceStrategy::kIndexed)
-                        .Compile(&plan_indexed)
-                        .ok());
-        RunStats plan_ix = bench::Measure(opts, [&] {
-          PlanResult pr;
-          SMOKE_CHECK(plan_indexed.Execute(CaptureOptions::None(), &pr).ok());
-        });
         TraceSource skip_src = TraceSource::FromSpja(q1, skip_base, "q1skip");
-        LineageQuery plan_skipping;
-        SMOKE_CHECK(TraceBuilder::Backward(skip_src, "lineitem", {oid})
-                        .Consuming(q1b)
-                        .Strategy(TraceStrategy::kSkipping)
-                        .Compile(&plan_skipping)
-                        .ok());
-        RunStats plan_sk = bench::Measure(opts, [&] {
-          PlanResult pr;
-          SMOKE_CHECK(plan_skipping.Execute(CaptureOptions::None(), &pr).ok());
-        });
         bench::Row("fig10",
                    "mode=" + mode + ",instr=" + instr + ",group=" +
                        std::to_string(oid) + ",selectivity=" +
                        bench::F(selectivity) + ",lazy_ms=" +
                        bench::F(lazy.mean_ms) + ",no_skip_ms=" +
                        bench::F(indexed.mean_ms) + ",skip_ms=" +
-                       bench::F(skipping.mean_ms) + ",plan_indexed_ms=" +
-                       bench::F(plan_ix.mean_ms) + ",plan_skip_ms=" +
-                       bench::F(plan_sk.mean_ms));
+                       bench::F(skipping.mean_ms));
+        // One row per rewriter setting: regressions of the optimized
+        // plan-compiled path show up as optimizer=on drifting off the
+        // optimizer=off series.
+        for (bool optimize : {true, false}) {
+          LineageQuery plan_indexed;
+          SMOKE_CHECK(TraceBuilder::Backward(src, "lineitem", {oid})
+                          .Consuming(q1b)
+                          .Strategy(TraceStrategy::kIndexed)
+                          .Optimize(optimize)
+                          .Compile(&plan_indexed)
+                          .ok());
+          RunStats plan_ix = bench::Measure(opts, [&] {
+            PlanResult pr;
+            SMOKE_CHECK(
+                plan_indexed.Execute(CaptureOptions::None(), &pr).ok());
+          });
+          LineageQuery plan_skipping;
+          SMOKE_CHECK(TraceBuilder::Backward(skip_src, "lineitem", {oid})
+                          .Consuming(q1b)
+                          .Strategy(TraceStrategy::kSkipping)
+                          .Optimize(optimize)
+                          .Compile(&plan_skipping)
+                          .ok());
+          RunStats plan_sk = bench::Measure(opts, [&] {
+            PlanResult pr;
+            SMOKE_CHECK(
+                plan_skipping.Execute(CaptureOptions::None(), &pr).ok());
+          });
+          bench::Row("fig10",
+                     "mode=" + mode + ",instr=" + instr + ",group=" +
+                         std::to_string(oid) + ",optimizer=" +
+                         (optimize ? "on" : "off") + ",plan_indexed_ms=" +
+                         bench::F(plan_ix.mean_ms) + ",plan_skip_ms=" +
+                         bench::F(plan_sk.mean_ms));
+        }
       }
     }
   }

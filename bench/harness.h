@@ -48,6 +48,7 @@ struct Options {
   double scale = -1;    // TPC-H scale-factor override
   int threads = 1;      // morsel-parallel capture (CaptureOptions::num_threads)
   int sessions = 8;     // concurrent serving sessions (bench_serve_storm)
+  bool optimize = true; // --no-optimize: ablation of the plan rewriter
 
   static Options Parse(int argc, char** argv) {
     StabilizeAllocator();
@@ -75,10 +76,12 @@ struct Options {
       } else if (!std::strncmp(argv[i], "--sessions=", 11)) {
         o.sessions = std::atoi(argv[i] + 11);
         if (o.sessions < 1) o.sessions = 1;
+      } else if (!std::strcmp(argv[i], "--no-optimize")) {
+        o.optimize = false;
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--full] [--smoke] [--json] [--runs=N] [--warmups=N] "
-            "[--sf=F] [--threads=N] [--sessions=N]\n",
+            "[--sf=F] [--threads=N] [--sessions=N] [--no-optimize]\n",
             argv[0]);
         std::exit(0);
       }
@@ -90,8 +93,13 @@ struct Options {
   /// path only engages for the morsel-parallel kernels and Smoke modes).
   CaptureOptions WithThreads(CaptureOptions c) const {
     c.num_threads = threads;
+    c.optimize = optimize;
     return c;
   }
+
+  /// Row() tag for the plan-rewriter ablation: "on" normally, "off" under
+  /// --no-optimize, so perf series from the two runs diff cleanly.
+  const char* OptimizerTag() const { return optimize ? "on" : "off"; }
 };
 
 /// Times `fn` with warmups + timed runs; returns stats over the timed runs.

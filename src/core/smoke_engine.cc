@@ -256,15 +256,22 @@ Status SmokeEngine::MakeTraceSource(const std::string& query_name,
   if (auto it = queries_.find(query_name); it != queries_.end()) {
     *out = TraceSource::FromSpja(it->second->query, it->second->result,
                                  query_name);
-    tracker_.Touch(query_name);
-    return Status::OK();
+  } else if (auto pit = plans_.find(query_name); pit != plans_.end()) {
+    *out = TraceSource::FromPlan(pit->second->result, query_name);
+  } else {
+    return Status::NotFound("query '" + query_name + "'");
   }
-  if (auto it = plans_.find(query_name); it != plans_.end()) {
-    *out = TraceSource::FromPlan(it->second->result, query_name);
-    tracker_.Touch(query_name);
-    return Status::OK();
+  // Feed the store-level statistics to the trace cost model
+  // (optimizer/cost.h) before bumping the LRU clock.
+  LineageMemoryTracker::Entry entry;
+  if (tracker_.Lookup(query_name, &entry)) {
+    out->stats.valid = true;
+    out->stats.store_bytes = entry.bytes;
+    out->stats.codec = entry.codec;
+    out->stats.evicted = entry.evicted;
   }
-  return Status::NotFound("query '" + query_name + "'");
+  tracker_.Touch(query_name);
+  return Status::OK();
 }
 
 Status SmokeEngine::TraceBackward(const std::string& query_name,

@@ -168,6 +168,12 @@ struct CaptureOptions {
   /// lazy-rescan strategy. Equivalent to SmokeEngine::SetLineageBudget.
   size_t lineage_budget_bytes = 0;
 
+  /// Run the rule-based plan rewriter (src/optimizer/) before executing a
+  /// LogicalPlan. Rewrites preserve results and lineage bit-identically;
+  /// false is the ablation / debugging path (bench --no-optimize). Ignored
+  /// by the standalone kernels.
+  bool optimize = true;
+
   /// True when this operator execution should take a parallel path.
   bool WantsParallel() const {
     return num_threads > 1 &&

@@ -161,4 +161,12 @@ LineageStoreStats LineageMemoryTracker::Stats() const {
   return s;
 }
 
+bool LineageMemoryTracker::Lookup(const std::string& name, Entry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
 }  // namespace smoke

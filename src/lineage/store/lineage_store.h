@@ -100,6 +100,10 @@ class LineageMemoryTracker {
 
   LineageStoreStats Stats() const;
 
+  /// Copies the entry registered under `name` (the cost model's per-query
+  /// store statistics); false when unknown.
+  bool Lookup(const std::string& name, Entry* out) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;

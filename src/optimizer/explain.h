@@ -1,0 +1,79 @@
+// EXPLAIN-style record of what the optimizer did to a plan: which rewrite
+// rules fired (and where), which physical trace strategy the cost model
+// resolved, and the final plan shape. Attached to PlanResult / LineageQuery
+// so tests can pin optimizer decisions (assert the chosen strategy, not
+// just the result) and users can see *why* a plan runs the way it does.
+#ifndef SMOKE_OPTIMIZER_EXPLAIN_H_
+#define SMOKE_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+namespace smoke {
+
+struct PlanExplain {
+  /// One rule application: rule name, the label of the node it fired on,
+  /// and a human-readable detail ("pushed 2 predicates below project").
+  struct AppliedRule {
+    std::string rule;
+    std::string node;
+    std::string detail;
+  };
+
+  std::vector<AppliedRule> rules;
+
+  /// Trace compiles only: the resolved physical strategy ("indexed",
+  /// "lazy", "skipping", "cube") and the cost-model candidate summary that
+  /// justified it. Empty for plain ExecutePlan runs.
+  std::string strategy;
+  std::string strategy_detail;
+
+  /// Rendering of the optimized plan (LogicalPlan::ToString).
+  std::string plan_text;
+
+  /// True when the rewriter ran (even if no rule fired).
+  bool optimized = false;
+
+  bool HasRule(const std::string& rule) const {
+    for (const AppliedRule& r : rules) {
+      if (r.rule == rule) return true;
+    }
+    return false;
+  }
+
+  /// Multi-line EXPLAIN dump.
+  std::string ToString() const {
+    std::string s;
+    if (!strategy.empty()) {
+      s += "strategy: " + strategy;
+      if (!strategy_detail.empty()) s += "  [" + strategy_detail + "]";
+      s += "\n";
+    }
+    s += "rules:";
+    if (rules.empty()) {
+      s += " (none)\n";
+    } else {
+      s += "\n";
+      for (const AppliedRule& r : rules) {
+        s += "  " + r.rule + " @ " + r.node;
+        if (!r.detail.empty()) s += ": " + r.detail;
+        s += "\n";
+      }
+    }
+    if (!plan_text.empty()) {
+      s += "plan:\n";
+      size_t start = 0;
+      while (start < plan_text.size()) {
+        size_t nl = plan_text.find('\n', start);
+        if (nl == std::string::npos) nl = plan_text.size();
+        s += "  " + plan_text.substr(start, nl - start) + "\n";
+        start = nl + 1;
+      }
+    }
+    return s;
+  }
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_OPTIMIZER_EXPLAIN_H_

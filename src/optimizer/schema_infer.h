@@ -1,0 +1,43 @@
+// Static output-schema inference over LogicalPlan nodes.
+//
+// Computes the schema every node would produce under the Smoke capture
+// modes (kNone/kInject/kDefer — the modes multi-operator plans support;
+// logic-mode annotation columns are a single-block concern) and validates
+// column references along the way: predicate columns and types, projection
+// and group-by key ranges, join key types, set-op column compatibility,
+// derive bindability. Malformed plans are rejected with a clear Status at
+// optimize time instead of an executor-time failure or a SMOKE_CHECK abort
+// deep inside a kernel.
+//
+// The rewriter (optimizer/optimizer.h) leans on these schemas to remap
+// predicate columns across Project/SetOp boundaries and to prove rewrites
+// type-safe before applying them.
+#ifndef SMOKE_OPTIMIZER_SCHEMA_INFER_H_
+#define SMOKE_OPTIMIZER_SCHEMA_INFER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan.h"
+#include "storage/schema.h"
+
+namespace smoke {
+
+/// Infers the output schema of every node reachable from `root` into
+/// `(*out)[id]` (unreachable nodes keep an empty schema). `nodes` need not
+/// be topologically ordered — the walk recurses from the root — but must be
+/// acyclic (LogicalPlan guarantees this; the optimizer workspace preserves
+/// it).
+Status InferNodeSchemas(const std::vector<PlanNode>& nodes, int root,
+                        std::vector<Schema>* out);
+
+/// Convenience wrapper over a validated plan.
+Status InferPlanSchemas(const LogicalPlan& plan, std::vector<Schema>* out);
+
+/// Validates `p` against `schema` (column range, type match, rhs column).
+Status ValidatePredicate(const Schema& schema, const Predicate& p,
+                         const std::string& node_label);
+
+}  // namespace smoke
+
+#endif  // SMOKE_OPTIMIZER_SCHEMA_INFER_H_

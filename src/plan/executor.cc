@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "lineage/compose.h"
+#include "optimizer/optimizer.h"
 #include "plan/scheduler.h"
 
 namespace smoke {
@@ -121,6 +122,21 @@ void ComposePlanLineage(const LogicalPlan& plan,
 Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
                    PlanResult* out) {
   if (plan.root() < 0) return Status::InvalidArgument("plan has no root");
+
+  // Default path: rewrite the plan (src/optimizer/) and execute the
+  // optimized copy. Rewrites preserve results and lineage bit-identically;
+  // opts.optimize = false is the ablation escape hatch.
+  if (opts.optimize) {
+    LogicalPlan optimized;
+    PlanExplain explain;
+    SMOKE_RETURN_NOT_OK(OptimizePlan(plan, &optimized, &explain));
+    CaptureOptions inner = opts;
+    inner.optimize = false;
+    SMOKE_RETURN_NOT_OK(ExecutePlan(optimized, inner, out));
+    out->explain = std::move(explain);
+    return Status::OK();
+  }
+
   const size_t n = plan.num_nodes();
   const int root = plan.root();
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "engine/capture.h"
 #include "lineage/query_lineage.h"
+#include "optimizer/explain.h"
 #include "plan/operator.h"
 #include "plan/plan.h"
 
@@ -38,6 +39,8 @@ struct PlanResult {
   Table output;
   QueryLineage lineage;
   size_t output_cardinality = 0;
+  /// EXPLAIN record of the optimizer run (empty when opts.optimize was off).
+  PlanExplain explain;
   /// Set when the plan root is an SPJA block: the block-level artifacts
   /// (annotated relation, group counts, push-down index/cube).
   std::shared_ptr<SPJAResult> spja_artifacts;

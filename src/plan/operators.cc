@@ -10,7 +10,9 @@
 #include "engine/select.h"
 #include "engine/set_ops.h"
 #include "engine/spja.h"
+#include "lineage/compose.h"
 #include "query/lineage_query.h"
+#include "storage/dictionary.h"
 
 namespace smoke {
 
@@ -183,7 +185,7 @@ class GroupByOperator : public Operator {
     }
     GroupByResult r = GroupByExec(in, inputs[0].name, node_.group_by, opts);
     if (opts.mode == CaptureMode::kDefer) {
-      if (opts.defer_plan_finalize) {
+      if (opts.defer_plan_finalize && node_.pushdown.empty()) {
         // Plan-level defer scheduling: keep the kernel result (with its
         // retained γht hash table) unfinalized; PlanResult::
         // FinalizeDeferred() completes capture at think-time.
@@ -198,7 +200,54 @@ class GroupByOperator : public Operator {
     }
     out->output = std::move(r.output);
     out->output_cardinality = out->output.num_rows();
-    out->fragments.push_back(TakeFragment(&r.lineage, 0));
+    LineageFragment frag = TakeFragment(&r.lineage, 0);
+
+    // Capture push-downs lifted from the SPJA block (selection / data
+    // skipping over the captured backward lists — SPJAPushdown semantics):
+    // sel_fact gates which input rids enter backward lineage, skip_cols
+    // replaces the plain backward index with a partitioned one. Applied to
+    // the finalized lists, preserving in-list scan order, so the artifacts
+    // match what the fused block builds in its hot loop.
+    if (!node_.pushdown.empty() && !frag.backward.empty()) {
+      const SPJAPushdown& push = node_.pushdown;
+      auto artifacts = std::make_shared<SPJAResult>();
+      artifacts->applied_pushdown = push;
+      artifacts->output_cardinality = out->output_cardinality;
+      artifacts->lineage.AddInput(inputs[0].name, inputs[0].table);
+      artifacts->lineage.set_output_cardinality(out->output_cardinality);
+      PredicateList sel(in, push.sel_fact);
+      const size_t ng = out->output.num_rows();
+      if (!push.skip_cols.empty()) {
+        artifacts->skip_dict = BuildDictionary(in, push.skip_cols);
+        artifacts->skip_index.SetNumCodes(artifacts->skip_dict.num_codes);
+        const uint32_t* codes = artifacts->skip_dict.codes.data();
+        for (size_t g = 0; g < ng; ++g) {
+          artifacts->skip_index.AddOutput();
+          frag.backward.ForEachRelated(
+              static_cast<rid_t>(g), [&](rid_t r) {
+                if (sel.Eval(r)) {
+                  artifacts->skip_index.Append(static_cast<uint32_t>(g),
+                                               codes[r], r);
+                }
+              });
+        }
+        // The partitioned index *replaces* the plain backward index, as in
+        // the fused block: a plain backward trace over this group-by must
+        // error rather than silently bypass the push-down.
+        frag.backward = LineageIndex();
+      } else if (!push.sel_fact.empty()) {
+        RidIndex filtered(ng);
+        for (size_t g = 0; g < ng; ++g) {
+          RidVec& list = filtered.list(g);
+          frag.backward.ForEachRelated(static_cast<rid_t>(g), [&](rid_t r) {
+            if (sel.Eval(r)) list.PushBack(r);
+          });
+        }
+        frag.backward = LineageIndex::FromIndex(std::move(filtered));
+      }
+      out->spja_artifacts = std::move(artifacts);
+    }
+    out->fragments.push_back(std::move(frag));
     return Status::OK();
   }
 
@@ -401,6 +450,150 @@ class TraceOperator : public Operator {
       }
     }
 
+    // ---- fused drill-down hops + pushed-down filters (optimizer) ----
+    //
+    // Each stage (this node's own trace, then every fused hop, then the
+    // filters) contributes the same lineage fragment the literal plan node
+    // would have, and the stages compose in the executor's association
+    // order: backward left-nested from the outermost stage inward, forward
+    // right-nested — so the emitted fragment is bit-identical to what
+    // ComposePlanLineage builds for the unfused chain. Intermediate
+    // endpoints are bounds-checked (the literal chain materializes them)
+    // but never copied — that skipped copy is the optimization.
+    struct StageFrag {
+      LineageIndex bw, fw;
+    };
+    std::vector<StageFrag> stages;
+    const bool is_fused = !s.fused_hops.empty() || !s.filters.empty();
+    if (is_fused) {
+      StageFrag base;
+      if (s.seeds_from_child) {
+        if (want_b) {
+          chained_bw.Resize(rids.size());
+          base.bw = LineageIndex::FromIndex(std::move(chained_bw));
+        }
+        if (want_f) base.fw = LineageIndex::FromIndex(std::move(chained_fw));
+      } else {
+        if (want_b) base.bw = LineageIndex::FromArray(RidArray(rids));
+        if (want_f) {
+          RidIndex fw(inputs[0].table->num_rows());
+          for (size_t i = 0; i < rids.size(); ++i) {
+            fw.Append(rids[i], static_cast<rid_t>(i));
+          }
+          base.fw = LineageIndex::FromIndex(std::move(fw));
+        }
+      }
+      stages.push_back(std::move(base));
+
+      for (const TraceHopSpec& hop : s.fused_hops) {
+        // The literal chain materializes the previous stage's endpoint
+        // before this hop probes; keep its bounds check (and error text).
+        if (endpoint == nullptr) {
+          return Status::InvalidArgument("trace endpoint table not available");
+        }
+        for (rid_t r : rids) {
+          if (r >= endpoint->num_rows()) {
+            return Status::InvalidArgument("traced rid " + std::to_string(r) +
+                                           " out of range for endpoint");
+          }
+        }
+        const QueryLineage& hl = *hop.lineage;
+        int hidx = hl.FindInput(hop.relation);
+        if (hidx < 0) {
+          return Status::NotFound("relation '" + hop.relation +
+                                  "' in trace source lineage");
+        }
+        const TableLineage& htl = hl.input(static_cast<size_t>(hidx));
+        const bool hop_backward = hop.direction == TraceDirection::kBackward;
+        const LineageIndex& index = hop_backward ? htl.backward : htl.forward;
+        if (index.empty()) {
+          return Status::InvalidArgument(
+              (hop_backward ? std::string("backward")
+                            : std::string("forward")) +
+              " lineage for '" + hop.relation + "' was not captured");
+        }
+        const size_t universe =
+            hop_backward ? (htl.table != nullptr ? htl.table->num_rows() : 0)
+                         : hl.output_cardinality();
+        std::vector<rid_t> seeds_in = std::move(rids);
+        rids.clear();
+        std::vector<uint32_t> pos(hop.dedup ? universe : 0, UINT32_MAX);
+        RidIndex hop_bw, hop_fw;
+        if (want_f) hop_fw.Resize(seeds_in.size());
+        std::vector<rid_t> targets;
+        for (size_t j = 0; j < seeds_in.size(); ++j) {
+          rid_t f = seeds_in[j];
+          if (f >= index.size()) {
+            return Status::InvalidArgument("chained trace seed rid " +
+                                           std::to_string(f) +
+                                           " out of range");
+          }
+          targets.clear();
+          index.TraceInto(f, &targets);
+          for (rid_t t : targets) {
+            uint32_t p;
+            if (hop.dedup) {
+              if (pos[t] == UINT32_MAX) {
+                pos[t] = static_cast<uint32_t>(rids.size());
+                rids.push_back(t);
+              }
+              p = pos[t];
+            } else {
+              p = static_cast<uint32_t>(rids.size());
+              rids.push_back(t);
+            }
+            if (want_b) {
+              if (hop_bw.size() <= p) hop_bw.Resize(p + 1);
+              hop_bw.Append(p, static_cast<rid_t>(j));
+            }
+            if (want_f) hop_fw.Append(j, p);
+          }
+        }
+        StageFrag sf;
+        if (want_b) {
+          hop_bw.Resize(rids.size());
+          sf.bw = LineageIndex::FromIndex(std::move(hop_bw));
+        }
+        if (want_f) sf.fw = LineageIndex::FromIndex(std::move(hop_fw));
+        stages.push_back(std::move(sf));
+        endpoint = hop.endpoint;
+      }
+
+      if (!s.filters.empty()) {
+        if (endpoint == nullptr) {
+          return Status::InvalidArgument("trace endpoint table not available");
+        }
+        for (rid_t r : rids) {
+          if (r >= endpoint->num_rows()) {
+            return Status::InvalidArgument("traced rid " + std::to_string(r) +
+                                           " out of range for endpoint");
+          }
+        }
+        // Evaluate against the endpoint rows the literal select would have
+        // seen (the filters reference endpoint columns only — the rid
+        // column is never a predicate target). Same fragment shape as the
+        // selection kernel: backward = kept positions, forward = position
+        // -> kept index or kInvalidRid.
+        PredicateList preds(*endpoint, s.filters);
+        const size_t m = rids.size();
+        std::vector<rid_t> kept;
+        RidArray fbw;
+        RidArray ffw;
+        if (want_f) ffw.assign(m, kInvalidRid);
+        for (size_t i = 0; i < m; ++i) {
+          if (!preds.Eval(rids[i])) continue;
+          if (want_b) fbw.push_back(static_cast<rid_t>(i));
+          if (want_f) ffw[i] = static_cast<rid_t>(kept.size());
+          kept.push_back(rids[i]);
+        }
+        rids = std::move(kept);
+        StageFrag sf;
+        if (want_b) sf.bw = LineageIndex::FromArray(std::move(fbw));
+        if (want_f) sf.fw = LineageIndex::FromArray(std::move(ffw));
+        stages.push_back(std::move(sf));
+      }
+    }
+
     // Materialize the endpoint rows (the secondary index scan), bounds-
     // validated, with the traced rid as the trailing column.
     if (endpoint == nullptr) {
@@ -423,7 +616,18 @@ class TraceOperator : public Operator {
     out->output_cardinality = rids.size();
 
     LineageFragment frag;
-    if (s.seeds_from_child) {
+    if (is_fused) {
+      // Executor association order: backward composes outermost-first
+      // (CB(acc, frag) top-down), forward nests the deeper fragment as the
+      // inner operand (CF(frag, acc)).
+      StageFrag acc = std::move(stages.back());
+      for (size_t k = stages.size() - 1; k-- > 0;) {
+        if (want_b) acc.bw = ComposeBackward(acc.bw, stages[k].bw);
+        if (want_f) acc.fw = ComposeForward(stages[k].fw, acc.fw);
+      }
+      frag.backward = std::move(acc.bw);
+      frag.forward = std::move(acc.fw);
+    } else if (s.seeds_from_child) {
       if (want_b) {
         chained_bw.Resize(rids.size());
         frag.backward = LineageIndex::FromIndex(std::move(chained_bw));

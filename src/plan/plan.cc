@@ -90,6 +90,15 @@ int PlanBuilder::GroupBy(int child, GroupBySpec spec) {
   return Add(std::move(n));
 }
 
+int PlanBuilder::GroupBy(int child, GroupBySpec spec, SPJAPushdown push) {
+  PlanNode n;
+  n.kind = PlanOpKind::kGroupBy;
+  n.children = {child};
+  n.group_by = std::move(spec);
+  n.pushdown = std::move(push);
+  return Add(std::move(n));
+}
+
 int PlanBuilder::SetOp(SetOpKind kind, int left, int right,
                        std::vector<int> cols) {
   PlanNode n;
@@ -204,6 +213,27 @@ Status PlanBuilder::Build(int root, LogicalPlan* out) {
         return Status::InvalidArgument(
             "data-skipping traces must be backward and non-chained (node '" +
             n.label + "')");
+      }
+      for (const TraceHopSpec& h : n.trace.fused_hops) {
+        if (h.lineage == nullptr || h.endpoint == nullptr) {
+          return Status::InvalidArgument(
+              "fused trace hop in '" + n.label +
+              "' needs lineage and an endpoint table");
+        }
+      }
+    }
+    if (n.kind == PlanOpKind::kGroupBy && !n.pushdown.empty()) {
+      if (!n.pushdown.cube_cols.empty()) {
+        return Status::InvalidArgument(
+            "group-by push-down supports selection and skipping only; cube "
+            "push-down stays on SPJA blocks (node '" + n.label + "')");
+      }
+      const PlanNode& child = nodes_[static_cast<size_t>(n.children[0])];
+      if (child.kind != PlanOpKind::kScan) {
+        return Status::InvalidArgument(
+            "group-by push-down requires a base-table scan input — the "
+            "partitioned rids must be relation rids (node '" + n.label +
+            "')");
       }
     }
     if (n.kind == PlanOpKind::kDerive && n.derives.empty()) {

@@ -62,6 +62,20 @@ enum class TraceDirection : uint8_t { kBackward, kForward };
 /// TraceResult::rids.
 extern const char kTraceRidColumn[];
 
+/// \brief One drill-down hop folded into a Trace node by the optimizer's
+/// trace-hop fusion rule (Trace∘Trace collapsed into one node). Hops apply
+/// in order after the node's own trace: the previous hop's traced rids seed
+/// this hop's index probe, and the per-hop fragments compose through
+/// lineage/compose — bit-identical to executing the literal chain, minus
+/// the intermediate endpoint materialization.
+struct TraceHopSpec {
+  const QueryLineage* lineage = nullptr;  ///< borrowed, like TraceSpec
+  std::string relation;
+  TraceDirection direction = TraceDirection::kForward;
+  const Table* endpoint = nullptr;  ///< rows this hop would materialize
+  bool dedup = true;
+};
+
 /// \brief Payload of a kTrace node: a backward/forward lineage query over a
 /// retained query's captured indexes, re-expressed as a relational operator
 /// (the paper's claim that lineage queries *are* relational queries).
@@ -99,6 +113,14 @@ struct TraceSpec {
   /// probing the plain index. Backward, non-chained traces only.
   const PartitionedRidIndex* skip_index = nullptr;
   uint32_t skip_code = 0;
+  /// Fused drill-down hops (optimizer trace-hop fusion). Applied in order
+  /// after this node's own trace; the last hop's endpoint becomes the
+  /// node's materialized output.
+  std::vector<TraceHopSpec> fused_hops;
+  /// Filters over the final endpoint's columns, pushed into the trace by
+  /// the optimizer (predicate push-down into kTrace): evaluated per traced
+  /// rid *before* materialization, so dropped rows are never copied.
+  std::vector<Predicate> filters;
 };
 
 /// One node of the plan DAG. Exactly the payload fields for its kind are
@@ -119,7 +141,7 @@ struct PlanNode {
   std::vector<int> set_cols;                // kSetOp (ignored for bag union)
   SPJAQuery spja;                       // kSpjaBlock (table pointers are
                                         // rebound from the scan children)
-  SPJAPushdown pushdown;                // kSpjaBlock
+  SPJAPushdown pushdown;                // kSpjaBlock, kGroupBy (sel/skip)
   TraceSpec trace;                      // kTrace
   std::vector<GroupExpr> derives;       // kDerive
 };
@@ -171,6 +193,14 @@ class PlanBuilder {
 
   int GroupBy(int child, GroupBySpec spec);
 
+  /// Group-by with capture push-downs attached directly to the node (the
+  /// SpjaBlock-only attachment, lifted): `push.sel_fact` restricts the
+  /// captured backward lists to qualifying input rows, `push.skip_cols`
+  /// replaces the plain backward index with a partitioned (data-skipping)
+  /// one. The child must be a base-table scan (push-down rids are relation
+  /// rids); cube push-down stays SpjaBlock-only.
+  int GroupBy(int child, GroupBySpec spec, SPJAPushdown push);
+
   /// Binary set/bag operator over `cols` (same positions in both children;
   /// ignored for bag union). Set difference captures lineage for the left
   /// child only (paper Appendix F.5).
@@ -191,6 +221,11 @@ class PlanBuilder {
   /// land after the child's columns, in `exprs` order, named by each
   /// expression.
   int Derive(int child, std::vector<GroupExpr> exprs);
+
+  /// Appends a fully-formed node (the optimizer's plan-rebuild path). The
+  /// node's children must already be valid builder ids; Build() validates
+  /// as usual. Returns the node id.
+  int AddNode(PlanNode node) { return Add(std::move(node)); }
 
   /// Overrides the auto-generated label of `node`.
   void SetLabel(int node, std::string label);

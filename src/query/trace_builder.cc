@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "optimizer/cost.h"
+#include "optimizer/optimizer.h"
 #include "query/lazy.h"
 
 namespace smoke {
@@ -46,7 +48,12 @@ Status LineageQuery::Execute(const CaptureOptions& opts,
   if (plan_.root() < 0) {
     return Status::InvalidArgument("lineage query was not compiled");
   }
-  SMOKE_RETURN_NOT_OK(ExecutePlan(plan_, opts, out));
+  // The compiled plan is already optimized (or deliberately not, via
+  // TraceBuilder::Optimize(false)); don't re-run the rewriter per Execute.
+  CaptureOptions run_opts = opts;
+  run_opts.optimize = false;
+  SMOKE_RETURN_NOT_OK(ExecutePlan(plan_, run_opts, out));
+  out->explain = explain_;
   // The result's lineage borrows whatever the plan scans; keep compile-time
   // materializations (the cube lookup table) alive with the result, not
   // with this (possibly temporary) compiled query.
@@ -113,80 +120,13 @@ TraceBuilder& TraceBuilder::Dedup(bool dedup) {
   return *this;
 }
 
-namespace {
-
-/// True when the source's partitioned skip index covers `relation`: the
-/// skip push-down always partitions the fact table's backward lists, so
-/// the traced relation must be the fact (named by the SPJA query, or by
-/// lineage input 0 of the block artifacts).
-bool SkipCoversRelation(const TraceSource& src, const std::string& relation) {
-  if (src.query != nullptr) return src.query->fact_name == relation;
-  if (src.artifacts != nullptr && src.artifacts->lineage.num_inputs() > 0) {
-    return src.artifacts->lineage.input(0).table_name == relation;
-  }
-  return false;
+TraceBuilder& TraceBuilder::Optimize(bool on) {
+  optimize_ = on;
+  return *this;
 }
 
-/// Resolves the data-skipping partition code: the skip index must cover the
-/// traced relation, every partition column must be pinned by a constant
-/// equality predicate, and the combined value must name an existing
-/// partition. Encoding matches BuildDictionary / DictKeyOfRow.
-bool ResolveSkipCode(const TraceSource& src, const std::string& relation,
-                     const std::vector<Predicate>& filters, uint32_t* code) {
-  const SPJAResult* artifacts = src.artifacts;
-  if (artifacts == nullptr || artifacts->skip_dict.num_codes == 0) {
-    return false;
-  }
-  // The partitioned index itself must still be resident — budget eviction
-  // drops it (keeping the dictionary), and a skipping trace over empty
-  // partitions would silently answer wrong / error instead of taking the
-  // lazy fallback.
-  if (artifacts->skip_index.num_codes() == 0) return false;
-  if (!SkipCoversRelation(src, relation)) return false;
-  const std::vector<int>& cols = artifacts->applied_pushdown.skip_cols;
-  if (cols.empty()) return false;
-  std::string key;
-  for (size_t i = 0; i < cols.size(); ++i) {
-    const Predicate* found = nullptr;
-    for (const Predicate& p : filters) {
-      if (p.col == cols[i] && p.op == CmpOp::kEq && p.rhs_col < 0) {
-        found = &p;
-        break;
-      }
-    }
-    if (found == nullptr) return false;
-    if (i) key.push_back('\x1f');
-    if (found->type == DataType::kString) {
-      key += found->sval;
-    } else if (found->type == DataType::kInt64) {
-      key += std::to_string(found->ival);
-    } else {
-      return false;  // float partition keys are not dictionary-stable
-    }
-  }
-  uint32_t c = artifacts->skip_dict.CodeForString(key);
-  if (c == UINT32_MAX) return false;
-  *code = c;
-  return true;
-}
-
-/// True when the lazy rescan can answer this backward trace *transparently*
-/// (the evicted-index fallback): the shared rewrite rule
-/// (LazyRewriteAvailable — dim-free SPJA, fact group keys) plus a single
-/// in-range seed over the fact relation. Stricter than the explicit kLazy
-/// strategy (which permits dims because the paper's baseline opts in).
-bool LazyFeasible(const TraceSource& src, const std::string& relation,
-                  const std::vector<rid_t>& seeds) {
-  if (src.query == nullptr || src.output == nullptr) return false;
-  if (seeds.size() != 1 || seeds[0] >= src.output->num_rows()) return false;
-  if (src.query->fact_name != relation) return false;
-  return LazyRewriteAvailable(*src.query);
-}
-
-}  // namespace
-
-Status TraceBuilder::ResolveStrategy(TraceStrategy* out,
-                                     uint32_t* skip_code) const {
+Status TraceBuilder::ResolveStrategy(TraceStrategy* out, uint32_t* skip_code,
+                                     std::string* detail) const {
   const bool chained = !hops_.empty();
   if (dir_ == TraceDirection::kForward || chained) {
     if (strategy_ != TraceStrategy::kAuto &&
@@ -195,11 +135,14 @@ Status TraceBuilder::ResolveStrategy(TraceStrategy* out,
           "forward and multi-hop traces support only the indexed strategy");
     }
     *out = TraceStrategy::kIndexed;
+    *detail = chained ? "multi-hop traces are indexed"
+                      : "forward traces are indexed";
     return Status::OK();
   }
   switch (strategy_) {
     case TraceStrategy::kIndexed:
       *out = TraceStrategy::kIndexed;
+      *detail = "requested explicitly";
       return Status::OK();
     case TraceStrategy::kLazy: {
       if (src_.query == nullptr || src_.output == nullptr) {
@@ -224,6 +167,7 @@ Status TraceBuilder::ResolveStrategy(TraceStrategy* out,
         return Status::InvalidArgument("output rid out of range");
       }
       *out = TraceStrategy::kLazy;
+      *detail = "requested explicitly";
       return Status::OK();
     }
     case TraceStrategy::kSkipping: {
@@ -234,6 +178,7 @@ Status TraceBuilder::ResolveStrategy(TraceStrategy* out,
             "equality predicates");
       }
       *out = TraceStrategy::kSkipping;
+      *detail = "requested explicitly";
       return Status::OK();
     }
     case TraceStrategy::kCube: {
@@ -277,23 +222,18 @@ Status TraceBuilder::ResolveStrategy(TraceStrategy* out,
         }
       }
       *out = TraceStrategy::kCube;
+      *detail = "requested explicitly";
       return Status::OK();
     }
     case TraceStrategy::kAuto: {
-      if (ResolveSkipCode(src_, relation_, filters_, skip_code)) {
-        *out = TraceStrategy::kSkipping;
-        return Status::OK();
-      }
-      // Index evicted under the lineage budget: fall back to the lazy
-      // rescan when its rewrite applies. Gated on the eviction flag, not
-      // on index emptiness — pruned or push-down-replaced indexes restrict
-      // lineage on purpose and must error, not silently rescan.
-      if (src_.lineage != nullptr && src_.lineage->evicted() &&
-          LazyFeasible(src_, relation_, seeds_)) {
-        *out = TraceStrategy::kLazy;
-        return Status::OK();
-      }
-      *out = TraceStrategy::kIndexed;
+      // Cost-based selection (optimizer/cost.h): price every candidate
+      // against the capture artifacts, store statistics, and seed-set
+      // cardinality, then take the cheapest transparent one.
+      TraceCostReport report =
+          CostTraceStrategies(src_, relation_, seeds_, filters_);
+      *out = report.chosen;
+      *skip_code = report.skip_code;
+      *detail = report.Summary();
       return Status::OK();
     }
   }
@@ -357,8 +297,15 @@ Status TraceBuilder::Compile(LineageQuery* out) const {
   }
   TraceStrategy strat;
   uint32_t skip_code = 0;
-  SMOKE_RETURN_NOT_OK(ResolveStrategy(&strat, &skip_code));
-  if (strat == TraceStrategy::kCube) return CompileCube(out);
+  std::string strategy_detail;
+  SMOKE_RETURN_NOT_OK(ResolveStrategy(&strat, &skip_code, &strategy_detail));
+  if (strat == TraceStrategy::kCube) {
+    SMOKE_RETURN_NOT_OK(CompileCube(out));
+    out->explain_.strategy = TraceStrategyName(TraceStrategy::kCube);
+    out->explain_.strategy_detail = std::move(strategy_detail);
+    out->explain_.plan_text = out->plan_.ToString();
+    return Status::OK();
+  }
 
   int idx = src_.lineage->FindInput(relation_);
   if (idx < 0) {
@@ -449,7 +396,16 @@ Status TraceBuilder::Compile(LineageQuery* out) const {
 
   LineageQuery q;
   q.strategy_ = strat;
+  q.explain_.strategy = TraceStrategyName(strat);
+  q.explain_.strategy_detail = std::move(strategy_detail);
   SMOKE_RETURN_NOT_OK(b.Build(cur, &q.plan_));
+  if (optimize_) {
+    LogicalPlan optimized;
+    SMOKE_RETURN_NOT_OK(OptimizePlan(q.plan_, &optimized, &q.explain_));
+    q.plan_ = std::move(optimized);
+  } else {
+    q.explain_.plan_text = q.plan_.ToString();
+  }
   *out = std::move(q);
   return Status::OK();
 }

@@ -30,11 +30,23 @@
 #include <vector>
 
 #include "common/status.h"
+#include "optimizer/explain.h"
 #include "plan/executor.h"
 #include "plan/plan.h"
 #include "query/consuming.h"
 
 namespace smoke {
+
+/// \brief Store-level statistics about a trace source's retained lineage
+/// (LineageStoreStats, filled by SmokeEngine::MakeTraceSource from the
+/// memory tracker). Feeds the cost model's strategy notes; `valid` is false
+/// for sources built outside the engine.
+struct TraceSourceStats {
+  bool valid = false;
+  size_t store_bytes = 0;
+  LineageCodec codec = LineageCodec::kRaw;
+  bool evicted = false;
+};
 
 /// \brief What a trace needs to know about the (retained) query it traces:
 /// the captured lineage, the output relation, and — for the lazy/skipping/
@@ -46,6 +58,7 @@ struct TraceSource {
   std::string name;                      ///< diagnostics / scan labels
   const SPJAQuery* query = nullptr;      ///< enables kLazy
   const SPJAResult* artifacts = nullptr; ///< enables kSkipping / kCube
+  TraceSourceStats stats;                ///< cost-model store statistics
 
   static TraceSource FromPlan(const PlanResult& result,
                               std::string name = "plan") {
@@ -90,6 +103,9 @@ class LineageQuery {
   const LogicalPlan& plan() const { return plan_; }
   /// The physical strategy the compile resolved to (never kAuto).
   TraceStrategy strategy() const { return strategy_; }
+  /// EXPLAIN record: applied rewrite rules, the resolved strategy, and the
+  /// cost-model candidate summary that justified it.
+  const PlanExplain& explain() const { return explain_; }
 
   /// Executes the compiled plan. `opts.mode` decides whether the consuming
   /// query captures its own lineage (kInject) or not (kNone); parallel
@@ -100,6 +116,7 @@ class LineageQuery {
   friend class TraceBuilder;
   LogicalPlan plan_;
   TraceStrategy strategy_ = TraceStrategy::kIndexed;
+  PlanExplain explain_;
   /// kCube: the reshaped sub-aggregate table the plan scans.
   std::shared_ptr<Table> owned_table_;
 };
@@ -152,6 +169,12 @@ class TraceBuilder {
   /// Overrides rid deduplication of the (first) trace hop.
   TraceBuilder& Dedup(bool dedup);
 
+  /// Toggles the plan rewriter on the compiled plan (default on). The
+  /// resolved strategy is cost-based either way; this gates only the
+  /// rule-based rewrites (fusion, push-down, elision) — the `--no-optimize`
+  /// ablation path.
+  TraceBuilder& Optimize(bool on);
+
   /// Resolves the strategy against the source's capture artifacts and
   /// compiles the trace + clauses into a LogicalPlan.
   Status Compile(LineageQuery* out) const;
@@ -162,7 +185,8 @@ class TraceBuilder {
  private:
   TraceBuilder() = default;
 
-  Status ResolveStrategy(TraceStrategy* out, uint32_t* skip_code) const;
+  Status ResolveStrategy(TraceStrategy* out, uint32_t* skip_code,
+                         std::string* detail) const;
   Status CompileCube(LineageQuery* out) const;
 
   TraceSource src_;
@@ -175,6 +199,7 @@ class TraceBuilder {
   std::vector<AggSpec> aggs_;
   TraceStrategy strategy_ = TraceStrategy::kAuto;
   bool dedup_ = false;
+  bool optimize_ = true;
 };
 
 }  // namespace smoke
