@@ -90,7 +90,9 @@ void RunWorkload(const bench::Options& opts, SmokeEngine* engine,
         bench::Measure(opts,
                        [&] {
                          for (rid_t o : out_seeds) {
-                           engine->Backward(name, relation, {o}, &scratch);
+                           // Timed loop; setup already validated the query.
+                           engine->Backward(name, relation, {o}, &scratch)
+                               .IgnoreError();
                          }
                        })
             .mean_ms /
@@ -99,7 +101,8 @@ void RunWorkload(const bench::Options& opts, SmokeEngine* engine,
         bench::Measure(opts,
                        [&] {
                          for (rid_t i : in_seeds) {
-                           engine->Forward(name, relation, {i}, &scratch);
+                           engine->Forward(name, relation, {i}, &scratch)
+                               .IgnoreError();
                          }
                        })
             .mean_ms /
@@ -146,7 +149,7 @@ void Run(const bench::Options& opts) {
     Table zipf = MakeZipfTable(zn, groups, 1.0);
     if (!engine.CreateTable("zipf", std::move(zipf)).ok()) std::exit(1);
     const Table* t = nullptr;
-    engine.GetTable("zipf", &t);
+    if (!engine.GetTable("zipf", &t).ok()) std::exit(1);
     const rid_t lo = static_cast<rid_t>(zn / 4);
     const rid_t hi = static_cast<rid_t>(3 * zn / 4);
     RunWorkload(
@@ -185,7 +188,7 @@ void Run(const bench::Options& opts) {
     Table zipf = MakeZipfTable(zn, groups, 1.0);
     if (!engine.CreateTable("zipf", std::move(zipf)).ok()) std::exit(1);
     const Table* t = nullptr;
-    engine.GetTable("zipf", &t);
+    if (!engine.GetTable("zipf", &t).ok()) std::exit(1);
     SPJAQuery q;
     q.fact = t;
     q.fact_name = "zipf";
@@ -206,7 +209,7 @@ void Run(const bench::Options& opts) {
     Table flights = ontime::Generate(on);
     if (!engine.CreateTable("flights", std::move(flights)).ok()) std::exit(1);
     const Table* t = nullptr;
-    engine.GetTable("flights", &t);
+    if (!engine.GetTable("flights", &t).ok()) std::exit(1);
     SPJAQuery q;
     q.fact = t;
     q.fact_name = "flights";
@@ -231,7 +234,7 @@ void Run(const bench::Options& opts) {
       std::exit(1);
     }
     const Table* t = nullptr;
-    engine.GetTable("lineitem", &t);
+    if (!engine.GetTable("lineitem", &t).ok()) std::exit(1);
     q.fact = t;  // rebind to the engine-owned copy
     RunWorkload(
         opts, &engine, "tpch-q1", "lineitem",

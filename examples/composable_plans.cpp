@@ -11,6 +11,17 @@
 
 using namespace smoke;
 
+// Every engine call returns a [[nodiscard]] Status; an example that dropped
+// one would not compile (-Werror=unused-result).
+#define OR_DIE(expr)                                              \
+  do {                                                            \
+    Status _st = (expr);                                          \
+    if (!_st.ok()) {                                              \
+      std::printf("%s failed: %s\n", #expr, _st.ToString().c_str()); \
+      return 1;                                                   \
+    }                                                             \
+  } while (0)
+
 int main() {
   SmokeEngine engine;
 
@@ -23,9 +34,9 @@ int main() {
   for (int i = 0; i < 12; ++i) {
     sales.AppendRow({regions[i], static_cast<double>(i + 1)});
   }
-  engine.CreateTable("sales", std::move(sales));
+  OR_DIE(engine.CreateTable("sales", std::move(sales)));
   const Table* base = nullptr;
-  engine.GetTable("sales", &base);
+  OR_DIE(engine.GetTable("sales", &base));
 
   // 2. An aggregate-over-aggregate rollup: COUNT/SUM per region, then
   //    regroup the regions by their sales count. Every operator captures
@@ -57,13 +68,13 @@ int main() {
     return 1;
   }
   const Table* out = nullptr;
-  engine.GetResult("rollup", &out);
+  OR_DIE(engine.GetResult("rollup", &out));
   std::printf("Rollup result:\n%s\n", out->ToString().c_str());
 
   // 3. Backward lineage of the first rollup row reaches the *base* sales
   //    rows, straight through both aggregations.
   Table rows;
-  engine.BackwardRows("rollup", "sales", {0}, &rows);
+  OR_DIE(engine.BackwardRows("rollup", "sales", {0}, &rows));
   std::printf("Base rows behind rollup row 0:\n%s\n", rows.ToString().c_str());
 
   // 4. Linked brushing across two independent views of the same relation
@@ -73,10 +84,10 @@ int main() {
   by_region_spja.fact_name = "sales";
   by_region_spja.group_by = {ColRef::Fact(0)};
   by_region_spja.aggs = {AggSpec::Count("cnt")};
-  engine.ExecuteQuery("by_region", by_region_spja);
+  OR_DIE(engine.ExecuteQuery("by_region", by_region_spja));
 
   std::vector<rid_t> linked;
-  engine.TraceAcross("rollup", {0}, "sales", "by_region", &linked);
+  OR_DIE(engine.TraceAcross("rollup", {0}, "sales", "by_region", &linked));
   std::printf("Rollup row 0 brushes %zu region bars in the other view\n",
               linked.size());
   return 0;

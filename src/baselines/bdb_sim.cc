@@ -49,14 +49,14 @@ int BdbSim::LowerBound(const uint64_t* keys, int n, uint64_t k) const {
   return lo;
 }
 
-BdbSim::Node* BdbSim::NewLeaf() {
+BdbSim::Node* BdbSim::NewLeafLocked() {
   Node* n = new Node();
   n->leaf = true;
   ++num_nodes_;
   return n;
 }
 
-BdbSim::Node* BdbSim::NewInternal() {
+BdbSim::Node* BdbSim::NewInternalLocked() {
   Node* n = new Node();
   n->leaf = false;
   ++num_nodes_;
@@ -76,7 +76,7 @@ BdbSim::~BdbSim() { FreeTree(root_); }
 void BdbSim::Put(const void* key, size_t key_len, const void* val,
                  size_t val_len) {
   // Page latch: BDB latches even in single-threaded in-memory use.
-  std::lock_guard<std::mutex> lock(latch_);
+  MutexLock lock(latch_);
   // Unmarshal the byte buffers (the API boundary the paper charges for).
   SMOKE_DCHECK(key_len == 4 && val_len == 4);
   (void)key_len;
@@ -86,9 +86,9 @@ void BdbSim::Put(const void* key, size_t key_len, const void* val,
   std::memcpy(&v32, val, 4);
   uint64_t k = Compose(k32, static_cast<uint32_t>(seq_++));
 
-  SplitResult split = InsertRec(root_, k, v32);
+  SplitResult split = InsertRecLocked(root_, k, v32);
   if (split.right != nullptr) {
-    Node* new_root = NewInternal();
+    Node* new_root = NewInternalLocked();
     new_root->n = 1;
     new_root->keys[0] = split.sep;
     new_root->children[0] = root_;
@@ -98,7 +98,7 @@ void BdbSim::Put(const void* key, size_t key_len, const void* val,
   ++count_;
 }
 
-BdbSim::SplitResult BdbSim::InsertRec(Node* n, uint64_t k, uint32_t v) {
+BdbSim::SplitResult BdbSim::InsertRecLocked(Node* n, uint64_t k, uint32_t v) {
   if (n->leaf) {
     int pos = UpperBound(n->keys, n->n, k);
     // Shift and insert.
@@ -111,7 +111,7 @@ BdbSim::SplitResult BdbSim::InsertRec(Node* n, uint64_t k, uint32_t v) {
     ++n->n;
     if (n->n < kOrder) return {};
     // Split leaf.
-    Node* right = NewLeaf();
+    Node* right = NewLeafLocked();
     int half = n->n / 2;
     right->n = n->n - half;
     std::copy(n->keys + half, n->keys + n->n, right->keys);
@@ -123,7 +123,7 @@ BdbSim::SplitResult BdbSim::InsertRec(Node* n, uint64_t k, uint32_t v) {
   }
 
   int pos = UpperBound(n->keys, n->n, k);
-  SplitResult child_split = InsertRec(n->children[pos], k, v);
+  SplitResult child_split = InsertRecLocked(n->children[pos], k, v);
   if (child_split.right == nullptr) return {};
   // Insert separator into this internal node.
   for (int i = n->n; i > pos; --i) {
@@ -135,7 +135,7 @@ BdbSim::SplitResult BdbSim::InsertRec(Node* n, uint64_t k, uint32_t v) {
   ++n->n;
   if (n->n < kOrder) return {};
   // Split internal: middle separator moves up.
-  Node* right = NewInternal();
+  Node* right = NewInternalLocked();
   int mid = n->n / 2;
   uint64_t up = n->keys[mid];
   right->n = n->n - mid - 1;
@@ -146,7 +146,7 @@ BdbSim::SplitResult BdbSim::InsertRec(Node* n, uint64_t k, uint32_t v) {
 }
 
 bool BdbSim::Cursor::Seek(uint32_t key) {
-  std::lock_guard<std::mutex> lock(db_->latch_);
+  MutexLock lock(db_->latch_);
   key_ = key;
   uint64_t target = Compose(key, 0);
   const Node* n = db_->root_;
@@ -167,7 +167,7 @@ bool BdbSim::Cursor::Seek(uint32_t key) {
 }
 
 bool BdbSim::Cursor::Next(uint32_t* value) {
-  std::lock_guard<std::mutex> lock(db_->latch_);
+  MutexLock lock(db_->latch_);
   const Node* n = static_cast<const Node*>(leaf_);
   if (n == nullptr) return false;
   if (pos_ >= static_cast<size_t>(n->n)) {

@@ -10,10 +10,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/types.h"
 #include "engine/capture.h"
 
@@ -30,11 +30,15 @@ namespace smoke {
 /// (BDB latches pages even in single-threaded in-memory use).
 class BdbSim {
  public:
-  BdbSim() { root_ = NewLeaf(); }
+  BdbSim() {
+    MutexLock lock(latch_);
+    root_ = NewLeafLocked();
+  }
   SMOKE_DISALLOW_COPY_AND_ASSIGN(BdbSim);
 
   /// DB->put(key, value) with byte-buffer marshalling (DB_DUP).
-  void Put(const void* key, size_t key_len, const void* val, size_t val_len);
+  void Put(const void* key, size_t key_len, const void* val, size_t val_len)
+      SMOKE_EXCLUDES(latch_);
 
   /// Cursor API: DBC->get(DB_SET) then DB_NEXT_DUP. Returns all values for
   /// `key` via repeated per-value calls (the cursor-like access pattern the
@@ -43,9 +47,9 @@ class BdbSim {
    public:
     explicit Cursor(const BdbSim* db) : db_(db) {}
     /// Positions at the first duplicate of `key`; returns false if absent.
-    bool Seek(uint32_t key);
+    bool Seek(uint32_t key) SMOKE_EXCLUDES(db_->latch_);
     /// Fetches the current value and advances; false when duplicates end.
-    bool Next(uint32_t* value);
+    bool Next(uint32_t* value) SMOKE_EXCLUDES(db_->latch_);
 
    private:
     const BdbSim* db_;
@@ -54,8 +58,18 @@ class BdbSim {
     uint32_t key_ = 0;
   };
 
-  size_t size() const { return count_; }
-  size_t num_nodes() const { return num_nodes_; }
+  /// Entry and node counts take the latch: Put mutates them, and BdbWriter
+  /// is shared across capture workers — an unlatched read here was the
+  /// unguarded-stats race the thread-safety annotations surfaced
+  /// (tests/bdb_sim_test.cc ConcurrentPutsAndStatsReads).
+  size_t size() const SMOKE_EXCLUDES(latch_) {
+    MutexLock lock(latch_);
+    return count_;
+  }
+  size_t num_nodes() const SMOKE_EXCLUDES(latch_) {
+    MutexLock lock(latch_);
+    return num_nodes_;
+  }
 
   ~BdbSim();
 
@@ -69,8 +83,8 @@ class BdbSim {
   static int CompareKeys(const void* a, const void* b);
 
   struct Node;
-  Node* NewLeaf();
-  Node* NewInternal();
+  Node* NewLeafLocked() SMOKE_REQUIRES(latch_);
+  Node* NewInternalLocked() SMOKE_REQUIRES(latch_);
   void FreeTree(Node* n);
 
   /// Binary search via the comparator callback: first index with
@@ -83,14 +97,15 @@ class BdbSim {
     Node* right = nullptr;
     uint64_t sep = 0;
   };
-  SplitResult InsertRec(Node* n, uint64_t k, uint32_t v);
+  SplitResult InsertRecLocked(Node* n, uint64_t k, uint32_t v)
+      SMOKE_REQUIRES(latch_);
 
-  Node* root_ = nullptr;
-  uint64_t seq_ = 0;
-  size_t count_ = 0;
-  size_t num_nodes_ = 0;
-  Comparator cmp_ = &BdbSim::CompareKeys;
-  mutable std::mutex latch_;
+  Node* root_ SMOKE_GUARDED_BY(latch_) = nullptr;
+  uint64_t seq_ SMOKE_GUARDED_BY(latch_) = 0;
+  size_t count_ SMOKE_GUARDED_BY(latch_) = 0;
+  size_t num_nodes_ SMOKE_GUARDED_BY(latch_) = 0;
+  Comparator cmp_ = &BdbSim::CompareKeys;  ///< set once, then read-only
+  mutable Mutex latch_;
 };
 
 /// \brief LineageWriter that stores edges in BdbSim trees (one per

@@ -1,0 +1,124 @@
+// Annotated synchronization primitives: thin wrappers over the standard
+// library that carry Clang thread-safety capability attributes
+// (common/thread_annotations.h).
+//
+// libstdc++'s std::mutex / std::lock_guard are not annotated, so a
+// SMOKE_GUARDED_BY(mu_) field would be unprovable — the analysis never
+// sees an acquisition. smoke::Mutex IS a capability; MutexLock is the
+// scoped acquisition the analysis tracks; CondVar wraps
+// std::condition_variable_any so waits take the annotated Mutex directly
+// (the unlock/relock inside wait() is invisible to the analysis, which
+// treats the lock as continuously held — the standard, sound-for-readers
+// convention Abseil's CondVar uses too).
+//
+// Cost notes: Mutex is exactly a std::mutex; MutexLock is exactly a
+// lock_guard. CondVar is a condition_variable_any, marginally heavier than
+// condition_variable at the wait/notify boundary — all uses here are
+// morsel- or batch-grained, where that boundary is noise.
+#ifndef SMOKE_COMMON_MUTEX_H_
+#define SMOKE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/thread_annotations.h"
+
+namespace smoke {
+
+/// \brief An annotated std::mutex: the unit of capability the thread-safety
+/// analysis tracks. Use MutexLock for scopes; Lock/Unlock only where a
+/// scope cannot express the protocol.
+class SMOKE_LOCKABLE Mutex {
+ public:
+  Mutex() = default;
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(Mutex);
+
+  void Lock() SMOKE_ACQUIRE() { mu_.lock(); }
+  void Unlock() SMOKE_RELEASE() { mu_.unlock(); }
+  bool TryLock() SMOKE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Injects "this mutex is held" into the analysis without touching the
+  /// mutex — for lambda bodies (analyzed as separate functions) that run
+  /// under a lock taken by their caller, e.g. CondVar wait predicates.
+  void AssertHeld() const SMOKE_ASSERT_CAPABILITY(this) {}
+
+  // BasicLockable surface for std::condition_variable_any (CondVar::Wait
+  // releases and reacquires through these).
+  void lock() SMOKE_ACQUIRE() { mu_.lock(); }
+  void unlock() SMOKE_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII scope: acquires `mu` for its lifetime. The analysis treats
+/// the scope as holding the capability.
+class SMOKE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SMOKE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SMOKE_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief MutexLock with early release, for the collect-under-lock /
+/// run-callbacks-after-unlock pattern (epoch reclamation drains).
+class SMOKE_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) SMOKE_ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~ReleasableMutexLock() SMOKE_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+  /// Unlocks now; the destructor becomes a no-op. Call at most once.
+  void Release() SMOKE_RELEASE() {
+    SMOKE_DCHECK(mu_ != nullptr);
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable over smoke::Mutex. Waits require the mutex —
+/// the annotation documents and enforces the protocol; predicates must open
+/// with mu.AssertHeld() (see thread_annotations.h conventions).
+class CondVar {
+ public:
+  CondVar() = default;
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(CondVar);
+
+  /// Atomically releases `mu`, blocks, reacquires before returning. The
+  /// body is exempt from analysis: the transient unlock inside
+  /// condition_variable_any::wait is the one protocol the capability model
+  /// cannot express; callers observe lock-held on entry and exit, which is
+  /// the contract REQUIRES states.
+  void Wait(Mutex& mu) SMOKE_REQUIRES(mu) SMOKE_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  /// Waits until pred() holds. pred runs with `mu` held.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) SMOKE_REQUIRES(mu)
+      SMOKE_NO_THREAD_SAFETY_ANALYSIS {
+    while (!pred()) cv_.wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_COMMON_MUTEX_H_

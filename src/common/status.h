@@ -1,10 +1,18 @@
 // A minimal Status type for error reporting, following the Arrow/RocksDB
 // convention of returning Status from fallible API-level operations.
+//
+// Status (and Result<T>) are [[nodiscard]]: a call site that drops a
+// returned Status is a compile error under -Werror=unused-result (on by
+// default for all smoke targets — see smoke_warnings in CMakeLists.txt).
+// Intentional drops must say so: `engine.DropTable(n).IgnoreError();` —
+// explicit at the call site and grep-able (`git grep IgnoreError`).
 #ifndef SMOKE_COMMON_STATUS_H_
 #define SMOKE_COMMON_STATUS_H_
 
 #include <string>
 #include <utility>
+
+#include "common/macros.h"
 
 namespace smoke {
 
@@ -12,7 +20,7 @@ namespace smoke {
 ///
 /// Internal invariant violations abort via SMOKE_CHECK; user-facing errors
 /// (unknown table, schema mismatch, bad parameters) surface as a Status.
-class Status {
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -43,6 +51,11 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// Explicitly discards this status. The only sanctioned way to drop an
+  /// error: `(void)` casts are banned by convention (they defeat the
+  /// greppability), and a bare drop fails the build.
+  void IgnoreError() const {}
+
   std::string ToString() const {
     if (ok()) return "OK";
     std::string prefix;
@@ -61,11 +74,68 @@ class Status {
   std::string msg_;
 };
 
+/// \brief A Status or a value: the return type for fallible operations
+/// whose result is awkward as an out-parameter (pointers into internal
+/// state, movable handles). Accessing value() on an error aborts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from an error Status (so `return Status::NotFound(...)` works
+  /// in a Result-returning function). Constructing from OK is a bug: OK
+  /// must carry a value.
+  Result(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)
+    SMOKE_CHECK(!status_.ok());
+  }
+  /// Implicit from a value (so `return v;` works).
+  Result(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SMOKE_CHECK(status_.ok());
+    return value_;
+  }
+  T& value() & {
+    SMOKE_CHECK(status_.ok());
+    return value_;
+  }
+  T&& value() && {
+    SMOKE_CHECK(status_.ok());
+    return std::move(value_);
+  }
+
+  void IgnoreError() const {}
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status to the caller; continues on OK.
 #define SMOKE_RETURN_NOT_OK(expr)          \
   do {                                     \
     ::smoke::Status _st = (expr);          \
     if (!_st.ok()) return _st;             \
   } while (0)
+
+#define SMOKE_STATUS_CONCAT_IMPL(a, b) a##b
+#define SMOKE_STATUS_CONCAT(a, b) SMOKE_STATUS_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its Status
+/// to the caller, otherwise assigns the value to `lhs`, which may declare
+/// a new variable:
+///
+///   SMOKE_ASSIGN_OR_RETURN(const Table* t, catalog.FindTable(name));
+#define SMOKE_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  SMOKE_ASSIGN_OR_RETURN_IMPL(                                       \
+      SMOKE_STATUS_CONCAT(_smoke_result_, __LINE__), lhs, rexpr)
+
+#define SMOKE_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
 
 }  // namespace smoke
 

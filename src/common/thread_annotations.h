@@ -1,0 +1,85 @@
+// Clang thread-safety annotation macros (Abseil-style, SMOKE_ prefix).
+//
+// These expand to Clang's capability attributes when compiling under Clang
+// and to nothing everywhere else, so annotated code builds unchanged under
+// GCC/MSVC. Under `clang++ -Wthread-safety -Werror=thread-safety` (the CI
+// "static-analysis" job; locally: -DSMOKE_THREAD_SAFETY is implied by a
+// Clang toolchain) every locking invariant written with these macros is a
+// compile-time theorem: reading a SMOKE_GUARDED_BY(mu) field without
+// holding mu, calling a SMOKE_REQUIRES(mu) function unlocked, or
+// re-entering a SMOKE_EXCLUDES(mu) function with mu held is a build error,
+// not a TSan roll of the interleaving dice.
+//
+// Conventions (enforced by tools/check_annotations.py):
+//  - every mutex member (smoke::Mutex, std::mutex, std::shared_mutex) must
+//    appear in at least one SMOKE_GUARDED_BY / SMOKE_REQUIRES /
+//    SMOKE_ACQUIRE / SMOKE_RELEASE / SMOKE_EXCLUDES annotation;
+//  - helpers with a caller-holds-lock contract are named *Locked and
+//    annotated SMOKE_REQUIRES(mu_) — the name is for humans, the attribute
+//    is for the compiler;
+//  - lambdas that run with a lock held (condition-variable predicates)
+//    open with mu_.AssertHeld(): Clang analyzes lambda bodies as separate
+//    functions, and the assertion re-establishes the capability inside.
+#ifndef SMOKE_COMMON_THREAD_ANNOTATIONS_H_
+#define SMOKE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SMOKE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SMOKE_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability ("mutex") the analysis can track.
+#define SMOKE_CAPABILITY(x) SMOKE_THREAD_ANNOTATION(capability(x))
+#define SMOKE_LOCKABLE SMOKE_CAPABILITY("mutex")
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SMOKE_SCOPED_CAPABILITY SMOKE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability.
+#define SMOKE_GUARDED_BY(x) SMOKE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the pointee (not the pointer) is protected by `x`.
+#define SMOKE_PT_GUARDED_BY(x) SMOKE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called while holding the given capabilities
+/// (caller-holds-lock contract; pairs with the *Locked naming convention).
+#define SMOKE_REQUIRES(...) \
+  SMOKE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SMOKE_REQUIRES_SHARED(...) \
+  SMOKE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define SMOKE_ACQUIRE(...) \
+  SMOKE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SMOKE_ACQUIRE_SHARED(...) \
+  SMOKE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define SMOKE_RELEASE(...) \
+  SMOKE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SMOKE_RELEASE_SHARED(...) \
+  SMOKE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define SMOKE_TRY_ACQUIRE(...) \
+  SMOKE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock / re-entrancy guard on
+/// public entry points of internally synchronized classes).
+#define SMOKE_EXCLUDES(...) SMOKE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; injects the fact into the
+/// analysis (used at the top of lock-held lambdas).
+#define SMOKE_ASSERT_CAPABILITY(x) SMOKE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability (lock accessors).
+#define SMOKE_RETURN_CAPABILITY(x) SMOKE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis of one function body. Every use must
+/// carry a comment explaining why the invariant holds anyway.
+#define SMOKE_NO_THREAD_SAFETY_ANALYSIS \
+  SMOKE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SMOKE_COMMON_THREAD_ANNOTATIONS_H_

@@ -63,7 +63,7 @@ void EvictQueryLineage(QueryLineage* lineage) {
 
 void LineageMemoryTracker::Register(const std::string& name, size_t bytes,
                                     LineageCodec codec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[name];
   total_ -= e.bytes;
   e.bytes = bytes;
@@ -75,7 +75,7 @@ void LineageMemoryTracker::Register(const std::string& name, size_t bytes,
 
 void LineageMemoryTracker::Update(const std::string& name, size_t bytes,
                                   LineageCodec codec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return;
   total_ -= it->second.bytes;
@@ -86,7 +86,7 @@ void LineageMemoryTracker::Update(const std::string& name, size_t bytes,
 
 void LineageMemoryTracker::MarkEvicted(const std::string& name,
                                        size_t residual_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return;
   total_ -= it->second.bytes;
@@ -96,7 +96,7 @@ void LineageMemoryTracker::MarkEvicted(const std::string& name,
 }
 
 void LineageMemoryTracker::Release(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return;
   total_ -= it->second.bytes;
@@ -104,7 +104,7 @@ void LineageMemoryTracker::Release(const std::string& name) {
 }
 
 void LineageMemoryTracker::Touch(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return;
   it->second.last_access = ++tick_;
@@ -113,7 +113,7 @@ void LineageMemoryTracker::Touch(const std::string& name) {
 bool LineageMemoryTracker::Coldest(
     const std::function<bool(const std::string&, const Entry&)>& pred,
     std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t best_tick = 0;
   bool found = false;
   for (const auto& [name, entry] : entries_) {
@@ -128,22 +128,22 @@ bool LineageMemoryTracker::Coldest(
 }
 
 void LineageMemoryTracker::SetBudget(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   budget_ = bytes;
 }
 
 size_t LineageMemoryTracker::budget() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return budget_;
 }
 
 size_t LineageMemoryTracker::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 
 LineageStoreStats LineageMemoryTracker::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LineageStoreStats s;
   s.total_bytes = total_;
   s.budget_bytes = budget_;
@@ -162,7 +162,7 @@ LineageStoreStats LineageMemoryTracker::Stats() const {
 }
 
 bool LineageMemoryTracker::Lookup(const std::string& name, Entry* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return false;
   *out = it->second;

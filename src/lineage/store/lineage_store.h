@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "lineage/query_lineage.h"
 #include "lineage/store/rid_codec.h"
 
@@ -65,7 +65,9 @@ struct LineageStoreStats {
 ///
 /// Internally synchronized: Touch() runs inside the engine's *const*
 /// lookup paths, which concurrent readers may share — LRU bookkeeping must
-/// not turn read-only trace APIs into data races.
+/// not turn read-only trace APIs into data races. That invariant is
+/// machine-checked: every field is SMOKE_GUARDED_BY(mu_), so a code path
+/// that reaches the tick map without the lock cannot compile under Clang.
 class LineageMemoryTracker {
  public:
   struct Entry {
@@ -75,41 +77,46 @@ class LineageMemoryTracker {
     uint64_t last_access = 0;
   };
 
-  void Register(const std::string& name, size_t bytes, LineageCodec codec);
+  void Register(const std::string& name, size_t bytes, LineageCodec codec)
+      SMOKE_EXCLUDES(mu_);
 
   /// Updates bytes/codec of an existing entry (re-encoding). Unknown names
   /// are ignored.
-  void Update(const std::string& name, size_t bytes, LineageCodec codec);
+  void Update(const std::string& name, size_t bytes, LineageCodec codec)
+      SMOKE_EXCLUDES(mu_);
 
   /// Marks `name` evicted with `residual_bytes` remaining (normally 0).
-  void MarkEvicted(const std::string& name, size_t residual_bytes);
+  void MarkEvicted(const std::string& name, size_t residual_bytes)
+      SMOKE_EXCLUDES(mu_);
 
-  void Release(const std::string& name);
+  void Release(const std::string& name) SMOKE_EXCLUDES(mu_);
 
   /// Bumps the LRU clock of `name` (trace access). Unknown names ignored.
-  void Touch(const std::string& name);
+  void Touch(const std::string& name) SMOKE_EXCLUDES(mu_);
 
-  void SetBudget(size_t bytes);
-  size_t budget() const;
-  size_t total_bytes() const;
+  void SetBudget(size_t bytes) SMOKE_EXCLUDES(mu_);
+  size_t budget() const SMOKE_EXCLUDES(mu_);
+  size_t total_bytes() const SMOKE_EXCLUDES(mu_);
 
   /// The least-recently-accessed entry satisfying `pred`; false when none.
+  /// `pred` runs under the tracker's lock: it must not call back into this
+  /// tracker (SMOKE_EXCLUDES would not catch that through std::function).
   bool Coldest(
       const std::function<bool(const std::string&, const Entry&)>& pred,
-      std::string* out) const;
+      std::string* out) const SMOKE_EXCLUDES(mu_);
 
-  LineageStoreStats Stats() const;
+  LineageStoreStats Stats() const SMOKE_EXCLUDES(mu_);
 
   /// Copies the entry registered under `name` (the cost model's per-query
   /// store statistics); false when unknown.
-  bool Lookup(const std::string& name, Entry* out) const;
+  bool Lookup(const std::string& name, Entry* out) const SMOKE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  size_t total_ = 0;
-  size_t budget_ = 0;
-  uint64_t tick_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ SMOKE_GUARDED_BY(mu_);
+  size_t total_ SMOKE_GUARDED_BY(mu_) = 0;
+  size_t budget_ SMOKE_GUARDED_BY(mu_) = 0;
+  uint64_t tick_ SMOKE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace smoke

@@ -47,10 +47,10 @@ MorselScheduler::MorselScheduler(int num_threads)
 
 MorselScheduler::~MorselScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -63,19 +63,22 @@ void MorselScheduler::ParallelFor(
   }
   uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     num_tasks_ = num_tasks;
     pending_ = num_tasks;
     next_task_ = 0;
     epoch = ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   RunTasks(0, epoch);  // the caller is worker 0
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  done_cv_.Wait(mu_, [this] {
+    mu_.AssertHeld();
+    return pending_ == 0;
+  });
   // `fn` may be a temporary owned by the caller's frame: unpublish it before
   // returning. Stale workers validate the epoch before claiming, so none
   // can still touch it or the queue of a later batch.
@@ -87,7 +90,7 @@ void MorselScheduler::RunTasks(size_t worker, uint64_t epoch) {
     const std::function<void(size_t, size_t)>* fn;
     size_t task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shutdown_ || fn_ == nullptr || epoch_ != epoch) return;
       if (next_task_ >= num_tasks_) return;
       task = next_task_++;
@@ -95,8 +98,8 @@ void MorselScheduler::RunTasks(size_t worker, uint64_t epoch) {
     }
     (*fn)(task, worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_one();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) done_cv_.NotifyOne();
     }
   }
 }
@@ -106,8 +109,9 @@ void MorselScheduler::WorkerLoop(size_t worker) {
   for (;;) {
     uint64_t epoch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this, seen_epoch] {
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this, seen_epoch] {
+        mu_.AssertHeld();
         return shutdown_ || (fn_ != nullptr && epoch_ != seen_epoch);
       });
       if (shutdown_) return;

@@ -16,14 +16,13 @@
 #ifndef SMOKE_PLAN_SCHEDULER_H_
 #define SMOKE_PLAN_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace smoke {
@@ -96,30 +95,33 @@ class MorselScheduler : public TaskScheduler {
   /// calling thread is worker 0. Blocks until every task finished.
   void ParallelFor(
       size_t num_tasks,
-      const std::function<void(size_t task, size_t worker)>& fn) override;
+      const std::function<void(size_t task, size_t worker)>& fn) override
+      SMOKE_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(size_t worker);
+  void WorkerLoop(size_t worker) SMOKE_EXCLUDES(mu_);
   /// Claims and runs tasks of batch `epoch` until the queue drains or the
   /// batch is superseded. Claims are validated against the epoch under the
   /// mutex, so a worker that wakes late for a finished batch can neither
   /// call its destroyed function nor steal a task from the next batch.
   /// Tasks are morsel-grained, so the two lock acquisitions per task are
   /// noise next to the task body.
-  void RunTasks(size_t worker, uint64_t epoch);
+  void RunTasks(size_t worker, uint64_t epoch) SMOKE_EXCLUDES(mu_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a new batch
-  std::condition_variable done_cv_;   // caller waits for batch completion
-  const std::function<void(size_t, size_t)>* fn_ = nullptr;  // current batch
-  size_t num_tasks_ = 0;
-  uint64_t epoch_ = 0;                // bumped per ParallelFor call
-  size_t next_task_ = 0;              // the morsel queue (guarded by mu_)
-  size_t pending_ = 0;                // tasks not yet finished
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;   // workers wait for a new batch
+  CondVar done_cv_;   // caller waits for batch completion
+  /// current batch
+  const std::function<void(size_t, size_t)>* fn_ SMOKE_GUARDED_BY(mu_) =
+      nullptr;
+  size_t num_tasks_ SMOKE_GUARDED_BY(mu_) = 0;
+  uint64_t epoch_ SMOKE_GUARDED_BY(mu_) = 0;  // bumped per ParallelFor call
+  size_t next_task_ SMOKE_GUARDED_BY(mu_) = 0;  // the morsel queue
+  size_t pending_ SMOKE_GUARDED_BY(mu_) = 0;    // tasks not yet finished
+  bool shutdown_ SMOKE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace smoke

@@ -24,17 +24,17 @@ TieredScheduler::TieredScheduler(int num_threads)
 
 TieredScheduler::~TieredScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
-std::shared_ptr<TieredScheduler::Job> TieredScheduler::FrontRunnable(
+std::shared_ptr<TieredScheduler::Job> TieredScheduler::FrontRunnableLocked(
     std::deque<std::shared_ptr<Job>>* queue) {
   // Fully claimed jobs at the front are done admitting; drop them — their
-  // in-flight tasks track completion through the shared_ptr. Call under mu_.
+  // in-flight tasks track completion through the shared_ptr.
   while (!queue->empty() &&
          (*queue->begin())->next_task >= (*queue->begin())->num_tasks) {
     queue->pop_front();
@@ -55,7 +55,7 @@ size_t TieredScheduler::ClaimTaskLocked(Job* job) {
 }
 
 void TieredScheduler::FinishTask(const std::shared_ptr<Job>& job) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (--job->pending > 0) return;
   ClassStats& cs = stats_[static_cast<size_t>(job->cls)];
   cs.jobs++;
@@ -64,16 +64,16 @@ void TieredScheduler::FinishTask(const std::shared_ptr<Job>& job) {
   cs.queue_depth--;
   auto& q = queues_[static_cast<size_t>(job->cls)];
   q.erase(std::remove(q.begin(), q.end(), job), q.end());
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 bool TieredScheduler::RunOneTask(size_t worker) {
   std::shared_ptr<Job> job;
   size_t task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    job = FrontRunnable(&queues_[0]);  // interactive preempts...
-    if (job == nullptr) job = FrontRunnable(&queues_[1]);  // ...batch
+    MutexLock lock(mu_);
+    job = FrontRunnableLocked(&queues_[0]);  // interactive preempts...
+    if (job == nullptr) job = FrontRunnableLocked(&queues_[1]);  // ...batch
     if (job == nullptr) return false;
     task = ClaimTaskLocked(job.get());
   }
@@ -93,13 +93,13 @@ void TieredScheduler::ParallelFor(
   job->pending = num_tasks;
   job->submit = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ClassStats& cs = stats_[static_cast<size_t>(c)];
     cs.queue_depth++;
     cs.max_queue_depth = std::max(cs.max_queue_depth, cs.queue_depth);
     queues_[static_cast<size_t>(c)].push_back(job);
   }
-  if (num_threads_ > 0) work_cv_.notify_all();
+  if (num_threads_ > 0) work_cv_.NotifyAll();
 
   // The submitter drives its own job (caller slot = num_threads_): with a
   // saturated or empty pool the job still completes, and a brush's own
@@ -108,7 +108,7 @@ void TieredScheduler::ParallelFor(
   for (;;) {
     size_t task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (job->next_task >= job->num_tasks) break;
       task = ClaimTaskLocked(job.get());
     }
@@ -116,8 +116,8 @@ void TieredScheduler::ParallelFor(
     FinishTask(job);
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return job->pending == 0; });
+  MutexLock lock(mu_);
+  done_cv_.Wait(mu_, [&] { return job->pending == 0; });
 }
 
 void TieredScheduler::Run(TaskClass c, const std::function<void()>& fn) {
@@ -127,11 +127,12 @@ void TieredScheduler::Run(TaskClass c, const std::function<void()>& fn) {
 void TieredScheduler::WorkerLoop(size_t worker) {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this] {
+        mu_.AssertHeld();
         if (shutdown_) return true;
         for (auto& q : queues_) {
-          if (FrontRunnable(&q) != nullptr) return true;
+          if (FrontRunnableLocked(&q) != nullptr) return true;
         }
         return false;
       });
@@ -143,7 +144,7 @@ void TieredScheduler::WorkerLoop(size_t worker) {
 }
 
 TieredScheduler::Stats TieredScheduler::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.interactive = stats_[static_cast<size_t>(TaskClass::kInteractive)];
   s.batch = stats_[static_cast<size_t>(TaskClass::kBatch)];

@@ -26,16 +26,15 @@
 #define SMOKE_SERVE_ADMISSION_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "plan/scheduler.h"
 
 namespace smoke {
@@ -67,12 +66,13 @@ class TieredScheduler {
   /// concurrently. Worker ids are in [0, num_threads + 1); the caller's
   /// slot is num_threads.
   void ParallelFor(TaskClass c, size_t num_tasks,
-                   const std::function<void(size_t task, size_t worker)>& fn);
+                   const std::function<void(size_t task, size_t worker)>& fn)
+      SMOKE_EXCLUDES(mu_);
 
   /// Convenience: runs `fn` as a single-task job of class `c` — the
   /// admission path for whole interactive requests (a brush) as opposed to
   /// intra-job morsels.
-  void Run(TaskClass c, const std::function<void()>& fn);
+  void Run(TaskClass c, const std::function<void()>& fn) SMOKE_EXCLUDES(mu_);
 
   /// Per-class admission accounting.
   struct ClassStats {
@@ -88,7 +88,7 @@ class TieredScheduler {
     ClassStats interactive;
     ClassStats batch;
   };
-  Stats GetStats() const;
+  Stats GetStats() const SMOKE_EXCLUDES(mu_);
 
   /// \brief TaskScheduler adapter: presents one admission class of this
   /// pool through the interface CaptureOptions::scheduler expects, so any
@@ -116,6 +116,9 @@ class TieredScheduler {
   Lease BatchLease() { return Lease(this, TaskClass::kBatch); }
 
  private:
+  /// Mutable Job state (next_task, pending, started) is guarded by the
+  /// owning scheduler's mu_ — expressed on the accessors below rather than
+  /// per field, since GUARDED_BY cannot name another object's mutex.
   struct Job {
     TaskClass cls = TaskClass::kBatch;
     const std::function<void(size_t, size_t)>* fn = nullptr;
@@ -128,27 +131,29 @@ class TieredScheduler {
 
   /// The next job of `queue` with unclaimed tasks, or null. Drops fully
   /// claimed jobs from the front (their owners track completion).
-  std::shared_ptr<Job> FrontRunnable(std::deque<std::shared_ptr<Job>>* queue);
+  std::shared_ptr<Job> FrontRunnableLocked(
+      std::deque<std::shared_ptr<Job>>* queue) SMOKE_REQUIRES(mu_);
   /// Advances the claim cursor and, on the first claim, closes the
-  /// admission-wait clock. Must be called under mu_.
-  size_t ClaimTaskLocked(Job* job);
+  /// admission-wait clock.
+  size_t ClaimTaskLocked(Job* job) SMOKE_REQUIRES(mu_);
   /// Marks one task done; the last task closes out the job's accounting
   /// and wakes submitters.
-  void FinishTask(const std::shared_ptr<Job>& job);
-  void WorkerLoop(size_t worker);
+  void FinishTask(const std::shared_ptr<Job>& job) SMOKE_EXCLUDES(mu_);
+  void WorkerLoop(size_t worker) SMOKE_EXCLUDES(mu_);
   /// Claims one task (interactive first) and runs it. Returns false when
   /// no task was available.
-  bool RunOneTask(size_t worker);
+  bool RunOneTask(size_t worker) SMOKE_EXCLUDES(mu_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers: new tasks available
-  std::condition_variable done_cv_;  ///< submitters: some job finished
-  std::deque<std::shared_ptr<Job>> queues_[2];  ///< indexed by TaskClass
-  ClassStats stats_[2];
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;  ///< workers: new tasks available
+  CondVar done_cv_;  ///< submitters: some job finished
+  /// indexed by TaskClass
+  std::deque<std::shared_ptr<Job>> queues_[2] SMOKE_GUARDED_BY(mu_);
+  ClassStats stats_[2] SMOKE_GUARDED_BY(mu_);
+  bool shutdown_ SMOKE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace smoke

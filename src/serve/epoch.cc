@@ -1,13 +1,17 @@
 #include "serve/epoch.h"
 
+#include <utility>
+
 namespace smoke {
 
 EpochManager::~EpochManager() {
-  std::unique_lock<std::mutex> lock(mu_);
-  SMOKE_CHECK(pins_.empty());  // a live Guard outliving its manager is a bug
-  std::vector<Retired> drain = std::move(retired_);
-  retired_.clear();
-  lock.unlock();
+  std::vector<Retired> drain;
+  {
+    MutexLock lock(mu_);
+    SMOKE_CHECK(pins_.empty());  // a live Guard outliving its manager is a bug
+    drain = std::move(retired_);
+    retired_.clear();
+  }
   for (Retired& r : drain) r.deleter();
 }
 
@@ -19,46 +23,50 @@ void EpochManager::Guard::Release() {
 }
 
 EpochManager::Guard EpochManager::Pin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pins_[epoch_]++;
   return Guard(this, epoch_);
 }
 
 void EpochManager::Unpin(uint64_t epoch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = pins_.find(epoch);
-  SMOKE_CHECK(it != pins_.end() && it->second > 0);
-  if (--it->second == 0) pins_.erase(it);
-  std::vector<Retired> drain = TakeReclaimable(lock);
-  lock.unlock();
+  std::vector<Retired> drain;
+  {
+    MutexLock lock(mu_);
+    auto it = pins_.find(epoch);
+    SMOKE_CHECK(it != pins_.end() && it->second > 0);
+    if (--it->second == 0) pins_.erase(it);
+    drain = TakeReclaimableLocked();
+  }
   for (Retired& r : drain) r.deleter();
 }
 
 void EpochManager::Retire(std::function<void()> deleter) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Retired r;
-  r.epoch = epoch_;
-  r.deleter = std::move(deleter);
-  retired_.push_back(std::move(r));
-  // Advance the clock so pins taken from here on are provably after the
-  // retire and can never need the retired object.
-  ++epoch_;
-  std::vector<Retired> drain = TakeReclaimable(lock);
-  lock.unlock();
+  std::vector<Retired> drain;
+  {
+    MutexLock lock(mu_);
+    Retired r;
+    r.epoch = epoch_;
+    r.deleter = std::move(deleter);
+    retired_.push_back(std::move(r));
+    // Advance the clock so pins taken from here on are provably after the
+    // retire and can never need the retired object.
+    ++epoch_;
+    drain = TakeReclaimableLocked();
+  }
   for (Retired& d : drain) d.deleter();
 }
 
 size_t EpochManager::Reclaim() {
-  std::unique_lock<std::mutex> lock(mu_);
-  std::vector<Retired> drain = TakeReclaimable(lock);
-  lock.unlock();
+  std::vector<Retired> drain;
+  {
+    MutexLock lock(mu_);
+    drain = TakeReclaimableLocked();
+  }
   for (Retired& r : drain) r.deleter();
   return drain.size();
 }
 
-std::vector<EpochManager::Retired> EpochManager::TakeReclaimable(
-    std::unique_lock<std::mutex>& lock) {
-  SMOKE_CHECK(lock.owns_lock());
+std::vector<EpochManager::Retired> EpochManager::TakeReclaimableLocked() {
   // Safe horizon: everything retired strictly before the oldest live pin
   // (or everything, when nothing is pinned — only future pins exist and
   // they start at the already-advanced clock).
@@ -78,7 +86,7 @@ std::vector<EpochManager::Retired> EpochManager::TakeReclaimable(
 }
 
 EpochManager::Stats EpochManager::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.epoch = epoch_;
   s.retired = retired_.size();

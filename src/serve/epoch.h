@@ -23,10 +23,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace smoke {
 
@@ -73,17 +73,17 @@ class EpochManager {
 
   /// Pins the current epoch. The caller may then safely dereference any
   /// object published before the pin and not yet retired at pin time.
-  Guard Pin();
+  Guard Pin() SMOKE_EXCLUDES(mu_);
 
   /// Registers `deleter` to run once no pin from the current or an earlier
   /// epoch remains, then advances the epoch (so later pins never extend
   /// this object's lifetime) and reclaims whatever is already safe.
-  void Retire(std::function<void()> deleter);
+  void Retire(std::function<void()> deleter) SMOKE_EXCLUDES(mu_);
 
   /// Runs every deleter whose retire epoch precedes all live pins. Called
   /// automatically on Retire and pin release; exposed for tests and
   /// shutdown paths. Returns the number of objects reclaimed.
-  size_t Reclaim();
+  size_t Reclaim() SMOKE_EXCLUDES(mu_);
 
   struct Stats {
     uint64_t epoch = 0;        ///< current epoch clock
@@ -91,7 +91,7 @@ class EpochManager {
     size_t retired = 0;        ///< objects awaiting reclamation
     uint64_t reclaimed = 0;    ///< objects freed so far
   };
-  Stats GetStats() const;
+  Stats GetStats() const SMOKE_EXCLUDES(mu_);
 
  private:
   struct Retired {
@@ -99,16 +99,19 @@ class EpochManager {
     std::function<void()> deleter;
   };
 
-  void Unpin(uint64_t epoch);
-  /// Moves reclaimable entries out of retired_ under `lock`; deleters run
-  /// after the lock is dropped (they may destroy whole engines).
-  std::vector<Retired> TakeReclaimable(std::unique_lock<std::mutex>& lock);
+  void Unpin(uint64_t epoch) SMOKE_EXCLUDES(mu_);
+  /// Moves reclaimable entries out of retired_; the caller must hold mu_
+  /// (machine-checked) and must run the returned deleters only after
+  /// dropping it (they may destroy whole engines).
+  std::vector<Retired> TakeReclaimableLocked() SMOKE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  uint64_t epoch_ = 0;
-  std::map<uint64_t, size_t> pins_;  ///< epoch -> live pin count
-  std::vector<Retired> retired_;     ///< retire-epoch order (non-decreasing)
-  uint64_t reclaimed_ = 0;
+  mutable Mutex mu_;
+  uint64_t epoch_ SMOKE_GUARDED_BY(mu_) = 0;
+  /// epoch -> live pin count
+  std::map<uint64_t, size_t> pins_ SMOKE_GUARDED_BY(mu_);
+  /// retire-epoch order (non-decreasing)
+  std::vector<Retired> retired_ SMOKE_GUARDED_BY(mu_);
+  uint64_t reclaimed_ SMOKE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace smoke

@@ -15,7 +15,7 @@ ServeCore::ServeCore(std::string relation, ServeOptions options)
 ServeCore::~ServeCore() {
   // Close stragglers so their retained traces release their pins...
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     for (auto& [id, session] : sessions_) {
       (void)id;
       session->Close();
@@ -30,7 +30,7 @@ ServeCore::~ServeCore() {
 }
 
 Status ServeCore::CreateTable(const std::string& name, Table table) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   if (started_) {
     return Status::InvalidArgument(
         "CreateTable('" + name + "') after Start(); serving cores have a "
@@ -44,7 +44,7 @@ Status ServeCore::CreateTable(const std::string& name, Table table) {
 }
 
 Status ServeCore::DefineView(const std::string& name, ViewDef def) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   if (started_) {
     return Status::InvalidArgument("DefineView('" + name +
                                    "') after Start()");
@@ -58,7 +58,7 @@ Status ServeCore::DefineView(const std::string& name, ViewDef def) {
 }
 
 Status ServeCore::Start() {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   if (started_) return Status::InvalidArgument("Start() called twice");
   if (tables_.empty()) return Status::InvalidArgument("no tables registered");
   if (tables_.count(relation_) == 0) {
@@ -75,7 +75,7 @@ Status ServeCore::Start() {
 }
 
 Status ServeCore::ReplaceTable(const std::string& name, Table table) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   if (!started_) return Status::InvalidArgument("ReplaceTable before Start()");
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
@@ -99,7 +99,7 @@ Status ServeCore::ReplaceTable(const std::string& name, Table table) {
 }
 
 Status ServeCore::AppendRows(const std::string& name, const Table& delta) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   if (!started_) return Status::InvalidArgument("AppendRows before Start()");
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
@@ -192,7 +192,7 @@ Status ServeCore::OpenSession(const std::string& session_id,
   }
   const size_t budget =
       budget_bytes != 0 ? budget_bytes : options_.session_budget_bytes;
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   if (sessions_.count(session_id) != 0) {
     return Status::AlreadyExists("session '" + session_id + "'");
   }
@@ -206,7 +206,7 @@ Status ServeCore::OpenSession(const std::string& session_id,
 Status ServeCore::CloseSession(const std::string& session_id) {
   std::shared_ptr<ServeSession> session;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     auto it = sessions_.find(session_id);
     if (it == sessions_.end()) {
       return Status::NotFound("session '" + session_id + "'");
@@ -219,12 +219,12 @@ Status ServeCore::CloseSession(const std::string& session_id) {
 }
 
 size_t ServeCore::NumSessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   return sessions_.size();
 }
 
 size_t ServeCore::SessionLineageBytes() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   size_t total = 0;
   for (const auto& [id, session] : sessions_) {
     (void)id;

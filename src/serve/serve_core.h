@@ -42,11 +42,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/smoke_engine.h"
 #include "serve/admission.h"
@@ -103,7 +103,8 @@ class ServeCore {
   // ---- definition phase (before Start) ----
 
   /// Registers a base table; its current contents seed snapshot version 1.
-  Status CreateTable(const std::string& name, Table table);
+  Status CreateTable(const std::string& name, Table table)
+      SMOKE_EXCLUDES(writer_mu_);
 
   /// Builds this view's plan against the tables of `engine` (borrow them
   /// via SmokeEngine::GetTable — each snapshot rebinds the plan to its own
@@ -113,11 +114,12 @@ class ServeCore {
 
   /// Declares a view re-executed into every snapshot version. Views must
   /// capture backward and forward lineage on the brushing relation.
-  Status DefineView(const std::string& name, ViewDef def);
+  Status DefineView(const std::string& name, ViewDef def)
+      SMOKE_EXCLUDES(writer_mu_);
 
   /// Builds and publishes snapshot version 1. Serving calls (sessions,
   /// writers) are valid after this returns OK.
-  Status Start();
+  Status Start() SMOKE_EXCLUDES(writer_mu_);
 
   // ---- writers (serialized among themselves; never block readers) ----
 
@@ -125,10 +127,12 @@ class ServeCore {
   /// version off to the side, publishes the result atomically, and retires
   /// the superseded snapshot via epoch reclamation. Concurrent brushes keep
   /// reading the old version until they drain.
-  Status ReplaceTable(const std::string& name, Table table);
+  Status ReplaceTable(const std::string& name, Table table)
+      SMOKE_EXCLUDES(writer_mu_);
 
   /// Appends `delta`'s rows to `name` and publishes, as ReplaceTable.
-  Status AppendRows(const std::string& name, const Table& delta);
+  Status AppendRows(const std::string& name, const Table& delta)
+      SMOKE_EXCLUDES(writer_mu_);
 
   // ---- readers ----
 
@@ -157,17 +161,18 @@ class ServeCore {
   /// CloseSession / core destruction.
   Status OpenSession(const std::string& session_id,
                      std::shared_ptr<ServeSession>* out,
-                     size_t budget_bytes = 0);
+                     size_t budget_bytes = 0) SMOKE_EXCLUDES(sessions_mu_);
 
   /// Closes the session: drops its retained traces (releasing snapshot
   /// pins and budget accounting) and unregisters it.
-  Status CloseSession(const std::string& session_id);
+  Status CloseSession(const std::string& session_id)
+      SMOKE_EXCLUDES(sessions_mu_);
 
-  size_t NumSessions() const;
+  size_t NumSessions() const SMOKE_EXCLUDES(sessions_mu_);
 
   /// Aggregate retained-trace lineage bytes across live sessions (tests
   /// assert this returns to baseline when sessions close).
-  size_t SessionLineageBytes() const;
+  size_t SessionLineageBytes() const SMOKE_EXCLUDES(sessions_mu_);
 
   // ---- introspection ----
 
@@ -187,13 +192,17 @@ class ServeCore {
   TieredScheduler& pool() { return pool_; }
 
   /// Executes every view def over a fresh engine seeded with the current
-  /// master tables. Runs on the writer thread; capture morsels go to the
-  /// pool at batch priority.
-  Status BuildSnapshot(uint64_t version,
-                       std::unique_ptr<ServeSnapshot>* out);
+  /// master tables. Runs on the writer thread (writer_mu_ held — it reads
+  /// the master tables and view defs); capture morsels go to the pool at
+  /// batch priority.
+  Status BuildSnapshot(uint64_t version, std::unique_ptr<ServeSnapshot>* out)
+      SMOKE_REQUIRES(writer_mu_);
 
-  /// Swaps `snap` in as current and retires the predecessor.
-  void Publish(std::unique_ptr<ServeSnapshot> snap);
+  /// Swaps `snap` in as current and retires the predecessor. Writer-only
+  /// (the atomic swap itself needs no lock, but unserialized publishes
+  /// would race version retirement order).
+  void Publish(std::unique_ptr<ServeSnapshot> snap)
+      SMOKE_REQUIRES(writer_mu_);
 
   const std::string relation_;
   const ServeOptions options_;
@@ -206,14 +215,18 @@ class ServeCore {
   std::atomic<int64_t> live_snapshots_{0};
 
   /// Serializes Start/ReplaceTable/AppendRows and guards the master copies.
-  std::mutex writer_mu_;
-  std::map<std::string, Table> tables_;  ///< master copies (next version)
-  std::vector<std::pair<std::string, ViewDef>> views_;  ///< definition order
-  uint64_t next_version_ = 1;
-  bool started_ = false;
+  Mutex writer_mu_;
+  /// master copies (next version)
+  std::map<std::string, Table> tables_ SMOKE_GUARDED_BY(writer_mu_);
+  /// definition order
+  std::vector<std::pair<std::string, ViewDef>> views_
+      SMOKE_GUARDED_BY(writer_mu_);
+  uint64_t next_version_ SMOKE_GUARDED_BY(writer_mu_) = 1;
+  bool started_ SMOKE_GUARDED_BY(writer_mu_) = false;
 
-  mutable std::mutex sessions_mu_;
-  std::map<std::string, std::shared_ptr<ServeSession>> sessions_;
+  mutable Mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<ServeSession>> sessions_
+      SMOKE_GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace smoke

@@ -23,7 +23,7 @@ Status SessionClosed(const std::string& id) {
 Status ServeSession::Brush(const std::string& view, rid_t out_rid,
                            BrushResult* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return SessionClosed(id_);
   }
   const auto t0 = std::chrono::steady_clock::now();
@@ -57,7 +57,7 @@ Status ServeSession::Brush(const std::string& view, rid_t out_rid,
   SMOKE_RETURN_NOT_OK(st);
 
   const double ms = MsSince(t0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   brushes_++;
   total_brush_ms_ += ms;
   max_brush_ms_ = std::max(max_brush_ms_, ms);
@@ -69,7 +69,7 @@ Status ServeSession::RetainBackwardTrace(const std::string& handle,
                                          const std::string& view,
                                          const std::vector<rid_t>& out_rids) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return SessionClosed(id_);
     if (retained_.count(handle) != 0) {
       return Status::AlreadyExists("retained trace '" + handle + "'");
@@ -87,7 +87,7 @@ Status ServeSession::RetainBackwardTrace(const std::string& handle,
 
   const size_t bytes =
       traced.plan.lineage.MemoryBytes() + traced.rows.MemoryBytes();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return SessionClosed(id_);
   if (budget_ > 0 && bytes > budget_) {
     return Status::InvalidArgument(
@@ -124,7 +124,7 @@ void ServeSession::EnforceSliceLocked(const std::string& keep) {
 Status ServeSession::GetRetainedTrace(const std::string& handle,
                                       const TraceResult** out,
                                       uint64_t* snapshot_version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return SessionClosed(id_);
   auto it = retained_.find(handle);
   if (it == retained_.end()) {
@@ -137,7 +137,7 @@ Status ServeSession::GetRetainedTrace(const std::string& handle,
 }
 
 Status ServeSession::DropRetainedTrace(const std::string& handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return SessionClosed(id_);
   auto it = retained_.find(handle);
   if (it == retained_.end()) {
@@ -149,7 +149,7 @@ Status ServeSession::DropRetainedTrace(const std::string& handle) {
 }
 
 std::vector<std::string> ServeSession::RetainedTraceNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(retained_.size());
   for (const auto& [name, rt] : retained_) {
@@ -160,17 +160,17 @@ std::vector<std::string> ServeSession::RetainedTraceNames() const {
 }
 
 LineageStoreStats ServeSession::LineageStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tracker_.Stats();
 }
 
 size_t ServeSession::retained_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tracker_.total_bytes();
 }
 
 ServeSession::SessionStats ServeSession::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SessionStats s;
   s.brushes = brushes_;
   s.total_brush_ms = total_brush_ms_;
@@ -184,7 +184,7 @@ ServeSession::SessionStats ServeSession::GetStats() const {
 }
 
 void ServeSession::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return;
   for (const auto& [name, rt] : retained_) {
     (void)rt;

@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "apps/plan_crossfilter.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "serve/serve_core.h"
 
@@ -50,7 +50,8 @@ class ServeSession {
   /// current snapshot (Trace∘Trace through the core's shared relation).
   /// Runs as one interactive-class job on the core's admission pool, so it
   /// preempts in-flight batch captures at morsel granularity.
-  Status Brush(const std::string& view, rid_t out_rid, BrushResult* out);
+  Status Brush(const std::string& view, rid_t out_rid, BrushResult* out)
+      SMOKE_EXCLUDES(mu_);
 
   /// Traces `out_rids` of `view` backward to the shared relation on the
   /// current snapshot and retains the result under `handle`. The handle
@@ -61,24 +62,26 @@ class ServeSession {
   /// exceeds the slice.
   Status RetainBackwardTrace(const std::string& handle,
                              const std::string& view,
-                             const std::vector<rid_t>& out_rids);
+                             const std::vector<rid_t>& out_rids)
+      SMOKE_EXCLUDES(mu_);
 
   /// Looks up a retained trace (bumps its LRU tick). The pointer stays
   /// valid until the handle is dropped, evicted by the budget, or the
   /// session closes. `snapshot_version`, when non-null, receives the
   /// version the trace was computed against.
   Status GetRetainedTrace(const std::string& handle, const TraceResult** out,
-                          uint64_t* snapshot_version = nullptr) const;
+                          uint64_t* snapshot_version = nullptr) const
+      SMOKE_EXCLUDES(mu_);
 
   /// Drops one retained trace, releasing its snapshot pin and accounting.
-  Status DropRetainedTrace(const std::string& handle);
+  Status DropRetainedTrace(const std::string& handle) SMOKE_EXCLUDES(mu_);
 
-  std::vector<std::string> RetainedTraceNames() const;
+  std::vector<std::string> RetainedTraceNames() const SMOKE_EXCLUDES(mu_);
 
   /// Retained-trace accounting for this session's slice (budget_bytes = the
   /// slice; 0 = unlimited).
-  LineageStoreStats LineageStats() const;
-  size_t retained_bytes() const;
+  LineageStoreStats LineageStats() const SMOKE_EXCLUDES(mu_);
+  size_t retained_bytes() const SMOKE_EXCLUDES(mu_);
   size_t budget_bytes() const { return budget_; }
 
   struct SessionStats {
@@ -91,12 +94,12 @@ class ServeSession {
     uint64_t last_snapshot_version = 0;  ///< version of the latest brush
     bool closed = false;
   };
-  SessionStats GetStats() const;
+  SessionStats GetStats() const SMOKE_EXCLUDES(mu_);
 
   /// Drops every retained trace (releasing pins and accounting) and marks
   /// the session closed; further Brush/Retain calls fail. Idempotent.
   /// ServeCore::CloseSession calls this and unregisters the handle.
-  void Close();
+  void Close() SMOKE_EXCLUDES(mu_);
 
  private:
   friend class ServeCore;
@@ -112,23 +115,25 @@ class ServeSession {
     ServeCore::SnapshotRef ref;    ///< keeps that snapshot alive
   };
 
-  /// Evicts coldest handles (except `keep`) until the slice fits. Under mu_.
-  void EnforceSliceLocked(const std::string& keep);
+  /// Evicts coldest handles (except `keep`) until the slice fits.
+  void EnforceSliceLocked(const std::string& keep) SMOKE_REQUIRES(mu_);
 
   ServeCore* const core_;
   const std::string id_;
   const size_t budget_;  ///< slice in bytes; 0 = unlimited
 
-  mutable std::mutex mu_;
-  /// mutable: GetRetainedTrace is const but bumps the LRU clock.
-  mutable LineageMemoryTracker tracker_;
-  std::map<std::string, RetainedTrace> retained_;
-  uint64_t brushes_ = 0;
-  double total_brush_ms_ = 0;
-  double max_brush_ms_ = 0;
-  uint64_t traces_evicted_ = 0;
-  uint64_t last_snapshot_version_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  /// mutable: GetRetainedTrace is const but bumps the LRU clock. The
+  /// tracker is itself internally synchronized; mu_ additionally keeps it
+  /// consistent with retained_ (evictions mutate both).
+  mutable LineageMemoryTracker tracker_ SMOKE_GUARDED_BY(mu_);
+  std::map<std::string, RetainedTrace> retained_ SMOKE_GUARDED_BY(mu_);
+  uint64_t brushes_ SMOKE_GUARDED_BY(mu_) = 0;
+  double total_brush_ms_ SMOKE_GUARDED_BY(mu_) = 0;
+  double max_brush_ms_ SMOKE_GUARDED_BY(mu_) = 0;
+  uint64_t traces_evicted_ SMOKE_GUARDED_BY(mu_) = 0;
+  uint64_t last_snapshot_version_ SMOKE_GUARDED_BY(mu_) = 0;
+  bool closed_ SMOKE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace smoke

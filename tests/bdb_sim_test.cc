@@ -1,7 +1,9 @@
 #include "baselines/bdb_sim.h"
 
+#include <atomic>
 #include <map>
 #include <random>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -90,6 +92,32 @@ TEST_P(BdbRandomSweep, MatchesMultimap) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BdbRandomSweep,
                          ::testing::Values(11, 22, 33));
+
+// Regression for the race the thread-safety annotations surfaced:
+// size()/num_nodes() used to read count_/num_nodes_ without taking latch_,
+// so a stats poll concurrent with Put was a data race (bdb_sim.h). Run
+// under TSan (-DSMOKE_TSAN=ON) this test fails on the unguarded version.
+TEST(BdbSimTest, ConcurrentPutsAndStatsReads) {
+  BdbSim db;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (uint32_t k = 0; k < 20000; ++k) Put32(&db, k, k);
+    done.store(true, std::memory_order_release);
+  });
+  size_t last_size = 0, last_nodes = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    size_t s = db.size();
+    size_t n = db.num_nodes();
+    // Both counters are monotone under insert-only load.
+    EXPECT_GE(s, last_size);
+    EXPECT_GE(n, last_nodes);
+    last_size = s;
+    last_nodes = n;
+  }
+  writer.join();
+  EXPECT_EQ(db.size(), 20000u);
+  EXPECT_GT(db.num_nodes(), 100u);
+}
 
 TEST(BdbWriterTest, EmitRoundTrip) {
   BdbWriter w;

@@ -1,0 +1,40 @@
+// Positive control for the negative-compile harness (CMakeLists.txt,
+// SMOKE_NEGATIVE_COMPILE_TESTS): correct code — guarded access under the
+// lock, Status consumed — must compile under the exact flags the must-fail
+// cases use. If this breaks, the harness is rejecting everything and the
+// must-fail results are meaningless.
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) SMOKE_EXCLUDES(mu_) {
+    smoke::MutexLock lock(mu_);
+    value_ += d;
+  }
+  int Get() const SMOKE_EXCLUDES(mu_) {
+    smoke::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable smoke::Mutex mu_;
+  int value_ SMOKE_GUARDED_BY(mu_) = 0;
+};
+
+smoke::Status Check(int v) {
+  if (v < 0) return smoke::Status::InvalidArgument("negative");
+  return smoke::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  smoke::Status st = Check(c.Get());
+  Check(-1).IgnoreError();  // the sanctioned explicit drop
+  return st.ok() ? 0 : 1;
+}

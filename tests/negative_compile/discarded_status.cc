@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under -Werror=unused-result: Status is [[nodiscard]],
+// and this translation unit drops one on the floor. The configure-time
+// harness (CMakeLists.txt, SMOKE_NEGATIVE_COMPILE_TESTS) asserts this
+// fails — if it ever starts compiling, the dropped-error gate has silently
+// rotted.
+#include "common/status.h"
+
+namespace {
+
+smoke::Status MightFail(int v) {
+  if (v < 0) return smoke::Status::InvalidArgument("negative");
+  return smoke::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  MightFail(42);  // dropped Status: the build error under test
+  return 0;
+}

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under Clang with -Werror=thread-safety: reads and
+// writes a SMOKE_GUARDED_BY field without holding its mutex. The
+// configure-time harness (CMakeLists.txt, SMOKE_NEGATIVE_COMPILE_TESTS)
+// asserts this fails when the compiler is Clang — regression-testing the
+// annotation gate itself, not any particular annotation.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) { value_ += d; }      // write without mu_: build error
+  int Get() const { return value_; }    // read without mu_: build error
+
+ private:
+  mutable smoke::Mutex mu_;
+  int value_ SMOKE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Get();
+}

@@ -1,0 +1,106 @@
+// Status / Result<T> hygiene: the [[nodiscard]] error-handling contract
+// (common/status.h). The can't-compile side of the contract (a dropped
+// Status failing the build) is regression-tested at configure time by
+// tests/negative_compile/ — this suite covers the runtime semantics.
+#include "common/status.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smoke {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("table t");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kNotFound);
+  EXPECT_EQ(st.message(), "table t");
+  EXPECT_EQ(st.ToString(), "Not found: table t");
+}
+
+TEST(StatusTest, IgnoreErrorIsTheSanctionedDrop) {
+  // The call compiles without binding the Status — the only way to do
+  // that under -Werror=unused-result.
+  Status::InvalidArgument("intentionally dropped").IgnoreError();
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagate(int v) {
+  SMOKE_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Propagate(1).ok());
+  Status st = Propagate(-1);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, OkCarriesValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(ResultTest, ErrorCarriesStatus) {
+  Result<int> r = ParsePositive(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ResultTest, RvalueValueMoves) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+Status Sum(int a, int b, int* out) {
+  SMOKE_ASSIGN_OR_RETURN(int x, ParsePositive(a));
+  SMOKE_ASSIGN_OR_RETURN(int y, ParsePositive(b));
+  *out = x + y;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsAndPropagates) {
+  int out = 0;
+  ASSERT_TRUE(Sum(2, 3, &out).ok());
+  EXPECT_EQ(out, 5);
+
+  Status st = Sum(2, -1, &out);
+  EXPECT_EQ(st.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(out, 5);  // untouched on the error path
+}
+
+TEST(ResultTest, AssignOrReturnToExistingVariable) {
+  // lhs may also be a pre-declared variable, not just a declaration.
+  auto f = [](int v, int* out) -> Status {
+    int unwrapped = 0;
+    SMOKE_ASSIGN_OR_RETURN(unwrapped, ParsePositive(v));
+    *out = unwrapped;
+    return Status::OK();
+  };
+  int out = 0;
+  ASSERT_TRUE(f(9, &out).ok());
+  EXPECT_EQ(out, 9);
+}
+
+}  // namespace
+}  // namespace smoke

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Lint: every mutex member in src/ must be thread-safety annotated.
+
+The Clang thread-safety analysis (-Wthread-safety) only checks what the
+annotations in common/thread_annotations.h declare — an unannotated mutex
+is invisible to it, so its guarded state silently escapes the gate. This
+lint closes that hole: any member of type std::mutex, std::shared_mutex,
+or smoke::Mutex declared in a header or source file under src/ must be
+*referenced by* at least one SMOKE_* annotation (SMOKE_GUARDED_BY,
+SMOKE_REQUIRES, SMOKE_EXCLUDES, SMOKE_ACQUIRE, ...) somewhere in the same
+file or its .h/.cc pair.
+
+Exempt: src/common/mutex.h itself (the annotated wrapper's internals) and
+local variables (we only match member declarations ending in `_;`).
+
+Exit status: 0 clean, 1 violations found (printed one per line as
+file:line: message, so CI annotates them).
+"""
+
+import os
+import re
+import sys
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+
+# Member declarations like:
+#   std::mutex mu_;
+#   mutable std::shared_mutex rw_lock_;
+#   mutable Mutex latch_;          (smoke::Mutex, possibly unqualified)
+MUTEX_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?:std::mutex|std::shared_mutex|(?:smoke::)?Mutex)\s+"
+    r"(\w+_)\s*;")
+
+# Any SMOKE_* annotation argument list, e.g. SMOKE_GUARDED_BY(mu_),
+# SMOKE_REQUIRES(a_, b_), SMOKE_EXCLUDES(db_->latch_).
+ANNOTATION_REF = re.compile(r"SMOKE_[A-Z_]+\(([^)]*)\)")
+
+EXEMPT = {os.path.join("common", "mutex.h")}
+
+
+def pair_of(relpath):
+    """The other half of a .h/.cc pair, or None."""
+    base, ext = os.path.splitext(relpath)
+    if ext == ".h":
+        return base + ".cc"
+    if ext == ".cc":
+        return base + ".h"
+    return None
+
+
+def annotation_refs(text):
+    """All identifiers referenced inside SMOKE_* annotation arguments."""
+    refs = set()
+    for args in ANNOTATION_REF.findall(text):
+        for tok in re.findall(r"\w+_", args):
+            refs.add(tok)
+    return refs
+
+
+def main():
+    violations = []
+    files = {}
+    for root, _dirs, names in os.walk(SRC_ROOT):
+        for name in names:
+            if name.endswith((".h", ".cc")):
+                path = os.path.join(root, name)
+                rel = os.path.relpath(path, SRC_ROOT)
+                with open(path, encoding="utf-8") as f:
+                    files[rel] = f.read()
+
+    for rel, text in sorted(files.items()):
+        if rel in EXEMPT:
+            continue
+        refs = annotation_refs(text)
+        other = pair_of(rel)
+        if other in files:
+            refs |= annotation_refs(files[other])
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = MUTEX_DECL.match(line)
+            if not m:
+                continue
+            member = m.group(1)
+            if member not in refs:
+                violations.append(
+                    f"src/{rel}:{lineno}: mutex member `{member}` is not "
+                    f"referenced by any SMOKE_* thread-safety annotation "
+                    f"(add SMOKE_GUARDED_BY({member}) to the state it "
+                    f"protects, or SMOKE_REQUIRES/SMOKE_EXCLUDES to the "
+                    f"functions that lock it)")
+
+    if violations:
+        print("\n".join(violations))
+        print(f"\ncheck_annotations: {len(violations)} unannotated mutex "
+              f"member(s); see src/common/thread_annotations.h for "
+              f"conventions", file=sys.stderr)
+        return 1
+    n = sum(1 for t in files.values()
+            for line in t.splitlines() if MUTEX_DECL.match(line))
+    print(f"check_annotations: OK ({n} mutex members, all referenced by "
+          f"annotations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
