@@ -48,6 +48,7 @@ struct Options {
   double scale = -1;    // TPC-H scale-factor override
   int threads = 1;      // morsel-parallel capture (CaptureOptions::num_threads)
   int sessions = 8;     // concurrent serving sessions (bench_serve_storm)
+  int shards = 0;       // shard-count override (bench_shard_scaling)
   bool optimize = true; // --no-optimize: ablation of the plan rewriter
 
   static Options Parse(int argc, char** argv) {
@@ -76,12 +77,16 @@ struct Options {
       } else if (!std::strncmp(argv[i], "--sessions=", 11)) {
         o.sessions = std::atoi(argv[i] + 11);
         if (o.sessions < 1) o.sessions = 1;
+      } else if (!std::strncmp(argv[i], "--shards=", 9)) {
+        o.shards = std::atoi(argv[i] + 9);
+        if (o.shards < 0) o.shards = 0;
       } else if (!std::strcmp(argv[i], "--no-optimize")) {
         o.optimize = false;
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--full] [--smoke] [--json] [--runs=N] [--warmups=N] "
-            "[--sf=F] [--threads=N] [--sessions=N] [--no-optimize]\n",
+            "[--sf=F] [--threads=N] [--sessions=N] [--shards=N] "
+            "[--no-optimize]\n",
             argv[0]);
         std::exit(0);
       }

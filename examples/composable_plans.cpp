@@ -44,14 +44,14 @@ int main() {
   PlanBuilder b;
   int scan = b.Scan(base, "sales");
   GroupBySpec per_region;
-  per_region.keys = {0};
+  per_region.key_names = {"region_id"};
   per_region.aggs = {AggSpec::Count("cnt"),
-                     AggSpec::Sum(ScalarExpr::Col(1), "sum_amount")};
+                     AggSpec::Sum(ScalarExpr::Col("amount"), "sum_amount")};
   int gb1 = b.GroupBy(scan, per_region);
   GroupBySpec by_count;
-  by_count.keys = {1};  // the cnt column of the intermediate
+  by_count.key_names = {"cnt"};  // the cnt column of the intermediate
   by_count.aggs = {AggSpec::Count("regions"),
-                   AggSpec::Sum(ScalarExpr::Col(2), "total")};
+                   AggSpec::Sum(ScalarExpr::Col("sum_amount"), "total")};
   int root = b.GroupBy(gb1, by_count);
 
   LogicalPlan plan;

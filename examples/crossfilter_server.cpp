@@ -17,15 +17,15 @@ using namespace smoke;
 
 namespace {
 
-ServeCore::ViewDef HistogramView(int key_col) {
+ServeCore::ViewDef HistogramView(std::string key_col) {
   return [key_col](const SmokeEngine& engine, LogicalPlan* plan) {
     const Table* t = nullptr;
     SMOKE_RETURN_NOT_OK(engine.GetTable("zipf", &t));
     PlanBuilder b;
     GroupBySpec spec;
-    spec.keys = {key_col};
+    spec.key_names = {key_col};
     spec.aggs = {AggSpec::Count("cnt"),
-                 AggSpec::Sum(ScalarExpr::Col(zipf_table::kV), "sum_v")};
+                 AggSpec::Sum(ScalarExpr::Col("v"), "sum_v")};
     return b.Build(b.GroupBy(b.Scan(t, "zipf"), spec), plan);
   };
 }
@@ -36,9 +36,9 @@ ServeCore::ViewDef HotView() {
     SMOKE_RETURN_NOT_OK(engine.GetTable("zipf", &t));
     PlanBuilder b;
     int sel = b.Select(b.Scan(t, "zipf"),
-                       {Predicate::Double(zipf_table::kV, CmpOp::kGe, 75.0)});
+                       {Predicate::Double("v", CmpOp::kGe, 75.0)});
     GroupBySpec spec;
-    spec.keys = {zipf_table::kZ};
+    spec.key_names = {"z"};
     spec.aggs = {AggSpec::Count("cnt")};
     return b.Build(b.GroupBy(sel, spec), plan);
   };
@@ -67,7 +67,7 @@ int main() {
   opts.num_threads = 2;
   ServeCore core("zipf", opts);
   SMOKE_CHECK(core.CreateTable("zipf", MakeZipfTable(kRows, 12, 1.0)).ok());
-  SMOKE_CHECK(core.DefineView("by_z", HistogramView(zipf_table::kZ)).ok());
+  SMOKE_CHECK(core.DefineView("by_z", HistogramView("z")).ok());
   SMOKE_CHECK(core.DefineView("hot", HotView()).ok());
   SMOKE_CHECK(core.Start().ok());
 

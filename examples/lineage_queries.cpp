@@ -50,11 +50,11 @@ int main() {
   TraceSource q1_src;
   SMOKE_CHECK(engine.MakeTraceSource("q1", &q1_src).ok());
   TraceBuilder q1b = TraceBuilder::Backward(q1_src, "lineitem", {0});
-  q1b.Filter(Predicate::Str(tpch::kLShipmode, CmpOp::kEq, "MAIL"))
-      .GroupBy(GroupExpr::Year(tpch::kLShipdate))
-      .GroupBy(GroupExpr::Month(tpch::kLShipdate))
+  q1b.Filter(Predicate::Str("l_shipmode", CmpOp::kEq, "MAIL"))
+      .GroupBy(GroupExpr::Year("l_shipdate"))
+      .GroupBy(GroupExpr::Month("l_shipdate"))
       .Agg(AggSpec::Count("cnt"))
-      .Agg(AggSpec::Sum(ScalarExpr::Col(tpch::kLQuantity), "sum_qty"));
+      .Agg(AggSpec::Sum(ScalarExpr::Col("l_quantity"), "sum_qty"));
 
   LineageQuery compiled;
   SMOKE_CHECK(q1b.Compile(&compiled).ok());
@@ -75,7 +75,7 @@ int main() {
   TraceSource q1b_src;
   SMOKE_CHECK(engine.MakeTraceSource("q1b", &q1b_src).ok());
   TraceBuilder q1c = TraceBuilder::Backward(q1b_src, "lineitem", {0});
-  q1c.GroupBy(GroupExpr::Scale100(tpch::kLTax, "l_tax_x100"))
+  q1c.GroupBy(GroupExpr::Scale100("l_tax", "l_tax_x100"))
       .Agg(AggSpec::Count("cnt"));
   timer.Start();
   SMOKE_CHECK(engine.ExecuteTraceQuery("q1c", q1c).ok());

@@ -82,8 +82,8 @@ int main() {
   {
     PlanBuilder b;
     GroupBySpec per_band;
-    per_band.keys = {zipf_table::kZ};
-    per_band.aggs = {AggSpec::Sum(ScalarExpr::Col(zipf_table::kV), "revenue"),
+    per_band.key_names = {"z"};
+    per_band.aggs = {AggSpec::Sum(ScalarExpr::Col("v"), "revenue"),
                      AggSpec::Count("n")};
     LogicalPlan plan;
     SMOKE_CHECK(b.Build(b.GroupBy(b.Scan(&x, "X"), per_band), &plan).ok());
@@ -94,11 +94,11 @@ int main() {
     // many products they contain).
     PlanBuilder b;
     GroupBySpec per_band;
-    per_band.keys = {zipf_table::kZ};
+    per_band.key_names = {"z"};
     per_band.aggs = {AggSpec::Count("n")};
     int gb = b.GroupBy(b.Scan(&x, "X"), per_band);
     GroupBySpec by_count;
-    by_count.keys = {1};
+    by_count.key_names = {"n"};
     by_count.aggs = {AggSpec::Count("bands")};
     LogicalPlan plan;
     SMOKE_CHECK(b.Build(b.GroupBy(gb, by_count), &plan).ok());

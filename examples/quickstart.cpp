@@ -27,8 +27,9 @@ int main() {
   // 2. Run SELECT region, COUNT(*), SUM(amount) GROUP BY region with
   //    Smoke-I (inject) lineage capture.
   GroupBySpec spec;
-  spec.keys = {0};
-  spec.aggs = {AggSpec::Count("cnt"), AggSpec::Sum(ScalarExpr::Col(1), "sum")};
+  spec.key_names = {"region"};
+  spec.aggs = {AggSpec::Count("cnt"),
+               AggSpec::Sum(ScalarExpr::Col("amount"), "sum")};
   GroupByResult result =
       GroupByExec(sales, "sales", spec, CaptureOptions::Inject());
 

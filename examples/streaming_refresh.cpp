@@ -17,10 +17,10 @@ int main() {
   Table events = MakeZipfTable(200000, 16, 1.0);
 
   GroupBySpec spec;
-  spec.keys = {zipf_table::kZ};
+  spec.key_names = {"z"};
   spec.aggs = {AggSpec::Count("cnt"),
-               AggSpec::Sum(ScalarExpr::Col(zipf_table::kV), "sum_v"),
-               AggSpec::Avg(ScalarExpr::Col(zipf_table::kV), "avg_v")};
+               AggSpec::Sum(ScalarExpr::Col("v"), "sum_v"),
+               AggSpec::Avg(ScalarExpr::Col("v"), "avg_v")};
 
   WallTimer timer;
   auto view = GroupByExec(events, "events", spec, CaptureOptions::Inject());

@@ -1,5 +1,6 @@
 #include "core/smoke_engine.h"
 
+#include "optimizer/cost.h"
 #include "query/lazy.h"
 #include "query/lineage_query.h"
 
@@ -23,7 +24,23 @@ Status SmokeEngine::ReplaceTable(const std::string& name, Table table) {
         "'; drop it (and any other dependents) before replacing the table, "
         "or serve versioned replacements through ServeCore");
   }
-  return catalog_.ReplaceTable(name, std::move(table));
+  SMOKE_RETURN_NOT_OK(catalog_.ReplaceTable(name, std::move(table)));
+  // Re-slice a sharded table under its existing spec (the catalog replace
+  // is pointer-stable, so the new rows are already visible through base()).
+  if (auto it = sharded_.find(name); it != sharded_.end()) {
+    const ShardingSpec spec = it->second->spec();
+    auto st = std::make_unique<ShardedTable>();
+    if (Status s = ShardedTable::Create(existing, spec, st.get()); !s.ok()) {
+      // The new contents cannot carry the old spec (column gone or
+      // retyped): drop the sharding rather than keep stale slices.
+      sharded_.erase(it);
+      return Status::InvalidArgument(
+          "table '" + name + "' replaced, but its sharding was dropped: " +
+          s.message());
+    }
+    it->second = std::move(st);
+  }
+  return Status::OK();
 }
 
 Status SmokeEngine::DropTable(const std::string& name) {
@@ -34,7 +51,49 @@ Status SmokeEngine::DropTable(const std::string& name) {
         "table '" + name + "' is borrowed by retained result '" + borrower +
         "'; drop it (and any other dependents) before dropping the table");
   }
-  return catalog_.DropTable(name);
+  SMOKE_RETURN_NOT_OK(catalog_.DropTable(name));
+  sharded_.erase(name);
+  return Status::OK();
+}
+
+Status SmokeEngine::ShardTable(const std::string& name,
+                               const ShardingSpec& spec) {
+  const Table* base = nullptr;
+  SMOKE_RETURN_NOT_OK(catalog_.GetTable(name, &base));
+  if (auto it = sharded_.find(name); it != sharded_.end()) {
+    if (const std::string b = ShardBorrowerOf(it->second.get()); !b.empty()) {
+      return Status::InvalidArgument(
+          "table '" + name + "' cannot be re-sharded: retained result '" + b +
+          "' holds shard fan-out state over its current ShardMap; drop the "
+          "result first");
+    }
+  }
+  auto st = std::make_unique<ShardedTable>();
+  SMOKE_RETURN_NOT_OK(ShardedTable::Create(base, spec, st.get()));
+  sharded_[name] = std::move(st);
+  return Status::OK();
+}
+
+Status SmokeEngine::UnshardTable(const std::string& name) {
+  auto it = sharded_.find(name);
+  if (it == sharded_.end()) {
+    return Status::NotFound("sharded table '" + name + "'");
+  }
+  if (const std::string b = ShardBorrowerOf(it->second.get()); !b.empty()) {
+    return Status::InvalidArgument(
+        "table '" + name + "' cannot be unsharded: retained result '" + b +
+        "' holds shard fan-out state over its ShardMap; drop the result "
+        "first");
+  }
+  sharded_.erase(it);
+  return Status::OK();
+}
+
+std::string SmokeEngine::ShardBorrowerOf(const ShardedTable* st) const {
+  for (const auto& [name, rp] : plans_) {
+    if (rp->shard != nullptr && rp->shard->map == &st->map()) return name;
+  }
+  return std::string();
 }
 
 bool SmokeEngine::TableInUse(const Table* table) const {
@@ -159,7 +218,18 @@ Status SmokeEngine::ExecutePlan(const std::string& query_name,
   }
 
   auto retained = std::make_unique<RetainedPlan>();
-  SMOKE_RETURN_NOT_OK(smoke::ExecutePlan(plan, opts, &retained->result));
+  if (sharded_.empty()) {
+    SMOKE_RETURN_NOT_OK(smoke::ExecutePlan(plan, opts, &retained->result));
+  } else {
+    // Route through the sharded coordinator; plans that scan no sharded
+    // table fall through to the unsharded executor inside.
+    ShardResolver resolver;
+    for (const auto& [tname, st] : sharded_) resolver[st->base()] = st.get();
+    ShardedPlanResult sp;
+    SMOKE_RETURN_NOT_OK(ExecuteShardedPlan(plan, resolver, opts, &sp));
+    retained->result = std::move(sp.plan);
+    retained->shard = std::move(sp.shard);
+  }
   plans_[query_name] = std::move(retained);
   FinishRetention(query_name, opts);
   return Status::OK();
@@ -415,7 +485,47 @@ Status SmokeEngine::Backward(const std::string& query_name,
     }
     return Status::OK();
   }
+  // Sharded retained plans: when the seed set is selective enough that the
+  // shard fan-out beats a composed-index probe (optimizer/cost.h pricing),
+  // answer by probing only the touched shards. Rids are identical either
+  // way.
+  if (auto it = plans_.find(query_name); it != plans_.end()) {
+    const RetainedPlan& rp = *it->second;
+    if (rp.shard != nullptr && relation == rp.shard->driver_relation &&
+        CostShardTrace(out_rids.size(), rp.shard->num_shards(),
+                       rp.result.output.num_rows())
+            .use_fan_out) {
+      return rp.shard->TraceBackward(out_rids, dedup, rids, nullptr);
+    }
+  }
   return BackwardRidsChecked(*lineage, relation, out_rids, dedup, rids);
+}
+
+Status SmokeEngine::BackwardSharded(const std::string& query_name,
+                                    const std::string& relation,
+                                    const std::vector<rid_t>& out_rids,
+                                    std::vector<rid_t>* rids,
+                                    ShardTraceStats* stats,
+                                    bool dedup) const {
+  auto it = plans_.find(query_name);
+  if (it == plans_.end()) {
+    return Status::NotFound("plan query '" + query_name + "'");
+  }
+  const RetainedPlan& rp = *it->second;
+  if (rp.shard == nullptr) {
+    return Status::InvalidArgument(
+        "query '" + query_name +
+        "' has no shard fan-out state (plan touched no sharded table, or "
+        "backward capture was off)");
+  }
+  if (relation != rp.shard->driver_relation) {
+    return Status::InvalidArgument(
+        "shard fan-out applies to the sharded driver relation '" +
+        rp.shard->driver_relation + "' only; trace '" + relation +
+        "' through Backward");
+  }
+  tracker_.Touch(query_name);
+  return rp.shard->TraceBackward(out_rids, dedup, rids, stats);
 }
 
 Status SmokeEngine::Forward(const std::string& query_name,
@@ -454,6 +564,7 @@ Status SmokeEngine::TraceAcross(const std::string& from_query,
   return Forward(to_query, relation, shared, linked);
 }
 
+#ifdef SMOKE_ENABLE_DEPRECATED_CONSUMING
 Status SmokeEngine::ExecuteConsuming(const std::string& result_name,
                                      const std::string& base_query,
                                      rid_t output_rid,
@@ -520,6 +631,7 @@ Status SmokeEngine::GetConsumingResult(const std::string& result_name,
   *out = &it->second->result.output;
   return Status::OK();
 }
+#endif  // SMOKE_ENABLE_DEPRECATED_CONSUMING
 
 Status SmokeEngine::DropResult(const std::string& query_name) {
   const Table* output = nullptr;

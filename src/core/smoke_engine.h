@@ -31,6 +31,7 @@
 #include "plan/plan.h"
 #include "query/consuming.h"
 #include "query/trace_builder.h"
+#include "shard/coordinator.h"
 #include "storage/catalog.h"
 
 namespace smoke {
@@ -90,8 +91,25 @@ class SmokeEngine {
   Status ReplaceTable(const std::string& name, Table table);
 
   /// Unregisters a relation. Refused while any retained query references
-  /// the table (same hazard as ReplaceTable).
+  /// the table (same hazard as ReplaceTable). Dropping a sharded table
+  /// drops its shard slices and codec with it.
   Status DropTable(const std::string& name);
+
+  /// Partitions a registered base table into shards (range/hash on an int64
+  /// column, shard/shard_map.h). Subsequent ExecutePlan calls whose plans
+  /// scan the table route through the sharded coordinator
+  /// (shard/coordinator.h): per-shard morsel-parallel execution,
+  /// cross-shard lineage composition bit-identical to the unsharded run,
+  /// and retained fan-out state so backward traces probe only the shards
+  /// their seeds touch. Re-sharding with a new spec is allowed, but refused
+  /// while a retained sharded result still borrows the current ShardMap.
+  /// ReplaceTable re-slices a sharded table under the same spec.
+  Status ShardTable(const std::string& name, const ShardingSpec& spec);
+
+  /// Removes a table's sharding (slices and codec). The base relation and
+  /// every retained result stay; subsequent plans execute unsharded. Same
+  /// borrow refusal as re-sharding.
+  Status UnshardTable(const std::string& name);
 
   // ---- base queries ----
 
@@ -192,6 +210,19 @@ class SmokeEngine {
                   const std::vector<rid_t>& out_rids,
                   std::vector<rid_t>* rids, bool dedup = true) const;
 
+  /// Lb over a retained sharded plan, forced through the shard fan-out
+  /// path: probes only the shards the seeds' region rows live in and
+  /// reports the fan-out in `stats` (optional). `relation` must be the
+  /// sharded driver relation of the retained result. Rids are identical —
+  /// order, multiplicity, dedup — to Backward's composed-index answer.
+  /// (Backward itself picks between the two paths with the
+  /// optimizer/cost.h shard pricing; this entry point pins the choice.)
+  Status BackwardSharded(const std::string& query_name,
+                         const std::string& relation,
+                         const std::vector<rid_t>& out_rids,
+                         std::vector<rid_t>* rids, ShardTraceStats* stats,
+                         bool dedup = true) const;
+
   /// Lf(in_rids ⊆ R, O): output rids of `query_name` derived from the given
   /// input rids of `relation`.
   Status Forward(const std::string& query_name, const std::string& relation,
@@ -214,12 +245,13 @@ class SmokeEngine {
                      const std::string& to_query,
                      std::vector<rid_t>* linked) const;
 
-  // ---- lineage consuming queries (deprecated shims) ----
+#ifdef SMOKE_ENABLE_DEPRECATED_CONSUMING
+  // ---- lineage consuming queries (retired shims) ----
   //
-  // These string-keyed methods predate the unified consumption API and are
-  // kept for compatibility. They compile the ConsumingSpec through
-  // TraceBuilder and retain an ordinary PlanResult, so results chain with
-  // everything else; prefer ExecuteTraceQuery for new code.
+  // These string-keyed methods predate the unified consumption API
+  // (TraceBuilder / ExecuteTraceQuery) and are compiled out by default.
+  // Define SMOKE_ENABLE_DEPRECATED_CONSUMING to bring them back for one
+  // release while migrating; see README "Migrating off ExecuteConsuming*".
 
   /// Evaluates a consuming query over the backward lineage of one output of
   /// a retained base query (secondary index scan), retaining the consuming
@@ -247,6 +279,7 @@ class SmokeEngine {
   /// The output of a retained consuming query (== GetResult).
   Status GetConsumingResult(const std::string& result_name,
                             const Table** out) const;
+#endif  // SMOKE_ENABLE_DEPRECATED_CONSUMING
 
   /// Drops a retained query result and its lineage (releasing its lineage
   /// store accounting). Refused while another retained result's lineage
@@ -277,6 +310,9 @@ class SmokeEngine {
   struct RetainedPlan {
     PlanResult result;
     LineageCodec codec = LineageCodec::kRaw;
+    /// Shard fan-out state when the plan executed sharded with backward
+    /// capture (borrows the ShardMap of the driver's ShardedTable).
+    std::unique_ptr<ShardedExecution> shard;
   };
 
   /// Unified lookup over retained SPJA queries and plans.
@@ -288,6 +324,11 @@ class SmokeEngine {
 
   /// True when any retained result still borrows `table`.
   bool TableInUse(const Table* table) const;
+
+  /// Name of a retained result whose shard fan-out state borrows `st`'s
+  /// ShardMap (first in name order), or "" when none — guards re-sharding
+  /// and unsharding the way BorrowerOf guards table replacement.
+  std::string ShardBorrowerOf(const ShardedTable* st) const;
 
   /// Name of a retained result whose query or lineage still borrows
   /// `table` (first in name order), or "" when none — lets the refusal
@@ -319,6 +360,8 @@ class SmokeEngine {
   void EnforceBudget();
 
   Catalog catalog_;
+  /// Shard slices + codec per sharded base table, keyed by table name.
+  std::map<std::string, std::unique_ptr<ShardedTable>> sharded_;
   std::map<std::string, std::unique_ptr<RetainedQuery>> queries_;
   /// Retained plan results: base-query plans AND trace/consuming results —
   /// the unified consumption API makes them the same kind of thing.

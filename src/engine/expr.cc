@@ -8,7 +8,20 @@ namespace smoke {
 PredicateList::PredicateList(const Table& table, std::vector<Predicate> preds)
     : preds_(std::move(preds)) {
   bound_.reserve(preds_.size());
-  for (const auto& p : preds_) {
+  for (auto& p : preds_) {
+    // Name forms reaching a kernel directly (no PlanBuilder::Build pass)
+    // resolve here; unknown names abort like Table::column(name).
+    if (!p.col_name.empty()) {
+      p.col = table.ColumnIndex(p.col_name);
+      SMOKE_CHECK(p.col >= 0);
+      p.col_name.clear();
+    }
+    if (!p.rhs_col_name.empty()) {
+      p.rhs_col = table.ColumnIndex(p.rhs_col_name);
+      SMOKE_CHECK(p.rhs_col >= 0);
+      p.rhs_col_name.clear();
+      p.type = table.schema().field(static_cast<size_t>(p.col)).type;
+    }
     SMOKE_CHECK(p.col >= 0 &&
                 static_cast<size_t>(p.col) < table.num_columns());
     Bound b;
@@ -83,6 +96,7 @@ ScalarExpr& ScalarExpr::operator=(const ScalarExpr& other) {
   if (this == &other) return *this;
   op = other.op;
   col = other.col;
+  col_name = other.col_name;
   constant = other.constant;
   pred = other.pred ? std::make_unique<Predicate>(*other.pred) : nullptr;
   left = other.left ? std::make_unique<ScalarExpr>(*other.left) : nullptr;
@@ -94,6 +108,12 @@ ScalarExpr ScalarExpr::Col(int c) {
   ScalarExpr e;
   e.op = Op::kCol;
   e.col = c;
+  return e;
+}
+ScalarExpr ScalarExpr::Col(std::string name) {
+  ScalarExpr e;
+  e.op = Op::kCol;
+  e.col_name = std::move(name);
   return e;
 }
 ScalarExpr ScalarExpr::Const(double v) {
@@ -148,7 +168,12 @@ void CompiledExpr::Compile(const Table& table, const ScalarExpr& expr) {
     case ScalarExpr::Op::kCol: {
       Instr in;
       in.op = ScalarExpr::Op::kCol;
-      const Column& c = table.column(static_cast<size_t>(expr.col));
+      int col = expr.col;
+      if (!expr.col_name.empty()) {
+        col = table.ColumnIndex(expr.col_name);
+        SMOKE_CHECK(col >= 0);
+      }
+      const Column& c = table.column(static_cast<size_t>(col));
       SMOKE_CHECK(c.type() != DataType::kString);
       if (c.type() == DataType::kInt64) in.icol = c.ints().data();
       else in.dcol = c.doubles().data();

@@ -21,6 +21,11 @@ enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe, kIn };
 
 /// \brief A comparison of one column against a constant, an IN set, or
 /// another column of the same table (rhs_col >= 0).
+///
+/// Columns are referenced by index, or by name through the string factory
+/// overloads: `col_name` / `rhs_col_name` are resolved against the owning
+/// node's input schema by PlanBuilder::Build (plan/plan.h) and cleared once
+/// resolved. Execution kernels only ever see indexes.
 struct Predicate {
   int col = -1;
   CmpOp op = CmpOp::kEq;
@@ -31,6 +36,8 @@ struct Predicate {
   std::vector<int64_t> in_ints;
   std::vector<std::string> in_strs;
   int rhs_col = -1;  ///< column-to-column comparison (e.g., TPC-H Q12)
+  std::string col_name;      ///< unresolved name form of `col`
+  std::string rhs_col_name;  ///< unresolved name form of `rhs_col`
 
   static Predicate Int(int col, CmpOp op, int64_t v) {
     Predicate p;
@@ -62,6 +69,40 @@ struct Predicate {
   static Predicate ColCmp(int col, CmpOp op, int rhs_col, DataType type) {
     Predicate p;
     p.col = col; p.op = op; p.type = type; p.rhs_col = rhs_col;
+    return p;
+  }
+
+  // Name-based forms, resolved at plan-build time.
+  static Predicate Int(std::string col, CmpOp op, int64_t v) {
+    Predicate p = Int(-1, op, v);
+    p.col_name = std::move(col);
+    return p;
+  }
+  static Predicate Double(std::string col, CmpOp op, double v) {
+    Predicate p = Double(-1, op, v);
+    p.col_name = std::move(col);
+    return p;
+  }
+  static Predicate Str(std::string col, CmpOp op, std::string v) {
+    Predicate p = Str(-1, op, std::move(v));
+    p.col_name = std::move(col);
+    return p;
+  }
+  static Predicate IntIn(std::string col, std::vector<int64_t> vals) {
+    Predicate p = IntIn(-1, std::move(vals));
+    p.col_name = std::move(col);
+    return p;
+  }
+  static Predicate StrIn(std::string col, std::vector<std::string> vals) {
+    Predicate p = StrIn(-1, std::move(vals));
+    p.col_name = std::move(col);
+    return p;
+  }
+  /// The compared type is taken from the resolved column's schema entry.
+  static Predicate ColCmp(std::string col, CmpOp op, std::string rhs_col) {
+    Predicate p = ColCmp(-1, op, -1, DataType::kInt64);
+    p.col_name = std::move(col);
+    p.rhs_col_name = std::move(rhs_col);
     return p;
   }
 };
@@ -113,6 +154,9 @@ struct ScalarExpr {
 
   Op op = Op::kConst;
   int col = -1;
+  /// Unresolved name form of `col` (kCol only) — resolved against the
+  /// owning node's input schema by PlanBuilder::Build and cleared.
+  std::string col_name;
   double constant = 0;
   std::unique_ptr<Predicate> pred;  // Indicator payload
   std::unique_ptr<ScalarExpr> left;
@@ -125,6 +169,7 @@ struct ScalarExpr {
   ScalarExpr& operator=(ScalarExpr&&) = default;
 
   static ScalarExpr Col(int c);
+  static ScalarExpr Col(std::string name);
   static ScalarExpr Const(double v);
   static ScalarExpr Add(ScalarExpr a, ScalarExpr b);
   static ScalarExpr Sub(ScalarExpr a, ScalarExpr b);

@@ -363,6 +363,18 @@ GroupByResult GroupByExecParallel(const Table& input,
 GroupByResult GroupByExec(const Table& input, const std::string& input_name,
                           const GroupBySpec& spec,
                           const CaptureOptions& opts) {
+  if (!spec.key_names.empty()) {
+    // Name forms reaching the kernel directly (no PlanBuilder::Build pass)
+    // resolve here; unknown names abort like Table::column(name).
+    GroupBySpec resolved = spec;
+    for (const std::string& name : resolved.key_names) {
+      const int col = input.ColumnIndex(name);
+      SMOKE_CHECK(col >= 0);
+      resolved.keys.push_back(col);
+    }
+    resolved.key_names.clear();
+    return GroupByExec(input, input_name, resolved, opts);
+  }
   if (opts.WantsParallel()) {
     if (opts.scheduler != nullptr) {
       return GroupByExecParallel(input, input_name, spec, opts,

@@ -41,6 +41,10 @@ namespace smoke {
 struct GroupBySpec {
   std::vector<int> keys;
   std::vector<AggSpec> aggs;
+  /// Name-based key references: resolved against the input schema by
+  /// PlanBuilder::Build, appended to `keys` in order, then cleared.
+  /// Aggregate expressions resolve their own ScalarExpr::Col names.
+  std::vector<std::string> key_names;
 };
 
 /// \brief The retained γht hash table: key -> dense group slot, plus the

@@ -18,24 +18,41 @@
 
 namespace smoke {
 
-/// A derived integer grouping key over one column of a relation.
+/// A derived integer grouping key over one column of a relation. The
+/// source column is an index, or a name (`col_name`) resolved against the
+/// input schema by PlanBuilder::Build and cleared once resolved.
 struct GroupExpr {
   enum class Kind : uint8_t { kRaw, kYear, kMonth, kScale100 };
   Kind kind = Kind::kRaw;
   int col = -1;
   std::string name;
+  std::string col_name;
 
   static GroupExpr Raw(int col, std::string name) {
-    return GroupExpr{Kind::kRaw, col, std::move(name)};
+    return GroupExpr{Kind::kRaw, col, std::move(name), {}};
   }
   static GroupExpr Year(int col, std::string name = "year") {
-    return GroupExpr{Kind::kYear, col, std::move(name)};
+    return GroupExpr{Kind::kYear, col, std::move(name), {}};
   }
   static GroupExpr Month(int col, std::string name = "month") {
-    return GroupExpr{Kind::kMonth, col, std::move(name)};
+    return GroupExpr{Kind::kMonth, col, std::move(name), {}};
   }
   static GroupExpr Scale100(int col, std::string name) {
-    return GroupExpr{Kind::kScale100, col, std::move(name)};
+    return GroupExpr{Kind::kScale100, col, std::move(name), {}};
+  }
+
+  // Name-based forms, resolved at plan-build time.
+  static GroupExpr Raw(std::string col, std::string name) {
+    return GroupExpr{Kind::kRaw, -1, std::move(name), std::move(col)};
+  }
+  static GroupExpr Year(std::string col, std::string name = "year") {
+    return GroupExpr{Kind::kYear, -1, std::move(name), std::move(col)};
+  }
+  static GroupExpr Month(std::string col, std::string name = "month") {
+    return GroupExpr{Kind::kMonth, -1, std::move(name), std::move(col)};
+  }
+  static GroupExpr Scale100(std::string col, std::string name) {
+    return GroupExpr{Kind::kScale100, -1, std::move(name), std::move(col)};
   }
 };
 
@@ -50,10 +67,12 @@ struct BoundGroupExpr {
   /// of range or its type does not match the expression kind.
   static bool Bind(const Table& table, const GroupExpr& g,
                    BoundGroupExpr* out) {
-    if (g.col < 0 || static_cast<size_t>(g.col) >= table.num_columns()) {
+    int col = g.col;
+    if (!g.col_name.empty()) col = table.ColumnIndex(g.col_name);
+    if (col < 0 || static_cast<size_t>(col) >= table.num_columns()) {
       return false;
     }
-    const Column& c = table.column(static_cast<size_t>(g.col));
+    const Column& c = table.column(static_cast<size_t>(col));
     out->kind = g.kind;
     out->icol = nullptr;
     out->dcol = nullptr;

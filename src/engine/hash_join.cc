@@ -194,6 +194,22 @@ JoinResult HashJoinProbeParallel(const Table& left,
 JoinResult HashJoinExec(const Table& left, const std::string& left_name,
                         const Table& right, const std::string& right_name,
                         const JoinSpec& spec, const CaptureOptions& opts) {
+  if (!spec.left_key_name.empty() || !spec.right_key_name.empty()) {
+    // Name forms reaching the kernel directly (no PlanBuilder::Build pass)
+    // resolve here; unknown names abort like Table::column(name).
+    JoinSpec resolved = spec;
+    if (!resolved.left_key_name.empty()) {
+      resolved.left_key = left.ColumnIndex(resolved.left_key_name);
+      SMOKE_CHECK(resolved.left_key >= 0);
+      resolved.left_key_name.clear();
+    }
+    if (!resolved.right_key_name.empty()) {
+      resolved.right_key = right.ColumnIndex(resolved.right_key_name);
+      SMOKE_CHECK(resolved.right_key >= 0);
+      resolved.right_key_name.clear();
+    }
+    return HashJoinExec(left, left_name, right, right_name, resolved, opts);
+  }
   SMOKE_CHECK(left.column(static_cast<size_t>(spec.left_key)).type() ==
               DataType::kInt64);
   SMOKE_CHECK(right.column(static_cast<size_t>(spec.right_key)).type() ==

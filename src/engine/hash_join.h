@@ -47,6 +47,10 @@ namespace smoke {
 struct JoinSpec {
   int left_key = -1;
   int right_key = -1;
+  /// Name-based key references: resolved by PlanBuilder::Build against the
+  /// build (left) / probe (right) child's output schema, then cleared.
+  std::string left_key_name;
+  std::string right_key_name;
 
   /// Build-side key is unique (primary key): enables the pk-fk
   /// optimizations above.

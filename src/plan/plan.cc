@@ -1,5 +1,7 @@
 #include "plan/plan.h"
 
+#include "optimizer/schema_infer.h"
+
 namespace smoke {
 
 const char kTraceRidColumn[] = "__trace_rid";
@@ -74,6 +76,14 @@ int PlanBuilder::Project(int child, std::vector<int> columns) {
   return Add(std::move(n));
 }
 
+int PlanBuilder::Project(int child, std::vector<std::string> columns) {
+  PlanNode n;
+  n.kind = PlanOpKind::kProject;
+  n.children = {child};
+  n.column_names = std::move(columns);
+  return Add(std::move(n));
+}
+
 int PlanBuilder::HashJoin(int build, int probe, JoinSpec spec) {
   PlanNode n;
   n.kind = PlanOpKind::kHashJoin;
@@ -106,6 +116,16 @@ int PlanBuilder::SetOp(SetOpKind kind, int left, int right,
   n.children = {left, right};
   n.set_op = kind;
   n.set_cols = std::move(cols);
+  return Add(std::move(n));
+}
+
+int PlanBuilder::SetOp(SetOpKind kind, int left, int right,
+                       std::vector<std::string> cols) {
+  PlanNode n;
+  n.kind = PlanOpKind::kSetOp;
+  n.children = {left, right};
+  n.set_op = kind;
+  n.set_col_names = std::move(cols);
   return Add(std::move(n));
 }
 
@@ -142,10 +162,217 @@ void PlanBuilder::SetLabel(int node, std::string label) {
   nodes_[static_cast<size_t>(node)].label = std::move(label);
 }
 
+namespace {
+
+bool PredicateHasNames(const Predicate& p) {
+  return !p.col_name.empty() || !p.rhs_col_name.empty();
+}
+
+bool ExprHasNames(const ScalarExpr& e) {
+  if (!e.col_name.empty()) return true;
+  if (e.pred != nullptr && PredicateHasNames(*e.pred)) return true;
+  if (e.left != nullptr && ExprHasNames(*e.left)) return true;
+  if (e.right != nullptr && ExprHasNames(*e.right)) return true;
+  return false;
+}
+
+Status ResolveColumn(const Schema& schema, const std::string& name,
+                     const std::string& label, int* out) {
+  const int i = schema.IndexOf(name);
+  if (i < 0) {
+    return Status::InvalidArgument("node '" + label + "': unknown column '" +
+                                   name + "' (input schema: " +
+                                   schema.ToString() + ")");
+  }
+  *out = i;
+  return Status::OK();
+}
+
+Status ResolvePredicate(const Schema& schema, const std::string& label,
+                        Predicate* p) {
+  const bool rhs_named = !p->rhs_col_name.empty();
+  if (!p->col_name.empty()) {
+    SMOKE_RETURN_NOT_OK(ResolveColumn(schema, p->col_name, label, &p->col));
+    p->col_name.clear();
+  }
+  if (rhs_named) {
+    SMOKE_RETURN_NOT_OK(
+        ResolveColumn(schema, p->rhs_col_name, label, &p->rhs_col));
+    p->rhs_col_name.clear();
+    // Name-based column-to-column compares take the compared type from the
+    // schema (the index-based factory spells it out).
+    if (p->col >= 0 && static_cast<size_t>(p->col) < schema.num_fields()) {
+      p->type = schema.field(static_cast<size_t>(p->col)).type;
+    }
+  }
+  return Status::OK();
+}
+
+Status ResolveExpr(const Schema& schema, const std::string& label,
+                   ScalarExpr* e) {
+  if (!e->col_name.empty()) {
+    SMOKE_RETURN_NOT_OK(ResolveColumn(schema, e->col_name, label, &e->col));
+    e->col_name.clear();
+  }
+  if (e->pred != nullptr) {
+    SMOKE_RETURN_NOT_OK(ResolvePredicate(schema, label, e->pred.get()));
+  }
+  if (e->left != nullptr) {
+    SMOKE_RETURN_NOT_OK(ResolveExpr(schema, label, e->left.get()));
+  }
+  if (e->right != nullptr) {
+    SMOKE_RETURN_NOT_OK(ResolveExpr(schema, label, e->right.get()));
+  }
+  return Status::OK();
+}
+
+bool AnyPredicateNames(const std::vector<Predicate>& preds) {
+  for (const Predicate& p : preds) {
+    if (PredicateHasNames(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status PlanBuilder::ResolveNames() {
+  // Child schemas are inferred on demand, one subtree at a time: nodes are
+  // visited in ascending id order and children precede parents, so a
+  // child's subtree is always fully resolved before its schema is needed.
+  auto schema_of = [this](int child, std::vector<Schema>* all,
+                          const Schema** out) -> Status {
+    SMOKE_RETURN_NOT_OK(InferNodeSchemas(nodes_, child, all));
+    *out = &(*all)[static_cast<size_t>(child)];
+    return Status::OK();
+  };
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    PlanNode& n = nodes_[id];
+    std::vector<Schema> all;
+    const Schema* schema = nullptr;
+    switch (n.kind) {
+      case PlanOpKind::kSelect: {
+        if (n.children.size() != 1 || !AnyPredicateNames(n.predicates)) break;
+        SMOKE_RETURN_NOT_OK(schema_of(n.children[0], &all, &schema));
+        for (Predicate& p : n.predicates) {
+          SMOKE_RETURN_NOT_OK(ResolvePredicate(*schema, n.label, &p));
+        }
+        break;
+      }
+      case PlanOpKind::kProject: {
+        if (n.children.size() != 1 || n.column_names.empty()) break;
+        SMOKE_RETURN_NOT_OK(schema_of(n.children[0], &all, &schema));
+        for (const std::string& name : n.column_names) {
+          int col = -1;
+          SMOKE_RETURN_NOT_OK(ResolveColumn(*schema, name, n.label, &col));
+          n.columns.push_back(col);
+        }
+        n.column_names.clear();
+        break;
+      }
+      case PlanOpKind::kHashJoin: {
+        if (n.children.size() != 2) break;
+        if (!n.join.left_key_name.empty()) {
+          SMOKE_RETURN_NOT_OK(schema_of(n.children[0], &all, &schema));
+          SMOKE_RETURN_NOT_OK(ResolveColumn(*schema, n.join.left_key_name,
+                                            n.label, &n.join.left_key));
+          n.join.left_key_name.clear();
+        }
+        if (!n.join.right_key_name.empty()) {
+          SMOKE_RETURN_NOT_OK(schema_of(n.children[1], &all, &schema));
+          SMOKE_RETURN_NOT_OK(ResolveColumn(*schema, n.join.right_key_name,
+                                            n.label, &n.join.right_key));
+          n.join.right_key_name.clear();
+        }
+        break;
+      }
+      case PlanOpKind::kGroupBy: {
+        bool agg_names = false;
+        for (const AggSpec& a : n.group_by.aggs) {
+          agg_names |= ExprHasNames(a.expr);
+        }
+        if (n.children.size() != 1 ||
+            (n.group_by.key_names.empty() && !agg_names &&
+             !AnyPredicateNames(n.pushdown.sel_fact))) {
+          break;
+        }
+        SMOKE_RETURN_NOT_OK(schema_of(n.children[0], &all, &schema));
+        for (const std::string& name : n.group_by.key_names) {
+          int col = -1;
+          SMOKE_RETURN_NOT_OK(ResolveColumn(*schema, name, n.label, &col));
+          n.group_by.keys.push_back(col);
+        }
+        n.group_by.key_names.clear();
+        for (AggSpec& a : n.group_by.aggs) {
+          SMOKE_RETURN_NOT_OK(ResolveExpr(*schema, n.label, &a.expr));
+        }
+        for (Predicate& p : n.pushdown.sel_fact) {
+          SMOKE_RETURN_NOT_OK(ResolvePredicate(*schema, n.label, &p));
+        }
+        break;
+      }
+      case PlanOpKind::kSetOp: {
+        if (n.children.size() != 2 || n.set_col_names.empty()) break;
+        SMOKE_RETURN_NOT_OK(schema_of(n.children[0], &all, &schema));
+        for (const std::string& name : n.set_col_names) {
+          int col = -1;
+          SMOKE_RETURN_NOT_OK(ResolveColumn(*schema, name, n.label, &col));
+          n.set_cols.push_back(col);
+        }
+        n.set_col_names.clear();
+        break;
+      }
+      case PlanOpKind::kDerive: {
+        bool any = false;
+        for (const GroupExpr& g : n.derives) any |= !g.col_name.empty();
+        if (n.children.size() != 1 || !any) break;
+        SMOKE_RETURN_NOT_OK(schema_of(n.children[0], &all, &schema));
+        for (GroupExpr& g : n.derives) {
+          if (g.col_name.empty()) continue;
+          SMOKE_RETURN_NOT_OK(
+              ResolveColumn(*schema, g.col_name, n.label, &g.col));
+          g.col_name.clear();
+        }
+        break;
+      }
+      case PlanOpKind::kTrace: {
+        if (!AnyPredicateNames(n.trace.filters)) break;
+        // Trace filters apply to the *final endpoint* rows (after any fused
+        // hops), so they resolve against that table's schema, not the
+        // child's output.
+        const Table* endpoint = nullptr;
+        if (!n.trace.fused_hops.empty()) {
+          endpoint = n.trace.fused_hops.back().endpoint;
+        } else if (n.trace.endpoint != nullptr) {
+          endpoint = n.trace.endpoint;
+        } else if (n.children.size() == 1 &&
+                   nodes_[static_cast<size_t>(n.children[0])].kind ==
+                       PlanOpKind::kScan) {
+          endpoint = nodes_[static_cast<size_t>(n.children[0])].table;
+        }
+        if (endpoint == nullptr) {
+          return Status::InvalidArgument(
+              "trace '" + n.label +
+              "': name-based filters need a resolvable endpoint table");
+        }
+        for (Predicate& p : n.trace.filters) {
+          SMOKE_RETURN_NOT_OK(
+              ResolvePredicate(endpoint->schema(), n.label, &p));
+        }
+        break;
+      }
+      case PlanOpKind::kScan:
+      case PlanOpKind::kSpjaBlock:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
 Status PlanBuilder::Build(int root, LogicalPlan* out) {
   if (root < 0 || static_cast<size_t>(root) >= nodes_.size()) {
     return Status::InvalidArgument("plan root id out of range");
   }
+  SMOKE_RETURN_NOT_OK(ResolveNames());
   for (size_t id = 0; id < nodes_.size(); ++id) {
     const PlanNode& n = nodes_[id];
     size_t arity = 0;

@@ -135,10 +135,18 @@ struct PlanNode {
   const Table* table = nullptr;         // kScan
   std::vector<Predicate> predicates;    // kSelect
   std::vector<int> columns;             // kProject
+  /// kProject: name-based column references, resolved against the child's
+  /// output schema at Build() time and appended to `columns` in order (then
+  /// cleared). Other name fields live inside their specs (Predicate,
+  /// JoinSpec, GroupBySpec, GroupExpr).
+  std::vector<std::string> column_names;
   JoinSpec join;                        // kHashJoin
   GroupBySpec group_by;                 // kGroupBy
   SetOpKind set_op = SetOpKind::kSetUnion;  // kSetOp
   std::vector<int> set_cols;                // kSetOp (ignored for bag union)
+  /// kSetOp: name-based forms of `set_cols`, resolved against the *left*
+  /// child's schema (set-op columns are positional across both children).
+  std::vector<std::string> set_col_names;
   SPJAQuery spja;                       // kSpjaBlock (table pointers are
                                         // rebound from the scan children)
   SPJAPushdown pushdown;                // kSpjaBlock, kGroupBy (sel/skip)
@@ -187,6 +195,10 @@ class PlanBuilder {
   /// Projection onto `columns` (indexes into the child's output schema).
   int Project(int child, std::vector<int> columns);
 
+  /// Projection by column name (resolved against the child's output schema
+  /// at Build() time; unknown names fail Build with a clear Status).
+  int Project(int child, std::vector<std::string> columns);
+
   /// build ⋈ probe. The left child is the build side (A in the paper's
   /// ⋈ht/⋈probe decomposition), the right child the probe side.
   int HashJoin(int build, int probe, JoinSpec spec);
@@ -205,6 +217,11 @@ class PlanBuilder {
   /// ignored for bag union). Set difference captures lineage for the left
   /// child only (paper Appendix F.5).
   int SetOp(SetOpKind kind, int left, int right, std::vector<int> cols);
+
+  /// Set/bag operator with name-based columns (resolved against the left
+  /// child's schema; positions apply to both children as in the int form).
+  int SetOp(SetOpKind kind, int left, int right,
+            std::vector<std::string> cols);
 
   /// The fused SPJA block as a single node. Scan children for the fact and
   /// dimension tables are added automatically from `query`.
@@ -232,10 +249,22 @@ class PlanBuilder {
 
   /// Validates the DAG rooted at `root` and moves it into `*out`. The
   /// builder is left empty on success.
+  ///
+  /// Name resolution runs first: every name-based column reference —
+  /// Select/Trace predicate `col_name`s, Project `column_names`, join key
+  /// names, GroupBy `key_names` and aggregate-expression column names,
+  /// SetOp `set_col_names`, Derive `col_name`s — is resolved against the
+  /// referencing node's input schema (optimizer/schema_infer.h) and
+  /// rewritten to the index form, clearing the name. Unknown names fail
+  /// with a Status naming the node, the column, and the schema searched.
+  /// Trace filters resolve against the trace's final endpoint schema.
   Status Build(int root, LogicalPlan* out);
 
  private:
   int Add(PlanNode node);
+
+  /// The Build() name-resolution pass (see Build's doc comment).
+  Status ResolveNames();
 
   std::vector<PlanNode> nodes_;
 };

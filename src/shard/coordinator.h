@@ -1,0 +1,112 @@
+// Sharded plan execution with cross-shard lineage composition.
+//
+// The coordinator compiles a LogicalPlan whose scans touch sharded tables
+// (shard/sharded_table.h) into per-shard subplans plus exchange/merge steps
+// — the per-segment plan + motion architecture of MPP engines, carried over
+// with Smoke's twist: lineage composes across the shard boundary exactly as
+// it does across morsels.
+//
+//   1. Classification. The lowest-cost sharded scan becomes the *driver*;
+//      the maximal subtree above it built from select/project/derive nodes
+//      and hash joins probing the driver side is the *sharded region*. Join
+//      build sides are executed once on the coordinator and broadcast (or,
+//      when both join children are direct scans of tables hash-sharded on
+//      the join keys with equal shard counts, read co-located from the
+//      build table's own slices). Everything above the region runs on the
+//      coordinator as an ordinary unsharded plan.
+//   2. Per-shard execution. Each shard runs the unmodified morsel-parallel
+//      executor over its slice. Per-row *order keys* — the driver's global
+//      rid recovered from the shard's composed backward index — drive a
+//      stable gather merge that restores the exact unsharded row order.
+//   3. Exchange. A group-by directly above the region becomes a
+//      partial-aggregate exchange: each shard aggregates locally, the
+//      coordinator merges partial states (AggLayout::Merge) keyed by the
+//      encoded group key, orders merged groups by first-encounter order
+//      key, and finalizes. (Floating-point SUM/AVG accumulate per shard
+//      before merging, so results are bit-identical whenever the summed
+//      values are exactly representable — integers, counts — and agree to
+//      reassociation otherwise.)
+//   4. Lineage. Per-shard indexes are remapped through the ShardMap codec
+//      and concatenated in gather order into region-level indexes, then
+//      composed (lineage/compose.h) with the coordinator plan's lineage —
+//      the same associativity that makes morsel fragment merging exact.
+//
+// Backward traces over a retained sharded result fan out only to the shards
+// the traced rid set touches (the skip-index idea at shard granularity):
+// ShardedExecution keeps the per-shard driver indexes plus the
+// output→region chain, probes owner shards only, and reports
+// ShardTraceStats so callers can see the fan-out.
+#ifndef SMOKE_SHARD_COORDINATOR_H_
+#define SMOKE_SHARD_COORDINATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/executor.h"
+#include "shard/sharded_table.h"
+
+namespace smoke {
+
+/// Fan-out accounting of one backward trace over a sharded result.
+struct ShardTraceStats {
+  size_t shards_total = 0;
+  size_t shards_visited = 0;
+  size_t rids_traced = 0;
+};
+
+/// \brief Retained fan-out state of one sharded execution: enough to answer
+/// backward traces to the driver relation by probing only the shards the
+/// seed rids touch, bit-identical to probing the composed index.
+struct ShardedExecution {
+  /// Scan label of the driver relation (the sharded lineage endpoint
+  /// fan-out applies to; other relations answer from the composed lineage).
+  std::string driver_relation;
+  /// Borrowed codec of the driver's sharded table (owned by the engine's
+  /// ShardedTable; DropTable refuses while results borrow it).
+  const ShardMap* map = nullptr;
+  /// Final output position -> sharded-region row positions. Identity when
+  /// the region root was the plan root.
+  LineageIndex to_region;
+  bool to_region_identity = false;
+  /// Region row position -> (shard, shard-local row position).
+  std::vector<ShardLoc> owner;
+  /// Per shard: local region row -> local driver rid (each shard's composed
+  /// subtree backward index, kept un-gathered for fan-out probing).
+  std::vector<LineageIndex> shard_backward;
+
+  size_t num_shards() const { return shard_backward.size(); }
+
+  /// Lb(out_rids, driver_relation) probing only owner shards. Identical
+  /// rids (order and multiplicity, first-encounter dedup when `dedup`) to a
+  /// trace over the composed index. `stats` (optional) reports fan-out.
+  Status TraceBackward(const std::vector<rid_t>& out_rids, bool dedup,
+                       std::vector<rid_t>* rids,
+                       ShardTraceStats* stats) const;
+};
+
+/// Result of a sharded plan execution: a PlanResult bit-identical to the
+/// unsharded executor's (output rows, order, composed lineage), plus the
+/// retained fan-out state (null when the plan touched no sharded table, or
+/// when capture was off).
+struct ShardedPlanResult {
+  PlanResult plan;
+  std::unique_ptr<ShardedExecution> shard;
+};
+
+/// Maps base-table pointers (what plan scans hold) to their sharded form.
+using ShardResolver = std::unordered_map<const Table*, const ShardedTable*>;
+
+/// Executes `plan` sharded per `sharded` with the capture technique in
+/// `opts`. Plans that scan no sharded table fall through to the unsharded
+/// executor. Rejects defer_plan_finalize (sharded lineage composes eagerly)
+/// and the logic/physical baseline modes.
+Status ExecuteShardedPlan(const LogicalPlan& plan, const ShardResolver& sharded,
+                          const CaptureOptions& opts, ShardedPlanResult* out);
+
+}  // namespace smoke
+
+#endif  // SMOKE_SHARD_COORDINATOR_H_

@@ -1,0 +1,127 @@
+// Global-rid ⇄ (shard, local-rid) codec for sharded base tables.
+//
+// Sharded execution (shard/coordinator.h) partitions a base relation into
+// independently executed shards; every shard runs the unmodified
+// morsel-parallel executor over *local* rids starting at 0. Lineage,
+// however, is defined over the relation's *global* rids — the rids every
+// retained index, trace and consuming query speaks. The ShardMap is the
+// bijection between the two spaces: it is to shards what
+// lineage/fragment_merge's exclusive offsets are to morsels, except that
+// shard assignment follows a partitioning column (range/hash), not row
+// position, so the mapping must be materialized rather than computed from
+// offsets.
+#ifndef SMOKE_SHARD_SHARD_MAP_H_
+#define SMOKE_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace smoke {
+
+/// How a base table is partitioned into shards. The partitioning column
+/// must be int64 (all shardable keys in the paper's workloads are integer
+/// or dictionary-encoded).
+struct ShardingSpec {
+  enum class Kind : uint8_t {
+    kRange,  ///< equal-width ranges over the column's value domain
+    kHash,   ///< stable hash of the column value modulo num_shards
+  };
+
+  Kind kind = Kind::kHash;
+  int column = 0;
+  uint32_t num_shards = 1;
+
+  static ShardingSpec Hash(int column, uint32_t num_shards) {
+    ShardingSpec s;
+    s.kind = Kind::kHash;
+    s.column = column;
+    s.num_shards = num_shards;
+    return s;
+  }
+  static ShardingSpec Range(int column, uint32_t num_shards) {
+    ShardingSpec s;
+    s.kind = Kind::kRange;
+    s.column = column;
+    s.num_shards = num_shards;
+    return s;
+  }
+};
+
+/// Stable value hash for hash partitioning (splitmix64 finalizer). Shared by
+/// ShardedTable::Create and the co-located join check so two tables hashed
+/// on their join keys with equal shard counts place matching keys in the
+/// same shard.
+inline uint32_t ShardOfHash(int64_t v, uint32_t num_shards) {
+  uint64_t x = static_cast<uint64_t>(v);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % num_shards);
+}
+
+/// A global rid decoded into its shard coordinates.
+struct ShardLoc {
+  uint32_t shard = 0;
+  rid_t local = 0;
+};
+
+/// \brief The bijection global rid ⇄ (shard, local rid) of one sharded
+/// table. Local rids within a shard preserve global rid order (slicing is
+/// order-stable), which is what lets the coordinator's gather merge restore
+/// the unsharded row order from per-shard order keys.
+class ShardMap {
+ public:
+  ShardMap() = default;
+
+  /// Builds the codec from a per-row shard assignment. `shard_of[g]` is the
+  /// shard of global rid g; locals are assigned in ascending global order.
+  static ShardMap FromAssignment(std::vector<uint32_t> shard_of,
+                                 uint32_t num_shards) {
+    ShardMap m;
+    m.shard_of_ = std::move(shard_of);
+    m.local_of_.resize(m.shard_of_.size());
+    m.global_of_.resize(num_shards);
+    for (size_t g = 0; g < m.shard_of_.size(); ++g) {
+      uint32_t s = m.shard_of_[g];
+      SMOKE_DCHECK(s < num_shards);
+      m.local_of_[g] = static_cast<rid_t>(m.global_of_[s].size());
+      m.global_of_[s].push_back(static_cast<rid_t>(g));
+    }
+    return m;
+  }
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(global_of_.size());
+  }
+  size_t num_rows() const { return shard_of_.size(); }
+  size_t shard_rows(uint32_t s) const { return global_of_[s].size(); }
+
+  ShardLoc ToLocal(rid_t global) const {
+    SMOKE_DCHECK(static_cast<size_t>(global) < shard_of_.size());
+    return ShardLoc{shard_of_[global], local_of_[global]};
+  }
+  rid_t ToGlobal(uint32_t shard, rid_t local) const {
+    SMOKE_DCHECK(shard < global_of_.size());
+    SMOKE_DCHECK(static_cast<size_t>(local) < global_of_[shard].size());
+    return global_of_[shard][local];
+  }
+
+  /// Global rids of shard `s` in local-rid order (ascending global rids).
+  const std::vector<rid_t>& globals_of(uint32_t s) const {
+    SMOKE_DCHECK(s < global_of_.size());
+    return global_of_[s];
+  }
+
+ private:
+  std::vector<uint32_t> shard_of_;            // global -> shard
+  std::vector<rid_t> local_of_;               // global -> local
+  std::vector<std::vector<rid_t>> global_of_; // shard -> local -> global
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_SHARD_SHARD_MAP_H_

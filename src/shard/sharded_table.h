@@ -1,0 +1,49 @@
+// A base relation partitioned into shards (shard/coordinator.h runs one
+// unmodified morsel-parallel executor per shard slice).
+#ifndef SMOKE_SHARD_SHARDED_TABLE_H_
+#define SMOKE_SHARD_SHARDED_TABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "shard/shard_map.h"
+#include "storage/table.h"
+
+namespace smoke {
+
+/// \brief A borrowed base table plus its range/hash partitioning: one slice
+/// Table per shard (same schema, rows in global-rid order within the slice)
+/// and the ShardMap codec connecting slice-local rids to the base table's
+/// global rids. The base table stays the lineage endpoint — slices are
+/// execution artifacts, never traced against directly.
+class ShardedTable {
+ public:
+  ShardedTable() = default;
+  SMOKE_DISALLOW_COPY_AND_ASSIGN(ShardedTable);
+  ShardedTable(ShardedTable&&) = default;
+  ShardedTable& operator=(ShardedTable&&) = default;
+
+  /// Slices `*base` per `spec`. The partitioning column must be an int64
+  /// column of `*base`; `base` is borrowed and must outlive the result.
+  static Status Create(const Table* base, const ShardingSpec& spec,
+                       ShardedTable* out);
+
+  const Table* base() const { return base_; }
+  const ShardingSpec& spec() const { return spec_; }
+  const ShardMap& map() const { return map_; }
+  uint32_t num_shards() const { return map_.num_shards(); }
+  const Table& shard(uint32_t s) const {
+    SMOKE_DCHECK(s < shards_.size());
+    return shards_[s];
+  }
+
+ private:
+  const Table* base_ = nullptr;
+  ShardingSpec spec_;
+  ShardMap map_;
+  std::vector<Table> shards_;
+};
+
+}  // namespace smoke
+
+#endif  // SMOKE_SHARD_SHARDED_TABLE_H_

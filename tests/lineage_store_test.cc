@@ -252,7 +252,7 @@ TEST(LineageStoreTest, JoinAndSetOpBitIdentical) {
       int join = b.HashJoin(build, probe, js);
       int lo = b.Select(join, {Predicate::Int(0, CmpOp::kLe, 12)});
       int hi = b.Select(join, {Predicate::Int(0, CmpOp::kGt, 12)});
-      int root = b.SetOp(SetOpKind::kBagUnion, lo, hi, {});
+      int root = b.SetOp(SetOpKind::kBagUnion, lo, hi, std::vector<int>{});
       LogicalPlan plan;
       ASSERT_TRUE(b.Build(root, &plan).ok());
       ASSERT_TRUE(engine.ExecutePlan("dag", plan, Opts(codec, threads)).ok());

@@ -136,7 +136,7 @@ TEST(OptimizerRules, PushSelectThroughProject) {
   Table sales = MakeSales();
   PlanBuilder b;
   int scan = b.Scan(&sales, "sales");
-  int proj = b.Project(scan, {1, 0});  // amount, region_id
+  int proj = b.Project(scan, std::vector<int>{1, 0});  // amount, region_id
   int sel = b.Select(proj, {Predicate::Int(1, CmpOp::kEq, 0)});
   int agg = b.GroupBy(sel, {{1}, {AggSpec::Sum(ScalarExpr::Col(0), "amt")}});
   LogicalPlan plan;
@@ -152,7 +152,7 @@ TEST(OptimizerRules, MergeSelectsAndElisions) {
   PlanBuilder b;
   int scan = b.Scan(&sales, "sales");
   int sel1 = b.Select(scan, {Predicate::Int(0, CmpOp::kLe, 2)});
-  int proj = b.Project(sel1, {0, 1});  // identity
+  int proj = b.Project(sel1, std::vector<int>{0, 1});  // identity
   int sel2 = b.Select(proj, {Predicate::Double(1, CmpOp::kGt, 2.0)});
   int sel3 = b.Select(sel2, {});  // predicate-free, absorbed by merge
   LogicalPlan plan;
@@ -189,8 +189,8 @@ TEST(OptimizerRules, MergeProjects) {
   Table sales = MakeSales();
   PlanBuilder b;
   int scan = b.Scan(&sales, "sales");
-  int p1 = b.Project(scan, {1, 0});
-  int p2 = b.Project(p1, {1});  // region_id only
+  int p1 = b.Project(scan, std::vector<int>{1, 0});
+  int p2 = b.Project(p1, std::vector<int>{1});  // region_id only
   int agg = b.GroupBy(p2, {{0}, {AggSpec::Count("cnt")}});
   LogicalPlan plan;
   ASSERT_TRUE(b.Build(agg, &plan).ok());
@@ -224,7 +224,7 @@ TEST(OptimizerRules, PushSelectThroughSetOpAllKinds) {
     PlanBuilder b;
     int a = b.Scan(&sales, "sales");
     int r = b.Scan(&returns, "returns");
-    int so = b.SetOp(kind, a, r, {0});
+    int so = b.SetOp(kind, a, r, std::vector<int>{0});
     int sel = b.Select(so, {Predicate::Int(0, CmpOp::kLe, 1)});
     LogicalPlan plan;
     ASSERT_TRUE(b.Build(sel, &plan).ok());
@@ -259,7 +259,7 @@ TEST(OptimizerRules, SharedIdentityProjectElidedInPlace) {
   Table sales = MakeSales();
   PlanBuilder b;
   int scan = b.Scan(&sales, "sales");
-  int proj = b.Project(scan, {0, 1});  // identity, shared
+  int proj = b.Project(scan, std::vector<int>{0, 1});  // identity, shared
   int agg1 = b.GroupBy(proj, {{0}, {AggSpec::Count("cnt")}});
   int agg2 = b.GroupBy(proj, {{0}, {AggSpec::Sum(ScalarExpr::Col(1), "amt")}});
   int join = b.HashJoin(agg1, agg2, JoinSpec{0, 0});
@@ -275,7 +275,7 @@ TEST(OptimizerRules, ParallelExecutionStaysInvariant) {
   Table sales = MakeSales();
   PlanBuilder b;
   int scan = b.Scan(&sales, "sales");
-  int proj = b.Project(scan, {0, 1});
+  int proj = b.Project(scan, std::vector<int>{0, 1});
   int sel = b.Select(proj, {Predicate::Int(0, CmpOp::kLe, 2)});
   int agg = b.GroupBy(sel, {{0}, {AggSpec::Sum(ScalarExpr::Col(1), "amt")}});
   LogicalPlan plan;

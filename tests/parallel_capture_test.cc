@@ -368,7 +368,7 @@ TEST(ParallelCaptureTest, SharedSubplanDagIdenticalAcrossThreads) {
   int shared = b.Select(scan, {Predicate::Int(2, CmpOp::kLt, 800)});
   int low = b.Select(shared, {Predicate::Int(0, CmpOp::kLt, 9)});
   int high = b.Select(shared, {Predicate::Int(0, CmpOp::kGe, 9)});
-  int root = b.SetOp(SetOpKind::kBagUnion, low, high, {});
+  int root = b.SetOp(SetOpKind::kBagUnion, low, high, std::vector<int>{});
   LogicalPlan plan;
   ASSERT_TRUE(b.Build(root, &plan).ok());
   ExpectIdenticalAcrossThreads(plan, CaptureMode::kInject);

@@ -143,15 +143,19 @@ TEST_F(PlanEngineTest, ConsumingQueryOverPlanLineage) {
   }
   ASSERT_NE(region0_out, kInvalidRid);
 
-  // Drill down into region 0's lineage, regrouping by day.
+  // Drill down into region 0's lineage, regrouping by day — through the
+  // unified consumption API (the ExecuteConsuming shims are retired).
   ConsumingSpec spec;
   spec.group_by = {GroupExpr::Raw(2, "day")};
   spec.aggs = {AggSpec::Count("cnt")};
-  ASSERT_TRUE(
-      engine_.ExecuteConsuming("region0_by_day", "by_region", region0_out, spec)
-          .ok());
+  TraceSource src;
+  ASSERT_TRUE(engine_.MakeTraceSource("by_region", &src).ok());
+  TraceBuilder drill_query =
+      TraceBuilder::Backward(std::move(src), "sales", {region0_out});
+  drill_query.Consuming(spec);
+  ASSERT_TRUE(engine_.ExecuteTraceQuery("region0_by_day", drill_query).ok());
   const Table* drill = nullptr;
-  ASSERT_TRUE(engine_.GetConsumingResult("region0_by_day", &drill).ok());
+  ASSERT_TRUE(engine_.GetResult("region0_by_day", &drill).ok());
   // Region-0 rids {0,3,7,9} fall on days 20240101 (0,3,9) and 20240102 (7).
   EXPECT_EQ(drill->num_rows(), 2u);
   int64_t total = 0;
@@ -177,8 +181,11 @@ TEST_F(PlanEngineTest, ReplaceAndDropGuardedByRetainedQueries) {
   ConsumingSpec spec;
   spec.group_by = {GroupExpr::Raw(2, "day")};
   spec.aggs = {AggSpec::Count("cnt")};
-  ASSERT_TRUE(
-      engine_.ExecuteConsuming("drill", "by_region", 0, spec).ok());
+  TraceSource src;
+  ASSERT_TRUE(engine_.MakeTraceSource("by_region", &src).ok());
+  TraceBuilder drill_query = TraceBuilder::Backward(std::move(src), "sales", {0});
+  drill_query.Consuming(spec);
+  ASSERT_TRUE(engine_.ExecuteTraceQuery("drill", drill_query).ok());
   ASSERT_TRUE(engine_.DropResult("by_region").ok());
   EXPECT_FALSE(engine_.ReplaceTable("sales", MakeSales()).ok());
 

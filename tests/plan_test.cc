@@ -244,7 +244,7 @@ TEST(PlanProjectTest, IdentityLineagePassesThrough) {
   agg.keys = {0};
   agg.aggs = {AggSpec::Count("cnt")};
   int gb = b.GroupBy(b.Scan(&sales, "sales"), agg);
-  int root = b.Project(gb, {1});  // keep only the count column
+  int root = b.Project(gb, std::vector<int>{1});  // keep only the count column
   LogicalPlan plan;
   ASSERT_TRUE(b.Build(root, &plan).ok());
 
@@ -273,7 +273,7 @@ TEST(PlanSetOpTest, UnionOfFilteredScans) {
                        {Predicate::Double(1, CmpOp::kLt, 4.0)});
   int dear = b.Select(b.Scan(&sales, "sales_b"),
                       {Predicate::Double(1, CmpOp::kGt, 10.0)});
-  int root = b.SetOp(SetOpKind::kBagUnion, cheap, dear, {});
+  int root = b.SetOp(SetOpKind::kBagUnion, cheap, dear, std::vector<int>{});
   LogicalPlan plan;
   ASSERT_TRUE(b.Build(root, &plan).ok());
 
@@ -434,7 +434,7 @@ TEST(PlanValidationTest, RejectsMalformedPlans) {
   {
     // Empty projections are rejected at Build.
     PlanBuilder b;
-    int root = b.Project(b.Scan(&sales, "sales"), {});
+    int root = b.Project(b.Scan(&sales, "sales"), std::vector<int>{});
     LogicalPlan plan;
     EXPECT_FALSE(b.Build(root, &plan).ok());
   }
@@ -497,7 +497,7 @@ TEST(PlanDagTest, SharedSubplanMergesLineage) {
   // through two paths, whose lineage must merge.
   int low = b.Select(scan, {Predicate::Double(1, CmpOp::kLt, 3.0)});
   int high = b.Select(scan, {Predicate::Double(1, CmpOp::kGt, 11.0)});
-  int root = b.SetOp(SetOpKind::kBagUnion, low, high, {});
+  int root = b.SetOp(SetOpKind::kBagUnion, low, high, std::vector<int>{});
   LogicalPlan plan;
   ASSERT_TRUE(b.Build(root, &plan).ok());
 

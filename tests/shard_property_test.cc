@@ -1,27 +1,30 @@
-// Property test for the plan rewriter: over randomly generated plan DAGs,
-// executing with the optimizer on must produce bit-identical outputs AND
-// bit-identical composed lineage to executing the same plan with the
-// optimizer off, single-threaded and morsel-parallel alike.
+// Property test for sharded execution: over randomly generated plan DAGs,
+// ExecuteShardedPlan must produce bit-identical outputs AND bit-identical
+// composed lineage to the unsharded executor, for every shard count and
+// thread count, and the shard fan-out trace must return exactly the
+// composed index's answer while probing only the touched shards.
 //
-// The generator tracks output schemas while it builds, so every generated
-// plan is valid by construction (the schema-inference pass must accept it);
-// plans mix selects, projections, derives, group-bys, hash joins, set ops,
-// and DAG-shared subplans to give every rewrite rule something to chew on.
+// The generator is the optimizer property test's, with one twist: the value
+// column is integer-valued, so partial-aggregate SUMs are exact under any
+// association and the sharded exchange cannot drift in the last FP bit.
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "optimizer/optimizer.h"
 #include "plan/executor.h"
 #include "plan/plan.h"
+#include "query/lineage_query.h"
+#include "shard/coordinator.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_table.h"
 
 namespace smoke {
 namespace {
 
-/// Deterministic 64-bit LCG (MMIX constants) — no global RNG state, so a
-/// failing seed reproduces exactly.
+/// Deterministic 64-bit LCG (MMIX constants) — a failing seed reproduces
+/// exactly.
 class Lcg {
  public:
   explicit Lcg(uint64_t seed) : state_(seed) {}
@@ -29,14 +32,10 @@ class Lcg {
     state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
     return state_ >> 16;
   }
-  /// Uniform in [0, n).
   size_t Below(size_t n) { return static_cast<size_t>(Next() % n); }
-  int64_t IntIn(int64_t lo, int64_t hi) {  // inclusive bounds
+  int64_t IntIn(int64_t lo, int64_t hi) {
     return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(
                                                  hi - lo + 1));
-  }
-  double DoubleIn(double lo, double hi) {
-    return lo + (hi - lo) * (static_cast<double>(Next() % 10000) / 10000.0);
   }
   bool Chance(uint32_t percent) { return Next() % 100 < percent; }
 
@@ -44,8 +43,8 @@ class Lcg {
   uint64_t state_;
 };
 
-/// Base relation: key columns draw from a small domain so joins and
-/// group-bys produce real fan-out.
+/// Key columns draw from a small domain so joins and group-bys fan out;
+/// `v` is an integer-valued double so sums are exactly representable.
 Table MakeRandomTable(Lcg* rng, size_t rows) {
   Schema s;
   s.AddField("k1", DataType::kInt64);
@@ -54,13 +53,11 @@ Table MakeRandomTable(Lcg* rng, size_t rows) {
   Table t(s);
   for (size_t i = 0; i < rows; ++i) {
     t.AppendRow({rng->IntIn(0, 7), rng->IntIn(0, 3),
-                 rng->DoubleIn(0.0, 100.0)});
+                 static_cast<double>(rng->IntIn(0, 100))});
   }
   return t;
 }
 
-/// A subplan under construction: its builder node id and output schema
-/// (types only — names don't affect execution).
 struct Sub {
   int id = -1;
   std::vector<DataType> types;
@@ -71,7 +68,6 @@ class PlanGen {
   PlanGen(Lcg* rng, const std::vector<Table>* tables)
       : rng_(rng), tables_(tables) {}
 
-  /// Generates a full plan: a random subplan tree with a few growth steps.
   Sub Gen(int budget) {
     Sub s = Leaf();
     while (budget-- > 0) s = Grow(std::move(s), budget);
@@ -106,14 +102,14 @@ class PlanGen {
     if (s.types[static_cast<size_t>(col)] == DataType::kInt64) {
       return Predicate::Int(col, op, rng_->IntIn(0, 7));
     }
-    return Predicate::Double(col, op, rng_->DoubleIn(0.0, 100.0));
+    return Predicate::Double(col, op,
+                             static_cast<double>(rng_->IntIn(0, 100)));
   }
 
-  /// A scalar aggregate input over a numeric column; sometimes with a
-  /// foldable constant subtree so fold_constants has work.
   ScalarExpr RandomAggExpr(const Sub& s) {
     int col = static_cast<int>(rng_->Below(s.types.size()));
     if (rng_->Chance(30)) {
+      // Folds to *2.0 — exact on integer-valued inputs.
       return ScalarExpr::Mul(
           ScalarExpr::Col(col),
           ScalarExpr::Add(ScalarExpr::Const(1.5), ScalarExpr::Const(0.5)));
@@ -123,14 +119,14 @@ class PlanGen {
 
   Sub Grow(Sub s, int budget) {
     switch (rng_->Below(7)) {
-      case 0: {  // select (sometimes stacked, sometimes predicate-free)
+      case 0: {  // select
         std::vector<Predicate> preds;
-        size_t n = rng_->Below(3);  // 0..2 predicates
+        size_t n = rng_->Below(3);
         for (size_t i = 0; i < n; ++i) preds.push_back(RandomPredicate(s));
         s.id = b_.Select(s.id, std::move(preds));
         return s;
       }
-      case 1: {  // project: random non-empty column selection
+      case 1: {  // project
         std::vector<int> cols;
         size_t n = 1 + rng_->Below(s.types.size());
         std::vector<DataType> types;
@@ -152,20 +148,19 @@ class PlanGen {
         s.types.push_back(DataType::kInt64);
         return s;
       }
-      case 3: {  // group-by on a random int64 key
+      case 3: {  // group-by (exercises the partial-aggregate exchange)
         std::vector<int> ints = IntCols(s);
         if (ints.empty()) return s;
         GroupBySpec spec;
         spec.keys = {ints[rng_->Below(ints.size())]};
         spec.aggs = {AggSpec::Count("cnt"),
                      AggSpec::Sum(RandomAggExpr(s), "sum")};
-        DataType key_type =
-            s.types[static_cast<size_t>(spec.keys[0])];
+        DataType key_type = s.types[static_cast<size_t>(spec.keys[0])];
         s.id = b_.GroupBy(s.id, std::move(spec));
         s.types = {key_type, DataType::kInt64, DataType::kFloat64};
         return s;
       }
-      case 4: {  // hash join against a fresh subplan on int64 keys
+      case 4: {  // hash join (broadcast or co-located build)
         Sub other = Gen(budget > 1 ? 1 : 0);
         std::vector<int> li = IntCols(s), ri = IntCols(other);
         if (li.empty() || ri.empty()) return s;
@@ -202,7 +197,9 @@ class PlanGen {
         } else {
           std::vector<int> cols = {0, static_cast<int>(1 + rng_->Below(2))};
           std::vector<DataType> types;
-          for (int c : cols) types.push_back(left.types[static_cast<size_t>(c)]);
+          for (int c : cols) {
+            types.push_back(left.types[static_cast<size_t>(c)]);
+          }
           s.id = b_.SetOp(kind, left.id, right.id, std::move(cols));
           s.types = std::move(types);
         }
@@ -212,8 +209,12 @@ class PlanGen {
         std::vector<int> ints = IntCols(s);
         if (ints.empty()) return s;
         int key = ints[rng_->Below(ints.size())];
-        GroupBySpec g1{{key}, {AggSpec::Count("c1")}};
-        GroupBySpec g2{{key}, {AggSpec::Sum(RandomAggExpr(s), "s2")}};
+        GroupBySpec g1;
+        g1.keys = {key};
+        g1.aggs = {AggSpec::Count("c1")};
+        GroupBySpec g2;
+        g2.keys = {key};
+        g2.aggs = {AggSpec::Sum(RandomAggExpr(s), "s2")};
         int a1 = b_.GroupBy(s.id, std::move(g1));
         int a2 = b_.GroupBy(s.id, std::move(g2));
         JoinSpec spec;
@@ -267,10 +268,6 @@ void ExpectBitIdentical(const PlanResult& a, const PlanResult& b,
     const TableLineage& x = a.lineage.input(i);
     const TableLineage& y = b.lineage.input(i);
     ASSERT_EQ(x.table_name, y.table_name) << ctx;
-    ASSERT_EQ(x.backward.kind(), y.backward.kind()) << ctx << " "
-                                                    << x.table_name;
-    ASSERT_EQ(x.forward.kind(), y.forward.kind()) << ctx << " "
-                                                  << x.table_name;
     for (auto dir : {&TableLineage::backward, &TableLineage::forward}) {
       const LineageIndex& ix = x.*dir;
       const LineageIndex& iy = y.*dir;
@@ -287,14 +284,29 @@ void ExpectBitIdentical(const PlanResult& a, const PlanResult& b,
   }
 }
 
-TEST(OptimizerProperty, RandomPlansBitIdenticalOnAndOff) {
+TEST(ShardProperty, RandomPlansBitIdenticalShardedAndUnsharded) {
   Lcg table_rng(2018);
   std::vector<Table> tables;
   tables.push_back(MakeRandomTable(&table_rng, 200));
   tables.push_back(MakeRandomTable(&table_rng, 120));
 
-  int optimized_plans = 0;
-  for (uint64_t seed = 1; seed <= 40; ++seed) {
+  // One ShardedTable per (table, shard count); hash on k1 for the first
+  // table, range on k2 for the second so both partitioners see traffic.
+  const uint32_t kShardCounts[] = {1, 2, 5};
+  std::vector<std::vector<ShardedTable>> sharded(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (uint32_t n : kShardCounts) {
+      ShardingSpec spec =
+          t == 0 ? ShardingSpec::Hash(0, n) : ShardingSpec::Range(1, n);
+      ShardedTable st;
+      ASSERT_TRUE(ShardedTable::Create(&tables[t], spec, &st).ok());
+      sharded[t].push_back(std::move(st));
+    }
+  }
+
+  int fan_out_checked = 0;
+  int selective_traces = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
     Lcg rng(seed * 7919);
     PlanGen gen(&rng, &tables);
     Sub root = gen.Gen(2 + static_cast<int>(rng.Below(5)));
@@ -303,31 +315,58 @@ TEST(OptimizerProperty, RandomPlansBitIdenticalOnAndOff) {
         << "seed " << seed << "\n"
         << plan.ToString();
 
-    // The generator builds only well-typed plans: validation must agree.
-    LogicalPlan rewritten;
-    PlanExplain explain;
-    ASSERT_TRUE(OptimizePlan(plan, &rewritten, &explain).ok())
-        << "seed " << seed << "\n"
-        << plan.ToString();
-    if (!explain.rules.empty()) ++optimized_plans;
-
     for (int threads : {1, 7}) {
-      CaptureOptions on = CaptureOptions::Inject();
-      on.num_threads = threads;
-      CaptureOptions off = on;
-      off.optimize = false;
+      CaptureOptions opts = CaptureOptions::Inject();
+      opts.num_threads = threads;
+      PlanResult ref;
+      ASSERT_TRUE(ExecutePlan(plan, opts, &ref).ok()) << "seed " << seed;
 
-      PlanResult ron, roff;
-      ASSERT_TRUE(ExecutePlan(plan, on, &ron).ok()) << "seed " << seed;
-      ASSERT_TRUE(ExecutePlan(plan, off, &roff).ok()) << "seed " << seed;
-      ExpectBitIdentical(
-          ron, roff,
-          "seed " + std::to_string(seed) + " threads " +
-              std::to_string(threads) + "\n" + plan.ToString());
+      for (size_t si = 0; si < 3; ++si) {
+        const uint32_t n = kShardCounts[si];
+        std::string ctx = "seed " + std::to_string(seed) + " threads " +
+                          std::to_string(threads) + " shards " +
+                          std::to_string(n) + "\n" + plan.ToString();
+        ShardResolver resolver;
+        for (size_t t = 0; t < tables.size(); ++t) {
+          resolver[&tables[t]] = &sharded[t][si];
+        }
+        ShardedPlanResult sp;
+        ASSERT_TRUE(ExecuteShardedPlan(plan, resolver, opts, &sp).ok())
+            << ctx;
+        ExpectBitIdentical(sp.plan, ref, ctx);
+        if (sp.shard == nullptr) continue;
+
+        // Fan-out trace == composed-index trace, rid for rid, for a
+        // duplicate-bearing seed set and both dedup modes.
+        const size_t rows = sp.plan.output.num_rows();
+        if (rows == 0) continue;
+        std::vector<rid_t> seeds = {0, static_cast<rid_t>(rng.Below(rows)),
+                                    static_cast<rid_t>(rng.Below(rows)), 0};
+        for (bool dedup : {true, false}) {
+          std::vector<rid_t> expect, got;
+          ASSERT_TRUE(BackwardRidsChecked(sp.plan.lineage,
+                                          sp.shard->driver_relation, seeds,
+                                          dedup, &expect)
+                          .ok())
+              << ctx;
+          ShardTraceStats stats;
+          ASSERT_TRUE(sp.shard->TraceBackward(seeds, dedup, &got, &stats).ok())
+              << ctx;
+          ASSERT_EQ(got, expect) << ctx << " dedup=" << dedup;
+          EXPECT_EQ(stats.shards_total, n) << ctx;
+          EXPECT_LE(stats.shards_visited, stats.shards_total) << ctx;
+          ++fan_out_checked;
+          if (n > 1 && stats.shards_visited < stats.shards_total) {
+            ++selective_traces;
+          }
+        }
+      }
     }
   }
-  // The run is only meaningful if a healthy share of plans got rewritten.
-  EXPECT_GE(optimized_plans, 10);
+  // The run is only meaningful if the fan-out path got real coverage, and
+  // selective traces must actually skip shards some of the time.
+  EXPECT_GE(fan_out_checked, 50);
+  EXPECT_GE(selective_traces, 5);
 }
 
 }  // namespace

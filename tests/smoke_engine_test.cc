@@ -92,17 +92,28 @@ TEST_F(SmokeEngineTest, ConsumingQueryAndChain) {
   ConsumingSpec spec;
   spec.group_by = {GroupExpr::Raw(zipf_table::kZ, "z")};
   spec.aggs = {AggSpec::Count("cnt")};
-  ASSERT_TRUE(engine_.ExecuteConsuming("drill", "v1", 0, spec).ok());
+  TraceSource v1_src;
+  ASSERT_TRUE(engine_.MakeTraceSource("v1", &v1_src).ok());
+  TraceBuilder drill_query =
+      TraceBuilder::Backward(std::move(v1_src), "zipf", {0});
+  drill_query.Consuming(spec);
+  ASSERT_TRUE(engine_.ExecuteTraceQuery("drill", drill_query).ok());
   const Table* drill = nullptr;
-  ASSERT_TRUE(engine_.GetConsumingResult("drill", &drill).ok());
+  ASSERT_TRUE(engine_.GetResult("drill", &drill).ok());
   ASSERT_EQ(drill->num_rows(), 1u);  // group 0 has a single z value
-  // Chain one more level.
+  // Chain one more level: the retained consuming result traces like any
+  // other plan, so the chained drill is just another TraceBuilder query.
   ConsumingSpec spec2;
   spec2.group_by = {GroupExpr::Raw(zipf_table::kId, "id")};
   spec2.aggs = {AggSpec::Count("cnt")};
-  ASSERT_TRUE(engine_.ExecuteConsumingChained("drill2", "drill", 0, spec2).ok());
+  TraceSource drill_src;
+  ASSERT_TRUE(engine_.MakeTraceSource("drill", &drill_src).ok());
+  TraceBuilder drill2_query =
+      TraceBuilder::Backward(std::move(drill_src), "zipf", {0});
+  drill2_query.Consuming(spec2);
+  ASSERT_TRUE(engine_.ExecuteTraceQuery("drill2", drill2_query).ok());
   const Table* drill2 = nullptr;
-  ASSERT_TRUE(engine_.GetConsumingResult("drill2", &drill2).ok());
+  ASSERT_TRUE(engine_.GetResult("drill2", &drill2).ok());
   // One output row per input row of group 0 (id is unique).
   EXPECT_EQ(drill2->num_rows(),
             static_cast<size_t>(drill->column(1).ints()[0]));

@@ -295,7 +295,7 @@ TEST_F(TraceEquivalenceTest, Q1cChainMatchesLegacyUnderEveryStrategy) {
   }
 }
 
-TEST_F(TraceEquivalenceTest, EngineConsumingShimsChainOverPlans) {
+TEST_F(TraceEquivalenceTest, EngineConsumingQueriesChainOverPlans) {
   tpch::Database db = tpch::Generate(0.005);
   SmokeEngine eng;
   ASSERT_TRUE(eng.CreateTable("lineitem", std::move(db.lineitem)).ok());
@@ -306,9 +306,14 @@ TEST_F(TraceEquivalenceTest, EngineConsumingShimsChainOverPlans) {
   ASSERT_TRUE(eng.ExecuteQuery("q1", q1).ok());
 
   ConsumingSpec q1a = tpch::MakeQ1a(*db_);
-  ASSERT_TRUE(eng.ExecuteConsuming("q1a", "q1", 0, q1a).ok());
+  TraceSource q1_src;
+  ASSERT_TRUE(eng.MakeTraceSource("q1", &q1_src).ok());
+  TraceBuilder q1a_query =
+      TraceBuilder::Backward(std::move(q1_src), "lineitem", {0});
+  q1a_query.Consuming(q1a);
+  ASSERT_TRUE(eng.ExecuteTraceQuery("q1a", q1a_query).ok());
   const Table* out = nullptr;
-  ASSERT_TRUE(eng.GetConsumingResult("q1a", &out).ok());
+  ASSERT_TRUE(eng.GetResult("q1a", &out).ok());
   EXPECT_GT(out->num_rows(), 0u);
 
   // The retained consuming result is an ordinary plan: string-keyed lineage
@@ -318,9 +323,14 @@ TEST_F(TraceEquivalenceTest, EngineConsumingShimsChainOverPlans) {
   EXPECT_GT(rids.size(), 0u);
 
   ConsumingSpec q1c = tpch::MakeQ1c(*db_, "SHIP", "COLLECT COD");
-  Status st = eng.ExecuteConsumingChained("q1c", "q1a", 0, q1c);
+  TraceSource q1a_src;
+  ASSERT_TRUE(eng.MakeTraceSource("q1a", &q1a_src).ok());
+  TraceBuilder q1c_query =
+      TraceBuilder::Backward(std::move(q1a_src), "lineitem", {0});
+  q1c_query.Consuming(q1c);
+  Status st = eng.ExecuteTraceQuery("q1c", q1c_query);
   ASSERT_TRUE(st.ok()) << st.ToString();
-  ASSERT_TRUE(eng.GetConsumingResult("q1c", &out).ok());
+  ASSERT_TRUE(eng.GetResult("q1c", &out).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -411,7 +421,7 @@ LogicalPlan MakeRandomPlan(std::mt19937* rng, const Table* t) {
       int scan = b.Scan(t, "base");
       int s1 = b.Select(scan, {Predicate::Int(2, CmpOp::kLe, cut(*rng))});
       int s2 = b.Select(scan, {Predicate::Int(2, CmpOp::kGe, cut(*rng))});
-      int u = b.SetOp(SetOpKind::kBagUnion, s1, s2, {});
+      int u = b.SetOp(SetOpKind::kBagUnion, s1, s2, std::vector<int>{});
       root = b.GroupBy(u, ga);
       break;
     }
