@@ -1,0 +1,132 @@
+// Live refresh: incremental view maintenance vs. full recompute as the
+// delta/table ratio shrinks. A zipf group-by view is retained with refresh
+// state over a growing base table; per batch we measure (a) the refresh
+// latency of folding the delta through the retained plan (src/refresh/) and
+// (b) recomputing the view from scratch over the accumulated table. The
+// headline property: refresh latency scales with the DELTA size while
+// recompute scales with the TABLE size, so the speedup widens as the table
+// grows — the release canary asserts refresh wins at small deltas.
+#include "harness.h"
+
+#include <string>
+#include <vector>
+
+#include "core/smoke_engine.h"
+#include "refresh/refresh.h"
+#include "workloads/zipf_table.h"
+
+namespace smoke {
+namespace {
+
+constexpr uint64_t kGroups = 64;
+
+GroupBySpec ZipfSpec() {
+  GroupBySpec spec;
+  spec.keys = {zipf_table::kZ};
+  spec.aggs = {AggSpec::Count("cnt"),
+               AggSpec::Sum(ScalarExpr::Col(zipf_table::kV), "sum_v"),
+               AggSpec::Avg(ScalarExpr::Col(zipf_table::kV), "avg_v")};
+  return spec;
+}
+
+LogicalPlan ViewPlan(const Table* t) {
+  PlanBuilder b;
+  int sel = b.Select(b.Scan(t, "zipf"),
+                     {Predicate::Double(zipf_table::kV, CmpOp::kLt, 75.0)});
+  LogicalPlan plan;
+  SMOKE_CHECK(b.Build(b.GroupBy(sel, ZipfSpec()), &plan).ok());
+  return plan;
+}
+
+/// One series point: a table of `base_rows` with one retained live view,
+/// then `batches` appends of `delta_rows` each. Reports per-batch refresh
+/// latency, the matching full-recompute latency over the accumulated table,
+/// and the refresh stats (rows scanned, groups touched, index bytes).
+void RunSeries(const bench::Options& opts, size_t base_rows,
+               size_t delta_rows, int batches, LineageCodec codec) {
+  const char* codec_name = codec == LineageCodec::kRaw ? "raw" : "adaptive";
+  for (int run = 0; run < opts.runs + opts.warmups; ++run) {
+    const bool timed = run >= opts.warmups;
+
+    SmokeEngine engine;
+    SMOKE_CHECK(
+        engine.CreateTable("zipf", MakeZipfTable(base_rows, kGroups, 1.0, 7))
+            .ok());
+    const Table* t = nullptr;
+    SMOKE_CHECK(engine.GetTable("zipf", &t).ok());
+    CaptureOptions copts = opts.WithThreads(CaptureOptions::Inject());
+    copts.retain_refresh_state = true;
+    copts.lineage_codec = codec;
+    SMOKE_CHECK(engine.ExecutePlan("live", ViewPlan(t), copts).ok());
+
+    Table full = *t;  // mirror for the from-scratch comparison runs
+    for (int batch = 0; batch < batches; ++batch) {
+      Table delta = MakeZipfTable(delta_rows, kGroups, 0.8,
+                                  100 + static_cast<uint64_t>(batch));
+      for (size_t r = 0; r < delta.num_rows(); ++r) {
+        full.AppendRowFrom(delta, static_cast<rid_t>(r));
+      }
+
+      std::vector<RefreshStats> stats;
+      WallTimer refresh_t;
+      SMOKE_CHECK(engine.AppendRows("zipf", delta, &stats).ok());
+      const double refresh_ms = refresh_t.ElapsedMs();
+      SMOKE_CHECK(stats.size() == 1 && stats[0].incremental);
+
+      WallTimer recompute_t;
+      PlanResult scratch;
+      SMOKE_CHECK(ExecutePlan(ViewPlan(&full),
+                              opts.WithThreads(CaptureOptions::Inject()),
+                              &scratch)
+                      .ok());
+      const double recompute_ms = recompute_t.ElapsedMs();
+
+      if (!timed) continue;
+      bench::Row(
+          "live_refresh",
+          "series=refresh_vs_recompute,codec=" + std::string(codec_name) +
+              ",base_rows=" + std::to_string(base_rows) +
+              ",delta_rows=" + std::to_string(delta_rows) +
+              ",batch=" + std::to_string(batch) +
+              ",table_rows=" + std::to_string(full.num_rows()) +
+              ",refresh_ms=" + bench::F(refresh_ms) +
+              ",recompute_ms=" + bench::F(recompute_ms) +
+              ",speedup=" + bench::F(recompute_ms / refresh_ms) +
+              ",rows_scanned=" + std::to_string(stats[0].rows_scanned) +
+              ",groups_touched=" + std::to_string(stats[0].groups_touched) +
+              ",new_groups=" + std::to_string(stats[0].new_groups) +
+              ",index_bytes_appended=" +
+              std::to_string(stats[0].index_bytes_appended) + "," +
+              bench::LineageKv(engine));
+    }
+  }
+}
+
+void Run(const bench::Options& opts) {
+  bench::Banner("live_refresh",
+                "incremental view refresh latency vs delta size vs full "
+                "recompute (retained zipf group-by view)");
+  const size_t base = opts.full ? 5'000'000 : (opts.smoke ? 20'000 : 500'000);
+  const int batches = opts.append_batches > 0 ? opts.append_batches : 3;
+  // Delta sweep: refresh cost should track this axis, not the table size.
+  std::vector<size_t> deltas;
+  if (opts.smoke) {
+    deltas = {200, 2'000};
+  } else if (opts.full) {
+    deltas = {1'000, 10'000, 100'000, 1'000'000};
+  } else {
+    deltas = {500, 5'000, 50'000};
+  }
+  for (LineageCodec codec : {LineageCodec::kRaw, LineageCodec::kAdaptive}) {
+    for (size_t d : deltas) RunSeries(opts, base, d, batches, codec);
+  }
+}
+
+}  // namespace
+}  // namespace smoke
+
+int main(int argc, char** argv) {
+  smoke::bench::Options opts = smoke::bench::Options::Parse(argc, argv);
+  smoke::Run(opts);
+  return 0;
+}

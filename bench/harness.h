@@ -49,6 +49,7 @@ struct Options {
   int threads = 1;      // morsel-parallel capture (CaptureOptions::num_threads)
   int sessions = 8;     // concurrent serving sessions (bench_serve_storm)
   int shards = 0;       // shard-count override (bench_shard_scaling)
+  int append_batches = 0; // append-batch count override (bench_live_refresh)
   bool optimize = true; // --no-optimize: ablation of the plan rewriter
 
   static Options Parse(int argc, char** argv) {
@@ -80,13 +81,16 @@ struct Options {
       } else if (!std::strncmp(argv[i], "--shards=", 9)) {
         o.shards = std::atoi(argv[i] + 9);
         if (o.shards < 0) o.shards = 0;
+      } else if (!std::strncmp(argv[i], "--append-batches=", 17)) {
+        o.append_batches = std::atoi(argv[i] + 17);
+        if (o.append_batches < 0) o.append_batches = 0;
       } else if (!std::strcmp(argv[i], "--no-optimize")) {
         o.optimize = false;
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
             "usage: %s [--full] [--smoke] [--json] [--runs=N] [--warmups=N] "
             "[--sf=F] [--threads=N] [--sessions=N] [--shards=N] "
-            "[--no-optimize]\n",
+            "[--append-batches=N] [--no-optimize]\n",
             argv[0]);
         std::exit(0);
       }

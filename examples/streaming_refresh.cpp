@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "common/timer.h"
-#include "engine/refresh.h"
+#include "refresh/refresh.h"
 #include "workloads/zipf_table.h"
 
 using namespace smoke;

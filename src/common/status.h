@@ -28,6 +28,10 @@ class [[nodiscard]] Status {
     kNotFound,
     kAlreadyExists,
     kUnsupported,
+    /// The request is well-formed but the system is in a state that forbids
+    /// it (e.g. appending to a table borrowed by a non-refreshable retained
+    /// result) — fix the state and retry, don't fix the request.
+    kFailedPrecondition,
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,6 +49,9 @@ class [[nodiscard]] Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -64,6 +71,9 @@ class [[nodiscard]] Status {
       case Code::kNotFound:        prefix = "Not found: ";        break;
       case Code::kAlreadyExists:   prefix = "Already exists: ";   break;
       case Code::kUnsupported:     prefix = "Unsupported: ";      break;
+      case Code::kFailedPrecondition:
+        prefix = "Failed precondition: ";
+        break;
       default:                     prefix = "";                   break;
     }
     return prefix + msg_;

@@ -6,6 +6,25 @@
 
 namespace smoke {
 
+namespace {
+
+/// Tracked bytes of a retained SPJA query: the composed indexes plus the
+/// partitioned skip index — under skip push-down the latter *replaces* the
+/// plain fact backward index and is where the dominant lineage lives.
+size_t SpjaLineageBytes(const SPJAResult& result) {
+  return result.lineage.MemoryBytes() + result.skip_index.MemoryBytes();
+}
+
+size_t PlanLineageBytes(const PlanResult& result) {
+  size_t b = result.lineage.MemoryBytes();
+  if (result.spja_artifacts != nullptr) {
+    b += result.spja_artifacts->skip_index.MemoryBytes();
+  }
+  return b;
+}
+
+}  // namespace
+
 Status SmokeEngine::CreateTable(const std::string& name, Table table) {
   return catalog_.AddTable(name, std::move(table));
 }
@@ -89,6 +108,117 @@ Status SmokeEngine::UnshardTable(const std::string& name) {
   return Status::OK();
 }
 
+Status SmokeEngine::AppendRows(const std::string& name, const Table& rows,
+                               std::vector<RefreshStats>* stats) {
+  Table* dst = nullptr;
+  SMOKE_RETURN_NOT_OK(catalog_.GetMutableTable(name, &dst));
+  if (sharded_.count(name) != 0) {
+    return Status::FailedPrecondition(
+        "table '" + name + "' is sharded; appending would desync the shard "
+        "slices — unshard first, or re-shard after a bulk replace");
+  }
+  if (rows.num_columns() != dst->num_columns()) {
+    return Status::InvalidArgument("AppendRows('" + name +
+                                   "'): column count mismatch");
+  }
+
+  // Every borrower must be incrementally maintainable before any row lands:
+  // refusal here is atomic (the table is untouched). Appends never dangle
+  // retained rids — the hazard is retained results going stale — so, unlike
+  // ReplaceTable, borrowing is allowed when the borrower can be maintained.
+  for (const auto& [qname, rq] : queries_) {
+    const QueryLineage& lin = rq->result.lineage;
+    bool borrows = rq->fact == dst || rq->query.fact == dst;
+    for (const SPJADim& d : rq->query.dims) borrows |= d.table == dst;
+    for (size_t i = 0; !borrows && i < lin.num_inputs(); ++i) {
+      borrows = lin.input(i).table == dst;
+    }
+    if (borrows) {
+      return Status::FailedPrecondition(
+          "table '" + name + "' is borrowed by retained SPJA query '" +
+          qname + "', which cannot be incrementally maintained; drop it or "
+          "re-issue it as a plan with retain_refresh_state");
+    }
+  }
+  std::vector<std::string> views;
+  for (const auto& [qname, rp] : plans_) {
+    const QueryLineage& lin = rp->result.lineage;
+    bool borrows = false;
+    for (size_t i = 0; !borrows && i < lin.num_inputs(); ++i) {
+      borrows = lin.input(i).table == dst;
+    }
+    if (!borrows) continue;
+    if (rp->shard != nullptr) {
+      return Status::FailedPrecondition(
+          "table '" + name + "' is borrowed by sharded retained plan '" +
+          qname + "'; sharded results cannot be refreshed in place — drop "
+          "it or route appends through re-execution");
+    }
+    if (rp->result.refresh == nullptr) {
+      return Status::FailedPrecondition(
+          "table '" + name + "' is borrowed by retained result '" + qname +
+          "', which was executed without retain_refresh_state and cannot be "
+          "maintained; drop it or re-execute with refresh state retained");
+    }
+    if (rp->result.HasDeferred()) {
+      return Status::FailedPrecondition(
+          "table '" + name + "' is borrowed by retained plan '" + qname +
+          "' with pending deferred capture; FinalizePlan it first");
+    }
+    views.push_back(qname);
+  }
+
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    dst->AppendRowFrom(rows, static_cast<rid_t>(r));
+  }
+
+  for (const std::string& qname : views) {
+    RetainedPlan& rp = *plans_[qname];
+    RefreshStats s;
+    SMOKE_RETURN_NOT_OK(RefreshPlanAppend(&rp.result, &s));
+    if (!s.incremental) {
+      // Scoped rebuild fallback (dim-side append, non-refreshable shape).
+      std::string reason = std::move(s.fallback_reason);
+      SMOKE_RETURN_NOT_OK(RebuildRetainedPlan(&rp.result));
+      if (rp.codec != LineageCodec::kRaw) {
+        EncodeQueryLineage(&rp.result.lineage, rp.codec);
+        if (rp.result.spja_artifacts != nullptr) {
+          rp.result.spja_artifacts->skip_index.Freeze(rp.codec);
+        }
+      }
+      s = RefreshStats{};
+      s.table = name;
+      s.delta_rows = rows.num_rows();
+      s.fallback_reason = std::move(reason);
+      s.output_rows_appended = rp.result.output.num_rows();
+    }
+    s.target = qname;
+    tracker_.Update(qname, PlanLineageBytes(rp.result), rp.codec);
+    if (stats != nullptr) stats->push_back(std::move(s));
+  }
+  EnforceBudget();
+  return Status::OK();
+}
+
+Status SmokeEngine::AdoptRetainedPlan(const std::string& query_name,
+                                      PlanResult result, LineageCodec codec) {
+  if (IsRetainedName(query_name)) {
+    return Status::AlreadyExists("query '" + query_name + "'");
+  }
+  if (result.HasDeferred()) {
+    return Status::InvalidArgument(
+        "cannot adopt a result with pending deferred capture");
+  }
+  auto retained = std::make_unique<RetainedPlan>();
+  retained->result = std::move(result);
+  retained->codec = codec;
+  RetainedPlan& rp = *retained;
+  plans_[query_name] = std::move(retained);
+  tracker_.Register(query_name, PlanLineageBytes(rp.result), codec);
+  EnforceBudget();
+  return Status::OK();
+}
+
 std::string SmokeEngine::ShardBorrowerOf(const ShardedTable* st) const {
   for (const auto& [name, rp] : plans_) {
     if (rp->shard != nullptr && rp->shard->map == &st->map()) return name;
@@ -123,25 +253,6 @@ std::string SmokeEngine::BorrowerOf(const Table* table) const {
 bool SmokeEngine::IsRetainedName(const std::string& name) const {
   return queries_.count(name) > 0 || plans_.count(name) > 0;
 }
-
-namespace {
-
-/// Tracked bytes of a retained SPJA query: the composed indexes plus the
-/// partitioned skip index — under skip push-down the latter *replaces* the
-/// plain fact backward index and is where the dominant lineage lives.
-size_t SpjaLineageBytes(const SPJAResult& result) {
-  return result.lineage.MemoryBytes() + result.skip_index.MemoryBytes();
-}
-
-size_t PlanLineageBytes(const PlanResult& result) {
-  size_t b = result.lineage.MemoryBytes();
-  if (result.spja_artifacts != nullptr) {
-    b += result.spja_artifacts->skip_index.MemoryBytes();
-  }
-  return b;
-}
-
-}  // namespace
 
 Status SmokeEngine::ExecuteQuery(const std::string& query_name,
                                  const SPJAQuery& query, CaptureMode mode,
@@ -699,6 +810,13 @@ void SmokeEngine::FinishRetention(const std::string& query_name,
       if (rp.result.spja_artifacts != nullptr) {
         rp.result.spja_artifacts->skip_index.Freeze(codec);
       }
+    }
+    // Plans retained with refresh state are analyzed eagerly (after the
+    // store encode, so the watermarks see the final indexes): AppendRows
+    // and the serving layer then make refresh-vs-rebuild decisions without
+    // re-walking the plan, and refreshable() is meaningful immediately.
+    if (rp.result.refresh != nullptr && !rp.result.HasDeferred()) {
+      AnalyzeRefreshability(&rp.result).IgnoreError();
     }
     bytes = PlanLineageBytes(rp.result);
   } else {

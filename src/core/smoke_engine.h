@@ -31,6 +31,7 @@
 #include "plan/plan.h"
 #include "query/consuming.h"
 #include "query/trace_builder.h"
+#include "refresh/refresh.h"
 #include "shard/coordinator.h"
 #include "storage/catalog.h"
 
@@ -110,6 +111,29 @@ class SmokeEngine {
   /// every retained result stay; subsequent plans execute unsharded. Same
   /// borrow refusal as re-sharding.
   Status UnshardTable(const std::string& name);
+
+  /// Appends `rows` to a registered relation and incrementally maintains
+  /// every retained plan that reads it (src/refresh/): refreshable views
+  /// fold the delta through their operator DAGs in place; views whose
+  /// analysis or delta placement forbids it (dim-side join append, SetOp,
+  /// mid-plan group-by, ...) take a scoped rebuild with the reason recorded
+  /// in their RefreshStats. Appending — unlike ReplaceTable — never
+  /// invalidates retained rids, so this is the one mutation allowed while
+  /// results are live. Refused (FailedPrecondition, naming the borrower)
+  /// when a borrowing result cannot be maintained at all: a retained SPJA
+  /// query, a sharded plan, or a plan executed without
+  /// retain_refresh_state. Per-view stats for this batch are appended to
+  /// `stats` when non-null.
+  Status AppendRows(const std::string& name, const Table& rows,
+                    std::vector<RefreshStats>* stats = nullptr);
+
+  /// Adopts an externally maintained PlanResult as a retained plan (used by
+  /// ServeCore to publish incrementally refreshed views into a fresh
+  /// snapshot engine without re-executing them). The result must be
+  /// finalized; its lineage is registered with the store accounting as-is
+  /// (already encoded per `codec` by the maintainer).
+  Status AdoptRetainedPlan(const std::string& query_name, PlanResult result,
+                           LineageCodec codec);
 
   // ---- base queries ----
 

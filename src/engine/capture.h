@@ -154,6 +154,15 @@ struct CaptureOptions {
   /// think-time. Ignored by the standalone kernels.
   bool defer_plan_finalize = false;
 
+  /// Retain the operator-level state incremental refresh needs (src/
+  /// refresh/): the optimized plan, per-node intermediate outputs, group-by
+  /// hash handles and join build maps. Costs memory proportional to the
+  /// intermediates, so it is opt-in; SmokeEngine::AppendRows and
+  /// ServeCore's incremental snapshot path turn it on for retained views.
+  /// Incompatible with defer_plan_finalize (refresh needs composed indexes
+  /// and finalized group-bys).
+  bool retain_refresh_state = false;
+
   /// Compressed lineage store policy (lineage/store/): how the engine
   /// re-encodes this query's retained indexes at capture-finalize time.
   /// Capture itself always writes raw (write-optimized) buffers; traces

@@ -5,8 +5,8 @@
 
 #include "common/macros.h"
 #include "engine/key_encode.h"
-#include "engine/refresh.h"
 #include "plan/scheduler.h"
+#include "refresh/refresh.h"
 
 namespace smoke {
 
@@ -600,20 +600,20 @@ void FinalizeDeferredGroupBy(GroupByResult* result, const Table& input,
 
 
 // ---------------------------------------------------------------------------
-// Refresh and forward propagation (engine/refresh.h). Implemented here for
+// Refresh and forward propagation (refresh/refresh.h). Implemented here for
 // access to GroupByInternals.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 /// Rewrites the finalized aggregate values of output row `g` in place.
-void RewriteOutputRow(GroupByResult* result, uint32_t g, size_t num_keys) {
-  GroupByHandle* h = result->handle.get();
+void RewriteOutputRowIn(Table* output, GroupByHandle* h, uint32_t g,
+                        size_t num_keys) {
   const AggLayout& layout = h->layout();
   const double* state = GroupByInternals::MutableAggState(h, g);
   for (size_t i = 0; i < layout.num_aggs(); ++i) {
     double v = layout.FinalValue(state, i);
-    Column& col = result->output.mutable_column(num_keys + i);
+    Column& col = output->mutable_column(num_keys + i);
     if (col.type() == DataType::kInt64) {
       col.mutable_ints()[g] = static_cast<int64_t>(v);
     } else {
@@ -622,24 +622,66 @@ void RewriteOutputRow(GroupByResult* result, uint32_t g, size_t num_keys) {
   }
 }
 
+void RewriteOutputRow(GroupByResult* result, uint32_t g, size_t num_keys) {
+  RewriteOutputRowIn(&result->output, result->handle.get(), g, num_keys);
+}
+
 /// Appends a fresh output row for a newly created group.
-void AppendOutputRow(GroupByResult* result, const Table& input, uint32_t g,
-                     const std::vector<int>& key_cols) {
-  GroupByHandle* h = result->handle.get();
+void AppendOutputRowTo(Table* output, GroupByHandle* h, const Table& input,
+                       uint32_t g, const std::vector<int>& key_cols) {
   rid_t rep = GroupByInternals::FirstRid(h, g);
   for (size_t k = 0; k < key_cols.size(); ++k) {
-    result->output.mutable_column(k).AppendFrom(
+    output->mutable_column(k).AppendFrom(
         input.column(static_cast<size_t>(key_cols[k])), rep);
   }
   const AggLayout& layout = h->layout();
   std::vector<Column*> agg_cols;
   for (size_t i = 0; i < layout.num_aggs(); ++i) {
-    agg_cols.push_back(&result->output.mutable_column(key_cols.size() + i));
+    agg_cols.push_back(&output->mutable_column(key_cols.size() + i));
   }
   layout.Finalize(GroupByInternals::MutableAggState(h, g), &agg_cols);
 }
 
+void AppendOutputRow(GroupByResult* result, const Table& input, uint32_t g,
+                     const std::vector<int>& key_cols) {
+  AppendOutputRowTo(&result->output, result->handle.get(), input, g,
+                    key_cols);
+}
+
 }  // namespace
+
+GroupByDelta GroupByDeltaAppend(GroupByHandle* h, const Table& input,
+                                rid_t first_new_rid, Table* output) {
+  SMOKE_CHECK(h != nullptr);
+  // Appends may have reallocated the column payloads the compiled
+  // aggregate expressions point into.
+  GroupByInternals::RebindLayout(h, input);
+  GroupByDelta d;
+  d.old_num_groups = h->num_groups();
+  const size_t n = input.num_rows();
+  const std::vector<int>& key_cols = GroupByInternals::KeyCols(h);
+  std::vector<uint8_t> seen(h->num_groups(), 0);
+  if (n > first_new_rid) d.slots.reserve(n - first_new_rid);
+  for (rid_t r = first_new_rid; r < n; ++r) {
+    bool created = false;
+    uint32_t g = GroupByInternals::FindOrCreate(h, input, r, &created);
+    h->layout().Update(GroupByInternals::MutableAggState(h, g), r);
+    ++GroupByInternals::counts(h)[g];
+    if (created) {
+      seen.push_back(0);
+      AppendOutputRowTo(output, h, input, g, key_cols);
+    }
+    d.slots.push_back(g);
+    if (!seen[g]) {
+      seen[g] = 1;
+      d.touched.push_back(g);
+    }
+  }
+  for (uint32_t g : d.touched) {
+    RewriteOutputRowIn(output, h, g, key_cols.size());
+  }
+  return d;
+}
 
 std::vector<rid_t> RefreshAppend(GroupByResult* result, const Table& input,
                                  rid_t first_new_rid) {

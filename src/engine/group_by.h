@@ -108,6 +108,27 @@ GroupByResult GroupByExec(const Table& input, const std::string& input_name,
 void FinalizeDeferredGroupBy(GroupByResult* result, const Table& input,
                              const CaptureOptions& opts);
 
+/// What a delta batch did to a retained γht handle (incremental refresh,
+/// src/refresh/): one group slot per delta row, plus the touched groups in
+/// first-touch order. Slot == output rid; slots >= old_num_groups were
+/// created by this delta (their output rows were appended at the end, so
+/// slot assignment matches a from-scratch re-execution bit-identically).
+struct GroupByDelta {
+  std::vector<uint32_t> slots;    ///< group slot per delta row, in rid order
+  std::vector<uint32_t> touched;  ///< distinct touched slots, first-touch order
+  size_t old_num_groups = 0;
+};
+
+/// Merges the delta rows [first_new_rid, input.num_rows()) of a retained
+/// group-by's input into its γht handle: updates aggregate state and counts,
+/// appends one row to `output` per new group, and patches the finalized
+/// aggregate values of every touched group in place (`output` is the
+/// retained result table — key columns then aggregate columns, slot ==
+/// output rid). Lineage-index maintenance is the caller's job (the composed
+/// indexes live with the plan, not the kernel).
+GroupByDelta GroupByDeltaAppend(GroupByHandle* h, const Table& input,
+                                rid_t first_new_rid, Table* output);
+
 }  // namespace smoke
 
 #endif  // SMOKE_ENGINE_GROUP_BY_H_

@@ -84,4 +84,89 @@ RidIndex InvertBackwardArray(const RidArray& backward, size_t num_inputs) {
   return fw;
 }
 
+// ---- incremental-refresh append builders ----
+
+void AppendArrayValue(LineageIndex* idx, rid_t v) {
+  switch (idx->kind()) {
+    case LineageIndex::Kind::kArray:
+      idx->mutable_array().push_back(v);
+      break;
+    case LineageIndex::Kind::kEncodedArray:
+      idx->mutable_encoded_array().Append(v);
+      break;
+    default:
+      SMOKE_DCHECK(false);
+  }
+}
+
+void AppendIndexList(LineageIndex* idx, const rid_t* d, size_t n,
+                     LineageCodec codec) {
+  switch (idx->kind()) {
+    case LineageIndex::Kind::kIndex: {
+      RidIndex& index = idx->mutable_index();
+      const size_t i = index.size();
+      index.Resize(i + 1);
+      if (n > 0) {
+        index.list(i).Reserve(n);
+        index.list(i).PushBackAll(d, n);
+      }
+      break;
+    }
+    case LineageIndex::Kind::kEncodedIndex:
+      idx->mutable_encoded_postings().AppendNewList(d, n, codec);
+      break;
+    default:
+      SMOKE_DCHECK(false);
+  }
+}
+
+void AppendEmptyIndexLists(LineageIndex* idx, size_t count,
+                           LineageCodec codec) {
+  switch (idx->kind()) {
+    case LineageIndex::Kind::kIndex:
+      idx->mutable_index().Resize(idx->mutable_index().size() + count);
+      break;
+    case LineageIndex::Kind::kEncodedIndex:
+      for (size_t k = 0; k < count; ++k) {
+        idx->mutable_encoded_postings().AppendNewList(nullptr, 0, codec);
+      }
+      break;
+    default:
+      SMOKE_DCHECK(false);
+  }
+}
+
+void ExtendIndexList(LineageIndex* idx, size_t i, const rid_t* d, size_t n) {
+  switch (idx->kind()) {
+    case LineageIndex::Kind::kIndex:
+      idx->mutable_index().list(i).PushBackAll(d, n);
+      break;
+    case LineageIndex::Kind::kEncodedIndex:
+      idx->mutable_encoded_postings().ExtendList(i, d, n);
+      break;
+    default:
+      SMOKE_DCHECK(false);
+  }
+}
+
+void InsertSortedIntoIndexList(LineageIndex* idx, size_t i, rid_t v) {
+  switch (idx->kind()) {
+    case LineageIndex::Kind::kIndex: {
+      RidVec& list = idx->mutable_index().list(i);
+      size_t pos = 0;
+      while (pos < list.size() && list[pos] < v) ++pos;
+      if (pos < list.size() && list[pos] == v) return;  // already present
+      list.PushBack(v);  // grow, then shift the tail up one slot
+      for (size_t j = list.size() - 1; j > pos; --j) list[j] = list[j - 1];
+      list[pos] = v;
+      break;
+    }
+    case LineageIndex::Kind::kEncodedIndex:
+      idx->mutable_encoded_postings().InsertSortedIntoList(i, v);
+      break;
+    default:
+      SMOKE_DCHECK(false);
+  }
+}
+
 }  // namespace smoke

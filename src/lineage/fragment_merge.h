@@ -52,6 +52,37 @@ RidIndex ConcatIndexParts(std::vector<RidIndex> parts,
 /// join probe, where per-morsel fragments would overlap on the input side.
 RidIndex InvertBackwardArray(const RidArray& backward, size_t num_inputs);
 
+// ---- incremental-refresh append builders (src/refresh) ----
+//
+// Delta batches extend retained composed indexes in place. Rid spaces are
+// monotonic, so every maintenance operation is append-shaped: new output
+// positions land at the end of 1:1 arrays, new source positions append
+// lists, and existing posting lists grow at their tail (the one exception,
+// sorted mid-list insert, only occurs for static relations feeding a
+// group-by root). Each builder dispatches over the raw and encoded forms
+// of LineageIndex, so refresh works directly on store-encoded retained
+// indexes (encoded appends route through the PostingsBuilder encode path).
+
+/// Appends one trailing position to a 1:1 array (raw or encoded).
+void AppendArrayValue(LineageIndex* idx, rid_t v);
+
+/// Appends a new source position holding `n` rids to a 1:N index. Encoded
+/// indexes encode the new list under `codec`.
+void AppendIndexList(LineageIndex* idx, const rid_t* d, size_t n,
+                     LineageCodec codec);
+
+/// Appends `count` empty source positions to a 1:N index (input rows with
+/// no outputs yet).
+void AppendEmptyIndexLists(LineageIndex* idx, size_t count,
+                           LineageCodec codec);
+
+/// Appends `n` rids at the tail of existing list `i`, preserving order.
+void ExtendIndexList(LineageIndex* idx, size_t i, const rid_t* d, size_t n);
+
+/// Inserts `v` into ascending duplicate-free list `i` (no-op when already
+/// present).
+void InsertSortedIntoIndexList(LineageIndex* idx, size_t i, rid_t v);
+
 }  // namespace smoke
 
 #endif  // SMOKE_LINEAGE_FRAGMENT_MERGE_H_

@@ -147,6 +147,14 @@ class LineageIndex {
   }
   RidArray& mutable_array() { return array_; }
   RidIndex& mutable_index() { return index_; }
+  EncodedRidArray& mutable_encoded_array() {
+    SMOKE_DCHECK(kind_ == Kind::kEncodedArray);
+    return earray_;
+  }
+  EncodedPostings& mutable_encoded_postings() {
+    SMOKE_DCHECK(kind_ == Kind::kEncodedIndex);
+    return epostings_;
+  }
 
   /// Number of source positions this index is defined over.
   size_t size() const {

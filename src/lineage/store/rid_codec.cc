@@ -1,5 +1,6 @@
 #include "lineage/store/rid_codec.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "lineage/rid_index.h"
@@ -105,12 +106,95 @@ void EncodeListInto(const rid_t* d, size_t n, RidSetEncoding enc,
 }  // namespace
 
 void PostingsBuilder::AddList(const rid_t* data, size_t n) {
-  const RidSetStats stats = RidSetStats::Of(data, n);
+  out_.AppendNewList(data, n, policy_);
+}
+
+void EncodedPostings::AppendNewList(const rid_t* d, size_t n,
+                                    LineageCodec policy) {
+  if (offsets_.empty()) offsets_.push_back(0);
+  const RidSetStats stats = RidSetStats::Of(d, n);
   const RidSetEncoding enc =
-      n == 0 ? RidSetEncoding::kRaw : ChooseEncoding(stats, policy_);
-  EncodeListInto(data, n, enc, &out_.data_);
-  out_.encodings_.push_back(static_cast<uint8_t>(enc));
-  out_.offsets_.push_back(out_.data_.size());
+      n == 0 ? RidSetEncoding::kRaw : ChooseEncoding(stats, policy);
+  EncodeListInto(d, n, enc, &data_);
+  encodings_.push_back(static_cast<uint8_t>(enc));
+  offsets_.push_back(data_.size());
+}
+
+std::vector<rid_t>& EncodedPostings::OverlayList(size_t i) {
+  auto it = overlay_.find(i);
+  if (it != overlay_.end()) return it->second;
+  std::vector<rid_t> list;
+  list.reserve(ListSize(i));
+  ForEachInList(i, [&list](rid_t r) { list.push_back(r); });
+  return overlay_.emplace(i, std::move(list)).first->second;
+}
+
+void EncodedPostings::ExtendList(size_t i, const rid_t* d, size_t n) {
+  SMOKE_DCHECK(i < encodings_.size());
+  if (n == 0) return;
+  if (auto it = overlay_.find(i); it != overlay_.end()) {
+    it->second.insert(it->second.end(), d, d + n);
+    return;
+  }
+  // Arena fast path: only the tail list can grow in place (any trailing
+  // empty list shares the arena end offset, so extending a non-last list
+  // would leak the new words into it).
+  const bool tail =
+      i + 1 == num_lists() && offsets_[i + 1] == data_.size();
+  const RidSetEncoding enc = static_cast<RidSetEncoding>(encodings_[i]);
+  if (tail && enc == RidSetEncoding::kRaw) {
+    data_.insert(data_.end(), d, d + n);
+    offsets_[i + 1] = data_.size();
+    return;
+  }
+  if (tail && enc == RidSetEncoding::kRange) {
+    for (size_t k = 0; k < n; ++k) {
+      const rid_t v = d[k];
+      const uint64_t b = offsets_[i];
+      const uint64_t e = offsets_[i + 1];
+      bool extended = false;
+      if (e > b) {
+        const rid_t start = data_[e - 2];
+        const rid_t len = data_[e - 1];
+        const rid_t last =
+            start == kInvalidRid ? kInvalidRid : start + len - 1;
+        if (last != kInvalidRid && v == last + 1 && v != kInvalidRid) {
+          ++data_[e - 1];
+          extended = true;
+        }
+      }
+      if (!extended) {
+        data_.push_back(v);
+        data_.push_back(1);
+        offsets_[i + 1] = data_.size();
+      }
+    }
+    return;
+  }
+  // Bitmap or interior list: shift to the decoded overlay.
+  std::vector<rid_t>& list = OverlayList(i);
+  list.insert(list.end(), d, d + n);
+}
+
+void EncodedPostings::InsertSortedIntoList(size_t i, rid_t v) {
+  SMOKE_DCHECK(i < encodings_.size());
+  // Fast path: appending past the current tail is just an extend.
+  bool past_end = true;
+  if (auto it = overlay_.find(i); it != overlay_.end()) {
+    past_end = it->second.empty() || v > it->second.back();
+  } else if (ListSize(i) > 0) {
+    rid_t last = 0;
+    ForEachInList(i, [&last](rid_t r) { last = r; });
+    past_end = v > last;
+  }
+  if (past_end) {
+    ExtendList(i, &v, 1);
+    return;
+  }
+  std::vector<rid_t>& list = OverlayList(i);
+  auto pos = std::lower_bound(list.begin(), list.end(), v);
+  if (pos != list.end() && *pos == v) return;  // already present
+  list.insert(pos, v);
 }
 
 EncodedPostings EncodedPostings::Encode(const RidIndex& index,
@@ -123,6 +207,11 @@ EncodedPostings EncodedPostings::Encode(const RidIndex& index,
 
 size_t EncodedPostings::ListSize(size_t i) const {
   SMOKE_DCHECK(i < encodings_.size());
+  if (!overlay_.empty()) {
+    if (auto it = overlay_.find(i); it != overlay_.end()) {
+      return it->second.size();
+    }
+  }
   const uint64_t b = offsets_[i];
   const uint64_t e = offsets_[i + 1];
   switch (static_cast<RidSetEncoding>(encodings_[i])) {
@@ -212,6 +301,30 @@ EncodedRidArray EncodedRidArray::Encode(std::vector<rid_t> array,
     }
   }
   return out;
+}
+
+void EncodedRidArray::Append(rid_t v) {
+  if (encoding_ == RidSetEncoding::kRaw) {
+    data_.push_back(v);
+    ++size_;
+    return;
+  }
+  if (size_ == 0) {
+    run_pos_.push_back(0);
+    run_val_.push_back(v);
+    ++size_;
+    return;
+  }
+  const rid_t start = run_val_.back();
+  const rid_t last =
+      start == kInvalidRid
+          ? kInvalidRid
+          : start + static_cast<rid_t>(size_ - run_pos_.back() - 1);
+  if (!ContinuesArrayRun(last, v)) {
+    run_pos_.push_back(static_cast<uint32_t>(size_));
+    run_val_.push_back(v);
+  }
+  ++size_;
 }
 
 std::vector<rid_t> EncodedRidArray::Decode() const {

@@ -27,6 +27,7 @@
 #define SMOKE_LINEAGE_STORE_RID_CODEC_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
@@ -91,10 +92,18 @@ class EncodedPostings {
     return static_cast<RidSetEncoding>(encodings_[i]);
   }
 
-  /// Decode-on-demand iteration over list `i`, in stored order.
+  /// Decode-on-demand iteration over list `i`, in stored order. Lists that
+  /// have been mutated through the refresh overlay iterate their decoded
+  /// overlay copy instead of the arena words.
   template <typename F>
   void ForEachInList(size_t i, F&& f) const {
     SMOKE_DCHECK(i < encodings_.size());
+    if (!overlay_.empty()) {
+      if (auto it = overlay_.find(i); it != overlay_.end()) {
+        for (rid_t r : it->second) f(r);
+        return;
+      }
+    }
     const uint64_t b = offsets_[i];
     const uint64_t e = offsets_[i + 1];
     switch (static_cast<RidSetEncoding>(encodings_[i])) {
@@ -133,21 +142,56 @@ class EncodedPostings {
   /// Decoded length of list `i` (scans the encoded words, not the rids).
   size_t ListSize(size_t i) const;
 
+  // ---- incremental refresh mutators (src/refresh) ----
+  //
+  // Monotonic rid spaces make posting-list growth append-shaped, so the
+  // encoded store supports three in-place mutations without a full
+  // re-encode. Tail lists extend directly in the arena (the common case:
+  // the delta touches the most recently written list); everything else
+  // shifts the touched list into a decoded per-list overlay, leaving the
+  // arena words of untouched lists shared and compressed.
+
+  /// Appends a brand-new list (source rid == num_lists()) encoded under
+  /// `policy` — the same choice PostingsBuilder::AddList makes.
+  void AppendNewList(const rid_t* d, size_t n, LineageCodec policy);
+
+  /// Appends `n` rids onto existing list `i`, preserving order. Arena
+  /// fast path when `i` is the tail list under kRaw/kRange; otherwise the
+  /// list moves to the overlay.
+  void ExtendList(size_t i, const rid_t* d, size_t n);
+
+  /// Inserts `v` into ascending duplicate-free list `i`, keeping it sorted
+  /// and skipping the insert when `v` is already present.
+  void InsertSortedIntoList(size_t i, rid_t v);
+
   /// Decodes the whole index back to its raw form (round-trip tests,
   /// re-encoding under a different policy).
   RidIndex Decode() const;
 
   size_t TotalEdges() const;
   size_t MemoryBytes() const {
-    return offsets_.capacity() * sizeof(uint64_t) + encodings_.capacity() +
-           data_.capacity() * sizeof(rid_t);
+    size_t b = offsets_.capacity() * sizeof(uint64_t) + encodings_.capacity() +
+               data_.capacity() * sizeof(rid_t);
+    for (const auto& [i, list] : overlay_) {
+      (void)i;
+      b += sizeof(size_t) + list.capacity() * sizeof(rid_t);
+    }
+    return b;
   }
 
  private:
   friend class PostingsBuilder;
+
+  /// Moves list `i` out of the arena into its decoded overlay copy and
+  /// returns it (no-op when already overlaid).
+  std::vector<rid_t>& OverlayList(size_t i);
+
   std::vector<uint64_t> offsets_;   ///< word offsets into data_, n+1 entries
   std::vector<uint8_t> encodings_;  ///< RidSetEncoding per list
   std::vector<rid_t> data_;         ///< flat arena of encoded words
+  /// Refresh overlay: decoded copies of mutated lists, keyed by list id.
+  /// Readers (ForEachInList/ListSize) consult it first.
+  std::unordered_map<size_t, std::vector<rid_t>> overlay_;
 };
 
 /// \brief Incremental construction of an EncodedPostings: append lists in
@@ -237,6 +281,11 @@ class EncodedRidArray {
   }
 
   std::vector<rid_t> Decode() const;
+
+  /// Appends one position at the end (incremental refresh): extends the
+  /// trailing run in place when `v` continues it, else starts a new run —
+  /// the append-shaped mutation monotonic rid spaces produce.
+  void Append(rid_t v);
 
   size_t MemoryBytes() const {
     return data_.capacity() * sizeof(rid_t) +

@@ -122,6 +122,11 @@ void ComposePlanLineage(const LogicalPlan& plan,
 Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
                    PlanResult* out) {
   if (plan.root() < 0) return Status::InvalidArgument("plan has no root");
+  if (opts.retain_refresh_state && opts.defer_plan_finalize) {
+    return Status::InvalidArgument(
+        "retain_refresh_state needs finalized capture and composed indexes; "
+        "it cannot be combined with defer_plan_finalize");
+  }
 
   // Default path: rewrite the plan (src/optimizer/) and execute the
   // optimized copy. Rewrites preserve results and lineage bit-identically;
@@ -278,6 +283,21 @@ Status ExecutePlan(const LogicalPlan& plan, const CaptureOptions& opts,
   out->output_cardinality = root_result.output_cardinality;
   out->lineage.set_output_cardinality(out->output_cardinality);
   out->spja_artifacts = std::move(root_result.spja_artifacts);
+
+  // ---- retain refresh state (src/refresh/) ----
+  // After composition the fragments are consumed but every non-root
+  // intermediate output (and retained group-by handle) is still in
+  // `results`; the delta pass replays only the appended rid range through
+  // this state.
+  if (opts.retain_refresh_state) {
+    auto rs = std::make_shared<PlanRefreshState>();
+    rs->plan = plan;
+    rs->opts = opts;
+    rs->opts.scheduler = nullptr;  // the plan-scoped pool dies with us
+    rs->results = std::move(results);
+    rs->reachable = std::move(reachable);
+    out->refresh = std::move(rs);
+  }
   return Status::OK();
 }
 

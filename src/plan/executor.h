@@ -5,6 +5,7 @@
 #define SMOKE_PLAN_EXECUTOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -30,6 +31,34 @@ struct PlanDeferredState {
   std::vector<int> pending_group_bys;  ///< node ids awaiting finalization
 };
 
+/// Per-plan cache the refresh subsystem (src/refresh/) attaches to retained
+/// state: analysis of the delta path plus rebuilt operator scratch (join
+/// build maps). Defined in refresh/refresh.h — the plan layer only carries
+/// the pointer, keeping the dependency one-directional.
+struct RefreshPlanCache;
+
+/// Execution state retained when CaptureOptions::retain_refresh_state is on:
+/// everything the delta pass (src/refresh/) needs to run capture over only
+/// an appended batch and extend the composed indexes in place — the
+/// optimized plan actually executed, the capture options, and the
+/// per-operator results (intermediate outputs kept alive, group-by hash
+/// handles retained; the root output and the lineage fragments have been
+/// moved out into the PlanResult).
+struct PlanRefreshState {
+  LogicalPlan plan;  ///< the optimized DAG that ran (borrows base tables)
+  CaptureOptions opts;
+  std::vector<OperatorResult> results;
+  std::vector<uint8_t> reachable;
+
+  /// Filled by refresh::AnalyzeRefreshability after retention.
+  bool analyzed = false;
+  bool refreshable = false;
+  std::string fallback_reason;  ///< why not, when !refreshable
+
+  /// Opaque per-plan scratch owned by the refresh subsystem.
+  std::shared_ptr<RefreshPlanCache> cache;
+};
+
 /// Result of executing a LogicalPlan: the root output plus one composed
 /// end-to-end backward/forward index pair per reachable base-table scan
 /// (in scan-creation order; for SpjaBlock plans that is fact first, then
@@ -51,9 +80,20 @@ struct PlanResult {
   /// Non-null while deferred capture awaits FinalizeDeferred(); `lineage`
   /// is empty until then.
   std::unique_ptr<PlanDeferredState> deferred;
+  /// Non-null when the plan ran with CaptureOptions::retain_refresh_state:
+  /// the state the delta pass extends on each appended batch.
+  std::shared_ptr<PlanRefreshState> refresh;
 
   /// True while deferred group-by capture has not been finalized yet.
   bool HasDeferred() const { return deferred != nullptr; }
+
+  /// True when this retained result can be maintained incrementally by
+  /// RefreshManager/SmokeEngine::AppendRows (refresh state was retained and
+  /// the analysis accepted the plan shape — see src/refresh/refresh.h for
+  /// the refreshability matrix).
+  bool refreshable() const {
+    return refresh != nullptr && refresh->analyzed && refresh->refreshable;
+  }
 
   /// The paper's think-time Zγ at plan granularity: finalizes every pending
   /// deferred group-by (re-probing the retained hash tables) and composes

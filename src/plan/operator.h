@@ -99,6 +99,10 @@ struct OperatorResult {
   /// — it retains the γht hash table that PlanResult::FinalizeDeferred()
   /// probes at think-time. The matching fragment stays empty until then.
   std::shared_ptr<GroupByResult> deferred_group_by;
+  /// Group-by under CaptureOptions::retain_refresh_state: the finalized
+  /// kernel's γht handle, kept alive so delta batches can probe and extend
+  /// the aggregate state in place (src/refresh/).
+  std::shared_ptr<GroupByHandle> group_by;
 };
 
 /// \brief A physical operator bound to a plan node.

@@ -200,6 +200,7 @@ class GroupByOperator : public Operator {
     }
     out->output = std::move(r.output);
     out->output_cardinality = out->output.num_rows();
+    if (opts.retain_refresh_state) out->group_by = r.handle;
     LineageFragment frag = TakeFragment(&r.lineage, 0);
 
     // Capture push-downs lifted from the SPJA block (selection / data

@@ -1,7 +1,9 @@
 #include "serve/serve_core.h"
 
+#include <unordered_map>
 #include <utility>
 
+#include "refresh/refresh.h"
 #include "serve/session.h"
 
 namespace smoke {
@@ -87,6 +89,9 @@ Status ServeCore::ReplaceTable(const std::string& name, Table table) {
   // current snapshot, untouched, until the publish swap below.
   Table saved = std::move(it->second);
   it->second = std::move(table);
+  // Replacement invalidates every watermark the incremental builder keeps
+  // (rids into the old rows): drop it, the next append re-seeds.
+  builder_.reset();
   std::unique_ptr<ServeSnapshot> snap;
   Status st = BuildSnapshot(next_version_, &snap);
   if (!st.ok()) {
@@ -111,6 +116,49 @@ Status ServeCore::AppendRows(const std::string& name, const Table& delta) {
   for (size_t r = 0; r < delta.num_rows(); ++r) {
     next.AppendRowFrom(delta, static_cast<rid_t>(r));
   }
+
+  // Incremental path: keep a persistent builder engine whose retained views
+  // carry refresh state, fold the delta through them in place, and publish
+  // by cloning — the expensive per-version work becomes O(delta), not
+  // O(table). Any failure along the way drops the builder and falls through
+  // to the always-correct full rebuild below.
+  if (builder_ == nullptr) {
+    if (Status st = SeedBuilder(); !st.ok()) builder_.reset();
+  }
+  if (builder_ != nullptr) {
+    std::vector<RefreshStats> stats;
+    Status st = builder_->AppendRows(name, delta, &stats);
+    if (st.ok()) {
+      Table saved = std::move(it->second);
+      it->second = std::move(next);
+      std::unique_ptr<ServeSnapshot> snap;
+      st = BuildSnapshotFromBuilder(next_version_, &snap);
+      if (st.ok()) {
+        last_refresh_stats_ = std::move(stats);
+        next_version_++;
+        Publish(std::move(snap));
+        return Status::OK();
+      }
+      // Clone-publish failed: masters already carry the delta (correct),
+      // so rebuild the snapshot from scratch; restore on total failure.
+      builder_.reset();
+      st = BuildSnapshot(next_version_, &snap);
+      if (!st.ok()) {
+        it->second = std::move(saved);
+        return st;
+      }
+      last_refresh_stats_.assign(1, RefreshStats{});
+      last_refresh_stats_[0].table = name;
+      last_refresh_stats_[0].delta_rows = delta.num_rows();
+      last_refresh_stats_[0].fallback_reason =
+          "builder clone-publish failed; full snapshot rebuild";
+      next_version_++;
+      Publish(std::move(snap));
+      return Status::OK();
+    }
+    builder_.reset();  // refused or failed mid-append: state is suspect
+  }
+
   Table saved = std::move(it->second);
   it->second = std::move(next);
   std::unique_ptr<ServeSnapshot> snap;
@@ -119,8 +167,88 @@ Status ServeCore::AppendRows(const std::string& name, const Table& delta) {
     it->second = std::move(saved);
     return st;
   }
+  last_refresh_stats_.assign(1, RefreshStats{});
+  last_refresh_stats_[0].table = name;
+  last_refresh_stats_[0].delta_rows = delta.num_rows();
+  last_refresh_stats_[0].fallback_reason =
+      "incremental builder unavailable; full snapshot rebuild";
   next_version_++;
   Publish(std::move(snap));
+  return Status::OK();
+}
+
+std::vector<RefreshStats> ServeCore::LastRefreshStats() const {
+  MutexLock lock(writer_mu_);
+  return last_refresh_stats_;
+}
+
+Status ServeCore::SeedBuilder() {
+  auto builder = std::make_unique<SmokeEngine>();
+  for (const auto& [name, table] : tables_) {
+    SMOKE_RETURN_NOT_OK(builder->CreateTable(name, table));  // copy
+  }
+  CaptureOptions opts = options_.view_capture;
+  opts.mode = CaptureMode::kInject;
+  opts.defer_plan_finalize = false;
+  opts.retain_refresh_state = true;
+  opts.scheduler = &batch_lease_;
+  opts.num_threads = batch_lease_.num_threads();
+  for (const auto& [vname, def] : views_) {
+    LogicalPlan plan;
+    SMOKE_RETURN_NOT_OK(def(*builder, &plan));
+    SMOKE_RETURN_NOT_OK(builder->ExecutePlan(vname, plan, opts));
+  }
+  builder_ = std::move(builder);
+  return Status::OK();
+}
+
+Status ServeCore::BuildSnapshotFromBuilder(
+    uint64_t version, std::unique_ptr<ServeSnapshot>* out) {
+  auto snap = std::make_unique<ServeSnapshot>(version, &live_snapshots_);
+  std::unordered_map<const Table*, const Table*> rebind;
+  for (const auto& [name, table] : tables_) {
+    SMOKE_RETURN_NOT_OK(snap->engine.CreateTable(name, table));  // copy
+    const Table* bt = nullptr;
+    const Table* st = nullptr;
+    SMOKE_RETURN_NOT_OK(builder_->GetTable(name, &bt));
+    SMOKE_RETURN_NOT_OK(snap->engine.GetTable(name, &st));
+    rebind[bt] = st;
+  }
+  const LineageCodec codec = options_.view_capture.lineage_codec;
+  for (const auto& [vname, def] : views_) {
+    const PlanResult* built = nullptr;
+    SMOKE_RETURN_NOT_OK(builder_->GetPlanResult(vname, &built));
+    PlanResult clone;
+    if (ClonePlanResultForServe(*built, rebind, &clone).ok()) {
+      SMOKE_RETURN_NOT_OK(
+          snap->engine.AdoptRetainedPlan(vname, std::move(clone), codec));
+    } else {
+      // Results the clone contract excludes (deferred capture, SPJA block
+      // artifacts) re-execute against the snapshot's tables, as in the
+      // full build.
+      CaptureOptions opts = options_.view_capture;
+      opts.mode = CaptureMode::kInject;
+      opts.defer_plan_finalize = false;
+      opts.scheduler = &batch_lease_;
+      opts.num_threads = batch_lease_.num_threads();
+      LogicalPlan plan;
+      SMOKE_RETURN_NOT_OK(def(snap->engine, &plan));
+      SMOKE_RETURN_NOT_OK(snap->engine.ExecutePlan(vname, plan, opts));
+    }
+    const PlanResult* pr = nullptr;
+    SMOKE_RETURN_NOT_OK(snap->engine.GetPlanResult(vname, &pr));
+    const int rel = pr->lineage.FindInput(relation_);
+    if (rel < 0 ||
+        pr->lineage.input(static_cast<size_t>(rel)).backward.empty() ||
+        pr->lineage.input(static_cast<size_t>(rel)).forward.empty()) {
+      return Status::InvalidArgument(
+          "view '" + vname +
+          "' must capture backward and forward lineage on '" + relation_ +
+          "'");
+    }
+    snap->views.push_back(vname);
+  }
+  *out = std::move(snap);
   return Status::OK();
 }
 

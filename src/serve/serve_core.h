@@ -130,8 +130,25 @@ class ServeCore {
   Status ReplaceTable(const std::string& name, Table table)
       SMOKE_EXCLUDES(writer_mu_);
 
-  /// Appends `delta`'s rows to `name` and publishes, as ReplaceTable.
+  /// Appends `delta`'s rows to `name` and publishes a new version — but,
+  /// unlike ReplaceTable, builds it incrementally when it can: a persistent
+  /// builder engine (seeded lazily on the first append) retains every view
+  /// with refresh state, folds each delta through the retained operator
+  /// DAGs in place (src/refresh/), and the new snapshot is published by
+  /// deep-cloning the refreshed results — unchanged views reuse their
+  /// indexes across versions instead of re-executing. Views the delta pass
+  /// cannot maintain (dim-side appends, non-refreshable shapes) take a
+  /// scoped rebuild inside the builder with the reason recorded in that
+  /// batch's RefreshStats; if the builder path fails altogether the call
+  /// falls back to the full from-scratch snapshot build. Readers are never
+  /// blocked either way.
   Status AppendRows(const std::string& name, const Table& delta)
+      SMOKE_EXCLUDES(writer_mu_);
+
+  /// Per-view RefreshStats of the most recent AppendRows batch (empty
+  /// before the first append). A full-rebuild fallback reports one entry
+  /// with incremental=false and the reason.
+  std::vector<RefreshStats> LastRefreshStats() const
       SMOKE_EXCLUDES(writer_mu_);
 
   // ---- readers ----
@@ -204,6 +221,18 @@ class ServeCore {
   void Publish(std::unique_ptr<ServeSnapshot> snap)
       SMOKE_REQUIRES(writer_mu_);
 
+  /// Seeds the persistent builder engine: master-table copies plus every
+  /// view executed with retain_refresh_state, ready to take deltas.
+  Status SeedBuilder() SMOKE_REQUIRES(writer_mu_);
+
+  /// Builds the next snapshot by deep-cloning the builder's refreshed view
+  /// results (rebinding their lineage onto the snapshot's own table
+  /// copies); views whose results cannot be cloned re-execute as in
+  /// BuildSnapshot.
+  Status BuildSnapshotFromBuilder(uint64_t version,
+                                  std::unique_ptr<ServeSnapshot>* out)
+      SMOKE_REQUIRES(writer_mu_);
+
   const std::string relation_;
   const ServeOptions options_;
 
@@ -215,9 +244,15 @@ class ServeCore {
   std::atomic<int64_t> live_snapshots_{0};
 
   /// Serializes Start/ReplaceTable/AppendRows and guards the master copies.
-  Mutex writer_mu_;
+  mutable Mutex writer_mu_;
   /// master copies (next version)
   std::map<std::string, Table> tables_ SMOKE_GUARDED_BY(writer_mu_);
+  /// Persistent incremental builder: holds its own table copies plus every
+  /// view retained with refresh state. Null until the first AppendRows
+  /// seeds it; reset (invalidated) by ReplaceTable and on any builder-path
+  /// failure — the full BuildSnapshot path is always correct without it.
+  std::unique_ptr<SmokeEngine> builder_ SMOKE_GUARDED_BY(writer_mu_);
+  std::vector<RefreshStats> last_refresh_stats_ SMOKE_GUARDED_BY(writer_mu_);
   /// definition order
   std::vector<std::pair<std::string, ViewDef>> views_
       SMOKE_GUARDED_BY(writer_mu_);

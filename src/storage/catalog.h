@@ -37,6 +37,16 @@ class Catalog {
 
   bool HasTable(const std::string& name) const { return tables_.count(name); }
 
+  /// Mutable lookup for append-only growth (SmokeEngine::AppendRows).
+  /// Pointer-stable like ReplaceTable; appending does not invalidate
+  /// retained lineage because existing rids keep their rows.
+  Status GetMutableTable(const std::string& name, Table** out) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+    *out = it->second.get();
+    return Status::OK();
+  }
+
   /// Removes `name`. Callers must ensure nothing still borrows the table
   /// pointer (SmokeEngine guards this against retained queries).
   Status DropTable(const std::string& name) {
